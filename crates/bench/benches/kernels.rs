@@ -1,0 +1,83 @@
+//! Microbenchmarks of the computational kernels: the tiled Jacobi update,
+//! ghost strip/corner copies, and the CSR SpMV — the building blocks whose
+//! relative speed the paper's arguments rest on.
+
+use ca_stencil::{Extents, Problem, Side, TileBuf, Weights};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv::{initial_vector, stencil_matrix};
+
+fn bench_jacobi_tile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jacobi_tile");
+    for tile in [64usize, 128, 256, 512] {
+        group.throughput(Throughput::Elements((tile * tile) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(tile), &tile, |b, &tile| {
+            let mut buf = TileBuf::new(tile, 1);
+            buf.fill_both(|r, c| (r * 31 + c) as f64 * 1e-3);
+            let w = Weights::skewed();
+            b.iter(|| buf.jacobi_step(&w, Extents::ZERO));
+        });
+    }
+    group.finish();
+}
+
+fn bench_jacobi_extended_halo(c: &mut Criterion) {
+    // the CA scheme's redundant-halo update at various depths
+    let mut group = c.benchmark_group("jacobi_extended_halo");
+    let tile = 256usize;
+    for ext in [0usize, 4, 8, 14] {
+        group.bench_with_input(BenchmarkId::from_parameter(ext), &ext, |b, &ext| {
+            let mut buf = TileBuf::new(tile, ext + 1);
+            buf.fill_both(|r, c| (r + c) as f64 * 1e-3);
+            let w = Weights::laplace_jacobi();
+            b.iter(|| buf.jacobi_step(&w, Extents::uniform(ext)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_strip_copies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ghost_strips");
+    let tile = 288usize;
+    for depth in [1usize, 15] {
+        group.throughput(Throughput::Bytes((depth * tile * 8) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("extract+write", depth),
+            &depth,
+            |b, &depth| {
+                let mut src = TileBuf::new(tile, depth);
+                src.fill_both(|r, c| (r ^ c) as f64);
+                let mut dst = TileBuf::new(tile, depth);
+                dst.fill_both(|_, _| 0.0);
+                b.iter(|| {
+                    let s = src.extract_strip(Side::South, depth);
+                    dst.write_strip(Side::North, depth, &s);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_csr_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr_spmv");
+    for n in [128usize, 256] {
+        let p = Problem::laplace(n);
+        let (a, bvec) = stencil_matrix(&p);
+        let x = initial_vector(&p);
+        let mut y = vec![0.0; x.len()];
+        group.throughput(Throughput::Elements((n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| a.spmv_add(&x, &bvec, &mut y));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_jacobi_tile,
+    bench_jacobi_extended_halo,
+    bench_strip_copies,
+    bench_csr_spmv
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Runtime-substrate microbenchmarks: task throughput of the shared-memory
+//! executor, activation-table delivery, and event rate of the simulated
+//! executor — the per-task and per-message costs the cost model charges.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use machine::MachineProfile;
+use runtime::{run_shared_memory, run_simulated, DtdBuilder, SimConfig};
+
+fn chain_program(len: usize) -> runtime::Program {
+    let mut b = DtdBuilder::new();
+    let mut prev = b.insert(0, 0.0, &[]);
+    for _ in 1..len {
+        prev = b.insert(0, 0.0, &[prev]);
+    }
+    b.build()
+}
+
+fn wide_program(width: usize) -> runtime::Program {
+    let mut b = DtdBuilder::new();
+    let root = b.insert(0, 0.0, &[]);
+    for _ in 0..width {
+        let _ = b.insert(0, 0.0, &[root]);
+    }
+    b.build()
+}
+
+fn bench_real_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("real_executor");
+    for &tasks in &[1_000usize, 10_000] {
+        group.throughput(Throughput::Elements(tasks as u64));
+        group.bench_with_input(
+            BenchmarkId::new("wide/4threads", tasks),
+            &tasks,
+            |b, &tasks| {
+                b.iter(|| {
+                    let p = wide_program(tasks);
+                    run_shared_memory(&p, 4)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sim_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_executor");
+    for &tasks in &[1_000usize, 10_000] {
+        group.throughput(Throughput::Elements(tasks as u64));
+        group.bench_with_input(BenchmarkId::new("chain", tasks), &tasks, |b, &tasks| {
+            b.iter(|| {
+                let p = chain_program(tasks);
+                run_simulated(&p, SimConfig::new(MachineProfile::nacl(), 1))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_real_executor, bench_sim_executor);
+criterion_main!(benches);

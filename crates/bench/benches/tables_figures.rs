@@ -1,0 +1,62 @@
+//! Criterion wrappers around reduced-size versions of the paper's
+//! experiments: `cargo bench` exercises every figure's code path quickly.
+//! The full-scale regenerators are the `fig*`/`table1` binaries.
+
+use bench::{exp_fig5, exp_fig6};
+use ca_stencil::{build_base, build_ca, Problem, StencilConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machine::MachineProfile;
+use netsim::ProcessGrid;
+use runtime::{run_simulated, SimConfig};
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_netpipe_sweep", |b| b.iter(exp_fig5::run));
+}
+
+fn bench_fig6_model(c: &mut Criterion) {
+    c.bench_function("fig6_model_sweep", |b| b.iter(exp_fig6::run_model));
+}
+
+fn small_cfg(ratio: f64, steps: usize) -> StencilConfig {
+    StencilConfig::new(Problem::laplace(2880), 288, 10, ProcessGrid::new(2, 2))
+        .with_steps(steps)
+        .with_ratio(ratio)
+        .with_profile(MachineProfile::nacl())
+}
+
+type Builder = fn(&StencilConfig, bool) -> ca_stencil::StencilBuild;
+
+fn bench_versions(c: &mut Criterion, group_name: &str, ratio: f64) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    let versions: [(&str, Builder); 2] = [("base", build_base), ("ca", build_ca)];
+    for (name, build) in versions {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            let cfg = small_cfg(ratio, 5);
+            b.iter(|| {
+                run_simulated(
+                    &build(&cfg, false).program,
+                    SimConfig::new(MachineProfile::nacl(), 4),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig7_like(c: &mut Criterion) {
+    bench_versions(c, "fig7_small", 1.0);
+}
+
+fn bench_fig8_like(c: &mut Criterion) {
+    bench_versions(c, "fig8_small_ratio0.2", 0.2);
+}
+
+criterion_group!(
+    benches,
+    bench_fig5,
+    bench_fig6_model,
+    bench_fig7_like,
+    bench_fig8_like
+);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Run every ablation study: scheduler policy, comm-engine count,
+//! rendezvous threshold, per-message runtime cost, and the exascale
+//! memory-bandwidth projection from the paper's conclusion.
+
+fn main() {
+    let iters = bench::iterations().min(30);
+    bench::exp_ablations::print(
+        "scheduler policy (16 NaCL nodes, ratio 0.4)",
+        &bench::exp_ablations::scheduler_ablation(iters),
+    );
+    bench::exp_ablations::print(
+        "communication engines (16 NaCL nodes, ratio 0.4)",
+        &bench::exp_ablations::comm_engine_ablation(iters),
+    );
+    bench::exp_ablations::print(
+        "rendezvous threshold (16 NaCL nodes, ratio 0.4)",
+        &bench::exp_ablations::rendezvous_ablation(iters),
+    );
+    bench::exp_ablations::print(
+        "per-message runtime cost (16 NaCL nodes, ratio 0.4)",
+        &bench::exp_ablations::msg_cost_ablation(iters),
+    );
+    bench::exp_ablations::print(
+        "exascale projection: memory bandwidth x f, network fixed, ratio 1.0",
+        &bench::exp_ablations::exascale_projection(iters),
+    );
+}

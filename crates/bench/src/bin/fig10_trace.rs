@@ -1,0 +1,18 @@
+//! Regenerate Figure 10: one node's execution trace for base and CA.
+//! Writes full Gantt rows to `fig10_<version>.gantt` in the current
+//! directory; prints the occupancy/median digest.
+
+use std::io::Write;
+
+fn main() {
+    let fig = bench::exp_fig10::run(5);
+    bench::exp_fig10::print(&fig);
+    for side in &fig.sides {
+        let path = format!("fig10_{}.gantt", side.version.to_lowercase());
+        let mut f = std::fs::File::create(&path).expect("create gantt file");
+        for row in &side.gantt {
+            writeln!(f, "{row}").expect("write gantt row");
+        }
+        println!("wrote {} rows to {path}", side.gantt.len());
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerate Figure 5: NetPIPE over the simulated interconnects.
+
+fn main() {
+    let series = bench::exp_fig5::run();
+    bench::exp_fig5::print(&series);
+    bench::report::write_json(bench::report::json_path("fig5"), &series);
+}

@@ -1,0 +1,18 @@
+//! Regenerate Figure 6: tile-size sweep — calibrated model at paper scale
+//! plus a real threaded run at host scale.
+
+fn main() {
+    let mut series = bench::exp_fig6::run_model();
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |c| c.get())
+        .saturating_sub(1)
+        .max(1);
+    let (n, iters) = if bench::fast_mode() { (512, 4) } else { (2048, 10) };
+    series.push(bench::exp_fig6::run_real(
+        n,
+        &[32, 64, 128, 256, 512],
+        iters,
+        threads,
+    ));
+    bench::exp_fig6::print(&series);
+}

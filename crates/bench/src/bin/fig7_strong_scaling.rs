@@ -1,0 +1,7 @@
+//! Regenerate Figure 7: strong scaling of PETSc vs base vs CA.
+
+fn main() {
+    let series = bench::exp_fig7::run_all();
+    bench::exp_fig7::print(&series);
+    bench::report::write_json(bench::report::json_path("fig7"), &series);
+}

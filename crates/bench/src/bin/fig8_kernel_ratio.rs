@@ -1,0 +1,12 @@
+//! Regenerate Figure 8: the kernel-adjustment-ratio sweep.
+
+fn main() {
+    let panels = bench::exp_fig8::run_all();
+    bench::exp_fig8::print(&panels);
+    println!(
+        "\nbest CA-over-base improvement: NaCL {:.0}% (paper: up to 57%), Stampede2 {:.0}% (paper: up to 33%)",
+        bench::exp_fig8::best_improvement(&panels, "NaCL"),
+        bench::exp_fig8::best_improvement(&panels, "Stampede2"),
+    );
+    bench::report::write_json(bench::report::json_path("fig8"), &panels);
+}

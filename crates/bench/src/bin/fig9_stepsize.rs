@@ -1,0 +1,7 @@
+//! Regenerate Figure 9: the CA step-size sweep.
+
+fn main() {
+    let panels = bench::exp_fig9::run_all();
+    bench::exp_fig9::print(&panels);
+    bench::report::write_json(bench::report::json_path("fig9"), &panels);
+}

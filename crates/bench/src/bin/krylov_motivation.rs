@@ -1,0 +1,12 @@
+//! The Krylov motivation: real CG solve + distributed iteration pricing.
+
+use machine::MachineProfile;
+
+fn main() {
+    for profile in [MachineProfile::nacl(), MachineProfile::stampede2()] {
+        let n = if profile.name == "Stampede2" { 55_296 } else { 23_040 };
+        let (solve, rows) = bench::exp_krylov::run(&profile, n);
+        bench::exp_krylov::print(&profile, n, &solve, &rows);
+        println!();
+    }
+}

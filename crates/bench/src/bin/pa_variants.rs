@@ -1,0 +1,14 @@
+//! PA1 vs PA2 comparison across kernel-adjustment ratios.
+
+use machine::MachineProfile;
+
+fn main() {
+    let ratios = [0.2, 0.4, 0.6, 1.0];
+    let mut panels = Vec::new();
+    for profile in [MachineProfile::nacl(), MachineProfile::stampede2()] {
+        for nodes in [16u32, 64] {
+            panels.push(bench::exp_pa_variants::run_panel(&profile, nodes, &ratios));
+        }
+    }
+    bench::exp_pa_variants::print(&panels);
+}

@@ -1,0 +1,46 @@
+//! Quick calibration probe: CA vs base speedup across kernel-adjustment
+//! ratios on the paper's Figure 8 configurations (reduced iteration count).
+
+use ca_stencil::{build_base, build_ca, Problem, StencilConfig};
+use machine::MachineProfile;
+use netsim::ProcessGrid;
+use runtime::{run_simulated, SimConfig};
+
+fn main() {
+    let iters = 20;
+    for (profile, n, tile) in [
+        (MachineProfile::nacl(), 23040usize, 288usize),
+        (MachineProfile::stampede2(), 55296, 864),
+    ] {
+        for nodes in [4u32, 16, 64] {
+            for ratio in [0.2, 0.4, 0.6, 0.8, 1.0] {
+                let cfg = StencilConfig::new(
+                    Problem::laplace(n),
+                    tile,
+                    iters,
+                    ProcessGrid::square(nodes),
+                )
+                .with_steps(15)
+                .with_ratio(ratio)
+                .with_profile(profile.clone());
+                let base = run_simulated(
+                    &build_base(&cfg, false).program,
+                    SimConfig::new(profile.clone(), nodes),
+                );
+                let ca = run_simulated(
+                    &build_ca(&cfg, false).program,
+                    SimConfig::new(profile.clone(), nodes),
+                );
+                println!(
+                    "{} nodes={nodes} ratio={ratio:.1}: base {:.1} GF, ca {:.1} GF, ca/base = {:.3} (occ {:.2} vs {:.2})",
+                    profile.name,
+                    cfg.gflops(base.makespan),
+                    cfg.gflops(ca.makespan),
+                    base.makespan / ca.makespan,
+                    base.node_occupancy.iter().sum::<f64>() / nodes as f64,
+                    ca.node_occupancy.iter().sum::<f64>() / nodes as f64,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Reproduce the paper's Section VI-A roofline analysis.
+
+fn main() {
+    let rows = bench::exp_roofline::run();
+    bench::exp_roofline::print(&rows);
+}

@@ -1,0 +1,15 @@
+//! Regenerate Table I: STREAM on this host plus the paper's numbers.
+
+fn main() {
+    // 8M doubles per array (192 MB working set) unless running fast.
+    let n = if bench::fast_mode() { 1 << 20 } else { 8 << 20 };
+    let t = bench::exp_table1::run(n, 5);
+    bench::exp_table1::print(&t);
+    let p = bench::exp_table1::localhost_profile(&t);
+    println!(
+        "\nderived localhost profile: {} cores, node COPY {:.1} GB/s, core COPY {:.1} GB/s",
+        p.cores_per_node,
+        p.mem_bw_node / 1e9,
+        p.mem_bw_core / 1e9
+    );
+}

@@ -1,0 +1,164 @@
+//! Figure 10: one node's execution trace — base vs CA on 16 NaCL nodes at
+//! kernel ratio 0.4 — showing that CA achieves higher CPU occupancy, and
+//! that its kernels are slightly *slower* individually (extra ghost
+//! copies) yet the run is faster overall.
+
+use crate::{iterations, paper_workload};
+use ca_stencil::{build_base, build_ca, Problem, StencilConfig, KIND_BOUNDARY, KIND_INTERIOR};
+use machine::MachineProfile;
+use netsim::ProcessGrid;
+use runtime::{profiling, run_simulated, SimConfig};
+use serde::Serialize;
+
+/// Digest of one version's trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10Side {
+    /// "base" or "CA".
+    pub version: String,
+    /// Total run time, seconds.
+    pub makespan: f64,
+    /// Worker-lane occupancy of the profiled node.
+    pub occupancy: f64,
+    /// Median boundary-task duration, milliseconds.
+    pub boundary_median_ms: Option<f64>,
+    /// Median interior-task duration, milliseconds.
+    pub interior_median_ms: Option<f64>,
+    /// Gantt rows (`lane start_ms end_ms kind`) of the profiled node.
+    pub gantt: Vec<String>,
+    /// ASCII rendering of the node's lanes over the whole run
+    /// (`#` interior task, `B` boundary task, `C` comm thread, `.` idle).
+    pub ascii: Vec<String>,
+}
+
+/// The figure: both versions on the same configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10 {
+    /// Profiled node rank.
+    pub node: u32,
+    /// Worker lanes per node.
+    pub lanes: u32,
+    /// Both sides.
+    pub sides: Vec<Fig10Side>,
+}
+
+/// Run the experiment. `node` picks which rank to profile (the paper shows
+/// one node of the 16).
+pub fn run(node: u32) -> Fig10 {
+    let profile = MachineProfile::nacl();
+    let (n, tile) = paper_workload(&profile);
+    let nodes = 16u32;
+    let cfg = StencilConfig::new(
+        Problem::laplace(n),
+        tile,
+        iterations(),
+        ProcessGrid::square(nodes),
+    )
+    .with_steps(15)
+    .with_ratio(0.4)
+    .with_profile(profile.clone());
+
+    let lanes = profile.compute_threads();
+    let mut sides = Vec::new();
+    for (version, program) in [
+        ("base", build_base(&cfg, false).program),
+        ("CA", build_ca(&cfg, false).program),
+    ] {
+        let report = run_simulated(
+            &program,
+            SimConfig::new(profile.clone(), nodes).with_trace(),
+        );
+        let trace = report.trace.expect("trace requested");
+        let horizon = trace.horizon();
+        let prof = profiling::profile_node(&trace, node, lanes, horizon);
+        let median_of = |kind: u32| {
+            prof.kinds
+                .iter()
+                .find(|k| k.kind == kind)
+                .map(|k| k.median_ms)
+        };
+        sides.push(Fig10Side {
+            version: version.to_string(),
+            makespan: report.makespan,
+            occupancy: prof.occupancy,
+            boundary_median_ms: median_of(KIND_BOUNDARY),
+            interior_median_ms: median_of(KIND_INTERIOR),
+            gantt: profiling::gantt_rows(&trace, node),
+            ascii: profiling::ascii_gantt(&trace, node, lanes, horizon, 100),
+        });
+    }
+    Fig10 {
+        node,
+        lanes,
+        sides,
+    }
+}
+
+/// Print the digest (not the raw Gantt rows; the binary writes those to
+/// files).
+pub fn print(fig: &Fig10) {
+    println!(
+        "FIGURE 10: one node's profile (node {}, {} worker lanes), 16 NaCL nodes, ratio 0.4, s = 15",
+        fig.node, fig.lanes
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>16} {:>16} {:>10}",
+        "ver", "time (s)", "occupancy", "boundary med ms", "interior med ms", "spans"
+    );
+    for s in &fig.sides {
+        println!(
+            "{:>6} {:>12.3} {:>11.1}% {:>16} {:>16} {:>10}",
+            s.version,
+            s.makespan,
+            100.0 * s.occupancy,
+            s.boundary_median_ms
+                .map_or("-".to_string(), |v| format!("{v:.3}")),
+            s.interior_median_ms
+                .map_or("-".to_string(), |v| format!("{v:.3}")),
+            s.gantt.len()
+        );
+    }
+    for s in &fig.sides {
+        println!("\n{} lanes over the whole run:", s.version);
+        for row in &s.ascii {
+            println!("  {row}");
+        }
+    }
+    if let [base, ca] = &fig.sides[..] {
+        println!(
+            "-- CA occupancy {:+.1} points over base; CA {:.1}% faster; CA boundary kernels {:+.1}% vs base (paper: 136 ms -> 153 ms median, 14% faster overall, higher occupancy)",
+            100.0 * (ca.occupancy - base.occupancy),
+            100.0 * (base.makespan / ca.makespan - 1.0),
+            match (base.boundary_median_ms, ca.boundary_median_ms) {
+                (Some(b), Some(c)) => 100.0 * (c / b - 1.0),
+                _ => f64::NAN,
+            }
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ca_has_higher_occupancy_and_is_faster() {
+        std::env::set_var("REPRO_FAST", "1");
+        let fig = run(5);
+        let base = &fig.sides[0];
+        let ca = &fig.sides[1];
+        assert!(ca.occupancy > base.occupancy, "{ca:?} vs {base:?}");
+        assert!(ca.makespan < base.makespan);
+        // CA boundary kernels are individually slower (the extra copies)
+        let (b, c) = (
+            base.boundary_median_ms.unwrap(),
+            ca.boundary_median_ms.unwrap(),
+        );
+        assert!(c > b, "CA boundary median {c} vs base {b}");
+        // interior kernels are identical in both versions
+        let (bi, ci) = (
+            base.interior_median_ms.unwrap(),
+            ca.interior_median_ms.unwrap(),
+        );
+        assert!((bi - ci).abs() / bi < 1e-6);
+    }
+}

@@ -1,0 +1,94 @@
+//! Figure 5: NetPIPE bandwidth as a percentage of theoretical peak, for
+//! message sizes 256 B – 4 MiB on NaCL (32 Gb/s peak) and Stampede2
+//! (100 Gb/s peak).
+
+use machine::MachineProfile;
+use netsim::{netpipe_sweep, NetPipePoint};
+use serde::Serialize;
+
+/// One machine's NetPIPE curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5Series {
+    /// System name.
+    pub system: String,
+    /// Theoretical peak, Gb/s.
+    pub peak_gbits: f64,
+    /// The sweep.
+    pub points: Vec<NetPipePoint>,
+}
+
+/// Run the sweep on both paper machines.
+pub fn run() -> Vec<Fig5Series> {
+    [MachineProfile::nacl(), MachineProfile::stampede2()]
+        .into_iter()
+        .map(|p| Fig5Series {
+            system: p.name.clone(),
+            peak_gbits: p.net_peak_bw_bits / 1e9,
+            points: netpipe_sweep(&p, 256, 4 << 20),
+        })
+        .collect()
+}
+
+/// Print the curves as rows.
+pub fn print(series: &[Fig5Series]) {
+    println!("FIGURE 5: NetPIPE network performance (% of theoretical peak)");
+    println!(
+        "{:>10} {:>14} {:>10} {:>8}",
+        "size", "bandwidth Gb/s", "% peak", "system"
+    );
+    for s in series {
+        for p in &s.points {
+            println!(
+                "{:>10} {:>14.2} {:>9.1}% {:>10}",
+                human_size(p.bytes),
+                p.bandwidth_bits / 1e9,
+                p.percent_of_peak,
+                s.system
+            );
+        }
+        let last = s.points.last().expect("nonempty sweep");
+        println!(
+            "-- {} asymptote: {:.1} Gb/s of {:.0} Gb/s peak ({:.0}%); paper: {} Gb/s effective",
+            s.system,
+            last.bandwidth_bits / 1e9,
+            s.peak_gbits,
+            last.percent_of_peak,
+            if s.system == "NaCL" { "27" } else { "86" },
+        );
+    }
+}
+
+fn human_size(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{}MB", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{}KB", bytes >> 10)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shapes_match_paper() {
+        let series = run();
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            let first = s.points.first().unwrap();
+            let last = s.points.last().unwrap();
+            // small messages: a few percent; big: above 80%
+            assert!(first.percent_of_peak < 10.0, "{}", s.system);
+            assert!(last.percent_of_peak > 80.0, "{}", s.system);
+        }
+    }
+
+    #[test]
+    fn human_sizes() {
+        assert_eq!(human_size(256), "256B");
+        assert_eq!(human_size(16 << 10), "16KB");
+        assert_eq!(human_size(4 << 20), "4MB");
+    }
+}

@@ -1,0 +1,142 @@
+//! Figure 6: single-node base-version GFLOP/s against tile size.
+//!
+//! Two reproductions:
+//!
+//! 1. **Paper scale, calibrated model** — the analytic single-node rate
+//!    for NaCL (problem 20k, tiles 100–500) and Stampede2 (27k, tiles
+//!    400–3000), which the cost model was calibrated against (plateaus of
+//!    ~11 and ~43.5 GFLOP/s).
+//! 2. **Host scale, real execution** — the actual tiled Jacobi program run
+//!    by the shared-memory executor on this machine with real threads and
+//!    a wall clock, sweeping tile sizes at a host-feasible problem size.
+
+use ca_stencil::{build_base, Problem, StencilConfig};
+use machine::{MachineProfile, StencilCostModel};
+use netsim::ProcessGrid;
+use runtime::run_shared_memory;
+use serde::Serialize;
+
+/// One point of a tile-size sweep.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct TilePoint {
+    /// Tile edge length.
+    pub tile: usize,
+    /// Node rate in GFLOP/s.
+    pub gflops: f64,
+}
+
+/// One sweep series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6Series {
+    /// Label (system + scale).
+    pub label: String,
+    /// Problem size used.
+    pub n: usize,
+    /// The sweep.
+    pub points: Vec<TilePoint>,
+}
+
+/// The model sweep at paper scale for both machines.
+pub fn run_model() -> Vec<Fig6Series> {
+    let mut out = Vec::new();
+    let nacl = StencilCostModel::for_profile(&MachineProfile::nacl());
+    out.push(Fig6Series {
+        label: "NaCL (model, paper scale)".into(),
+        n: 20_000,
+        points: [100, 150, 200, 250, 288, 300, 350, 400, 450, 500]
+            .iter()
+            .map(|&tile| TilePoint {
+                tile,
+                gflops: nacl.node_gflops_single(20_000, tile),
+            })
+            .collect(),
+    });
+    let s2 = StencilCostModel::for_profile(&MachineProfile::stampede2());
+    out.push(Fig6Series {
+        label: "Stampede2 (model, paper scale)".into(),
+        n: 27_000,
+        points: [400, 600, 864, 1000, 1350, 1800, 2250, 2700, 3000]
+            .iter()
+            .map(|&tile| TilePoint {
+                tile,
+                gflops: s2.node_gflops_single(27_000, tile),
+            })
+            .collect(),
+    });
+    out
+}
+
+/// The real threaded sweep on this host: runs the actual base program and
+/// measures wall-clock GFLOP/s. `n` must be divisible by every tile size.
+pub fn run_real(n: usize, tiles: &[usize], iterations: u32, threads: usize) -> Fig6Series {
+    let points = tiles
+        .iter()
+        .map(|&tile| {
+            assert_eq!(n % tile, 0, "tile {tile} does not divide {n}");
+            let cfg = StencilConfig::new(
+                Problem::laplace(n),
+                tile,
+                iterations,
+                ProcessGrid::new(1, 1),
+            );
+            let build = build_base(&cfg, true);
+            let report = run_shared_memory(&build.program, threads);
+            TilePoint {
+                tile,
+                gflops: cfg.gflops(report.wall_time),
+            }
+        })
+        .collect();
+    Fig6Series {
+        label: format!("Localhost (real, {threads} threads)"),
+        n,
+        points,
+    }
+}
+
+/// Print all series.
+pub fn print(series: &[Fig6Series]) {
+    println!("FIGURE 6: single-node base-version performance vs tile size");
+    for s in series {
+        println!("-- {} (problem {}k)", s.label, s.n / 1000);
+        println!("{:>8} {:>12}", "tile", "GFLOP/s");
+        for p in &s.points {
+            println!("{:>8} {:>12.2}", p.tile, p.gflops);
+        }
+        let best = s
+            .points
+            .iter()
+            .max_by(|a, b| a.gflops.total_cmp(&b.gflops))
+            .expect("nonempty sweep");
+        println!("   best: tile {} at {:.2} GFLOP/s", best.tile, best.gflops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_sweep_has_paper_plateaus() {
+        let series = run_model();
+        let nacl_best = series[0]
+            .points
+            .iter()
+            .map(|p| p.gflops)
+            .fold(0.0, f64::max);
+        assert!((nacl_best - 11.0).abs() < 1.2, "NaCL best = {nacl_best}");
+        let s2_best = series[1]
+            .points
+            .iter()
+            .map(|p| p.gflops)
+            .fold(0.0, f64::max);
+        assert!((s2_best - 43.5).abs() < 3.0, "S2 best = {s2_best}");
+    }
+
+    #[test]
+    fn real_sweep_runs_small() {
+        let s = run_real(128, &[16, 32, 64], 2, 2);
+        assert_eq!(s.points.len(), 3);
+        assert!(s.points.iter().all(|p| p.gflops > 0.0));
+    }
+}

@@ -1,0 +1,159 @@
+//! Figure 7: strong-scaling speedup over the single-node base-PaRSEC run,
+//! for PETSc, base-PaRSEC and CA-PaRSEC on 1/4/16/64 nodes.
+//!
+//! Paper parameters: NaCL problem 23k tile 288, Stampede2 problem 55k tile
+//! 864, 100 iterations, CA step size 15.
+
+use crate::{iterations, paper_workload};
+use ca_stencil::{build_base, build_ca, Problem, StencilConfig};
+use machine::MachineProfile;
+use netsim::ProcessGrid;
+use runtime::{run_simulated, SimConfig};
+use serde::Serialize;
+use spmv::PetscModel;
+
+/// One (node count) row of the figure.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Fig7Row {
+    /// Node count.
+    pub nodes: u32,
+    /// PETSc speedup over 1-node base-PaRSEC.
+    pub petsc: f64,
+    /// Base-PaRSEC speedup.
+    pub base: f64,
+    /// CA-PaRSEC speedup.
+    pub ca: f64,
+}
+
+/// One machine's strong-scaling series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7Series {
+    /// System name.
+    pub system: String,
+    /// Problem size.
+    pub n: usize,
+    /// Tile size.
+    pub tile: usize,
+    /// Single-node base time used as the speedup denominator, seconds.
+    pub baseline_seconds: f64,
+    /// Rows for each node count.
+    pub rows: Vec<Fig7Row>,
+}
+
+fn config(profile: &MachineProfile, nodes: u32) -> StencilConfig {
+    let (n, tile) = paper_workload(profile);
+    StencilConfig::new(
+        Problem::laplace(n),
+        tile,
+        iterations(),
+        ProcessGrid::square(nodes),
+    )
+    .with_steps(15)
+    .with_profile(profile.clone())
+}
+
+/// Run the figure for one machine.
+pub fn run(profile: &MachineProfile) -> Fig7Series {
+    let (n, tile) = paper_workload(profile);
+    let base1 = {
+        let cfg = config(profile, 1);
+        run_simulated(
+            &build_base(&cfg, false).program,
+            SimConfig::new(profile.clone(), 1),
+        )
+        .makespan
+    };
+    let petsc_model = PetscModel::new(profile);
+    let rows = [4u32, 16, 64]
+        .iter()
+        .map(|&nodes| {
+            let cfg = config(profile, nodes);
+            let base = run_simulated(
+                &build_base(&cfg, false).program,
+                SimConfig::new(profile.clone(), nodes),
+            )
+            .makespan;
+            let ca = run_simulated(
+                &build_ca(&cfg, false).program,
+                SimConfig::new(profile.clone(), nodes),
+            )
+            .makespan;
+            let petsc = petsc_model.predict(&cfg, nodes).total_time;
+            Fig7Row {
+                nodes,
+                petsc: base1 / petsc,
+                base: base1 / base,
+                ca: base1 / ca,
+            }
+        })
+        .collect();
+    Fig7Series {
+        system: profile.name.clone(),
+        n,
+        tile,
+        baseline_seconds: base1,
+        rows,
+    }
+}
+
+/// Run both machines.
+pub fn run_all() -> Vec<Fig7Series> {
+    [MachineProfile::nacl(), MachineProfile::stampede2()]
+        .iter()
+        .map(run)
+        .collect()
+}
+
+/// Print the figure.
+pub fn print(series: &[Fig7Series]) {
+    println!("FIGURE 7: strong-scaling speedup over single-node base-PaRSEC");
+    for s in series {
+        println!(
+            "-- {} (problem {}k, tile {}, 1-node base = {:.2}s)",
+            s.system,
+            s.n / 1000,
+            s.tile,
+            s.baseline_seconds
+        );
+        println!(
+            "{:>6} {:>10} {:>10} {:>10} {:>14}",
+            "nodes", "PETSc", "base", "CA", "base/PETSc"
+        );
+        for r in &s.rows {
+            println!(
+                "{:>6} {:>10.2} {:>10.2} {:>10.2} {:>13.2}x",
+                r.nodes,
+                r.petsc,
+                r.base,
+                r.ca,
+                r.base / r.petsc
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nacl_shape_matches_paper() {
+        // Small iteration count for speed; speedups are time ratios so the
+        // iteration count cancels to first order.
+        std::env::set_var("REPRO_FAST", "1");
+        let s = run(&MachineProfile::nacl());
+        // all versions scale (speedup grows with node count)
+        for w in s.rows.windows(2) {
+            assert!(w[1].base > w[0].base);
+            assert!(w[1].petsc > w[0].petsc);
+        }
+        for r in &s.rows {
+            // PaRSEC ≈ 2× PETSc (paper: "twice the performance")
+            let ratio = r.base / r.petsc;
+            assert!((1.5..=3.0).contains(&ratio), "nodes {}: {ratio}", r.nodes);
+            // base ≈ CA at full kernel (paper: "almost indistinguishable")
+            let gap = (r.base - r.ca).abs() / r.base;
+            assert!(gap < 0.12, "nodes {}: base {} vs ca {}", r.nodes, r.base, r.ca);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Figure 9: the CA step-size sweep — GFLOP/s against the kernel
+//! adjustment ratio for step sizes 5, 15, 25 and 40.
+//!
+//! The step size trades message frequency against redundant work and ghost
+//! depth; the paper's point is that "the step size needs to be tuned to
+//! get the best possible speedup" — the optimum is interior, not extreme.
+
+use crate::{iterations, paper_workload};
+use ca_stencil::{build_ca, Problem, StencilConfig};
+use machine::MachineProfile;
+use netsim::ProcessGrid;
+use runtime::{run_simulated, SimConfig};
+use serde::Serialize;
+
+/// One (step size, ratio) measurement.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Fig9Point {
+    /// CA step size.
+    pub steps: usize,
+    /// Kernel adjustment ratio.
+    pub ratio: f64,
+    /// CA GFLOP/s.
+    pub gflops: f64,
+}
+
+/// One (machine, node count) panel.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9Panel {
+    /// System name.
+    pub system: String,
+    /// Node count.
+    pub nodes: u32,
+    /// Measurements, grouped by step size in input order.
+    pub points: Vec<Fig9Point>,
+}
+
+/// The paper's step-size grid.
+pub const STEP_SIZES: [usize; 4] = [5, 15, 25, 40];
+
+/// Run one panel.
+pub fn run_panel(profile: &MachineProfile, nodes: u32, ratios: &[f64]) -> Fig9Panel {
+    let (n, tile) = paper_workload(profile);
+    let mut points = Vec::new();
+    for &steps in &STEP_SIZES {
+        for &ratio in ratios {
+            let cfg = StencilConfig::new(
+                Problem::laplace(n),
+                tile,
+                iterations(),
+                ProcessGrid::square(nodes),
+            )
+            .with_steps(steps)
+            .with_ratio(ratio)
+            .with_profile(profile.clone());
+            let report = run_simulated(
+                &build_ca(&cfg, false).program,
+                SimConfig::new(profile.clone(), nodes),
+            );
+            points.push(Fig9Point {
+                steps,
+                ratio,
+                gflops: cfg.gflops(report.makespan),
+            });
+        }
+    }
+    Fig9Panel {
+        system: profile.name.clone(),
+        nodes,
+        points,
+    }
+}
+
+/// Run the full figure (both machines, 4/16/64 nodes).
+pub fn run_all() -> Vec<Fig9Panel> {
+    let ratios = [0.2, 0.4, 0.6, 0.8];
+    let mut panels = Vec::new();
+    for profile in [MachineProfile::nacl(), MachineProfile::stampede2()] {
+        for nodes in [4u32, 16, 64] {
+            panels.push(run_panel(&profile, nodes, &ratios));
+        }
+    }
+    panels
+}
+
+/// Print the figure.
+pub fn print(panels: &[Fig9Panel]) {
+    println!("FIGURE 9: CA performance by step size (GFLOP/s)");
+    for p in panels {
+        println!("-- {} / {} nodes", p.system, p.nodes);
+        println!("{:>7} {:>7} {:>12}", "steps", "ratio", "GF/s");
+        for pt in &p.points {
+            println!("{:>7} {:>7.1} {:>12.0}", pt.steps, pt.ratio, pt.gflops);
+        }
+        // best step size at the smallest ratio
+        let min_ratio = p
+            .points
+            .iter()
+            .map(|pt| pt.ratio)
+            .fold(f64::INFINITY, f64::min);
+        if let Some(best) = p
+            .points
+            .iter()
+            .filter(|pt| pt.ratio == min_ratio)
+            .max_by(|a, b| a.gflops.total_cmp(&b.gflops))
+        {
+            println!(
+                "   best at ratio {:.1}: steps = {} ({:.0} GF/s)",
+                min_ratio, best.steps, best.gflops
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_size_matters_at_small_ratio() {
+        std::env::set_var("REPRO_FAST", "1");
+        let p = run_panel(&MachineProfile::nacl(), 16, &[0.2]);
+        let rates: Vec<f64> = p.points.iter().map(|pt| pt.gflops).collect();
+        assert_eq!(rates.len(), STEP_SIZES.len());
+        let best = rates.iter().cloned().fold(f64::MIN, f64::max);
+        let worst = rates.iter().cloned().fold(f64::MAX, f64::min);
+        // tuning the step size changes performance noticeably
+        assert!(
+            best > 1.05 * worst,
+            "step size made no difference: {rates:?}"
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! The Krylov-solver motivation (paper Section I): stencils/SpMV are the
+//! kernels inside CG and friends, whose per-iteration global reductions
+//! are the other latency bottleneck. This experiment (a) solves a Poisson
+//! system with real CG to show the substrate works, and (b) prices a
+//! distributed CG iteration on the paper's machines, standard vs
+//! pipelined, across node counts.
+
+use machine::MachineProfile;
+use serde::Serialize;
+use spmv::{cg_solve, poisson_matrix, CgCostModel};
+
+/// One node-count row of the CG cost table.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct KrylovRow {
+    /// Node count.
+    pub nodes: u32,
+    /// Standard CG iteration time, seconds.
+    pub standard: f64,
+    /// Pipelined CG iteration time, seconds.
+    pub pipelined: f64,
+    /// Fraction of the standard iteration spent in the two allreduces.
+    pub reduction_share: f64,
+}
+
+/// Solve a small Poisson system for real, then price iterations at paper
+/// scale on `profile`.
+pub fn run(profile: &MachineProfile, n_model: usize) -> (spmv::CgResult, Vec<KrylovRow>) {
+    // real solve, real numerics
+    let n = 24;
+    let a = poisson_matrix(n);
+    let b = vec![1.0; n * n];
+    let mut x = vec![0.0; n * n];
+    let result = cg_solve(&a, &b, &mut x, 1e-9, 2000);
+    assert!(result.residual < 1e-9, "CG failed to converge");
+
+    let model = CgCostModel::new(profile);
+    let rows = [1u32, 4, 16, 64]
+        .iter()
+        .map(|&nodes| KrylovRow {
+            nodes,
+            standard: model.iteration_time(n_model, nodes),
+            pipelined: model.pipelined_iteration_time(n_model, nodes),
+            reduction_share: model.reduction_share(n_model, nodes),
+        })
+        .collect();
+    (result, rows)
+}
+
+/// Print the table.
+pub fn print(profile: &MachineProfile, n_model: usize, solve: &spmv::CgResult, rows: &[KrylovRow]) {
+    println!(
+        "KRYLOV: real CG solve converged in {} iterations (residual {:.2e})",
+        solve.iterations, solve.residual
+    );
+    println!(
+        "CG iteration cost model, {} (problem {}k):",
+        profile.name,
+        n_model / 1000
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>16}",
+        "nodes", "standard (s)", "pipelined (s)", "reduction share"
+    );
+    for r in rows {
+        println!(
+            "{:>6} {:>14.6} {:>14.6} {:>15.1}%",
+            r.nodes,
+            r.standard,
+            r.pipelined,
+            100.0 * r.reduction_share
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_share_grows_and_pipelining_helps() {
+        let (solve, rows) = run(&MachineProfile::nacl(), 23_040);
+        assert!(solve.residual < 1e-9);
+        assert!(rows.last().unwrap().reduction_share > rows[0].reduction_share);
+        for r in &rows {
+            assert!(r.pipelined <= r.standard, "{r:?}");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! PA1 vs PA2: the trade-off the paper describes in Section III-C but
+//! measures only half of. PA1 (the paper's implementation) performs
+//! redundant halo work every quiet iteration and overlaps freely; PA2
+//! performs no redundant flops but serializes a catch-up bulge behind each
+//! exchange message. Same remote traffic either way.
+
+use crate::{iterations, paper_workload};
+use ca_stencil::{build_base, build_ca, build_pa2, Problem, StencilConfig};
+use machine::MachineProfile;
+use netsim::ProcessGrid;
+use runtime::{run_simulated, SimConfig};
+use serde::Serialize;
+
+/// One (ratio) comparison row.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PaPoint {
+    /// Kernel adjustment ratio.
+    pub ratio: f64,
+    /// Base makespan, seconds.
+    pub base: f64,
+    /// PA1 (the paper's CA) makespan, seconds.
+    pub pa1: f64,
+    /// PA2 skeleton makespan, seconds.
+    pub pa2: f64,
+}
+
+/// One (machine, node count) panel.
+#[derive(Debug, Clone, Serialize)]
+pub struct PaPanel {
+    /// System name.
+    pub system: String,
+    /// Node count.
+    pub nodes: u32,
+    /// Step size used.
+    pub steps: usize,
+    /// The sweep.
+    pub points: Vec<PaPoint>,
+}
+
+/// Run one panel. The paper's s = 15 exceeds PA2's `tile/2` bound only
+/// for tiny tiles; both paper tiles (288, 864) admit it.
+pub fn run_panel(profile: &MachineProfile, nodes: u32, ratios: &[f64]) -> PaPanel {
+    let (n, tile) = paper_workload(profile);
+    let steps = 15usize;
+    let points = ratios
+        .iter()
+        .map(|&ratio| {
+            let cfg = StencilConfig::new(
+                Problem::laplace(n),
+                tile,
+                iterations(),
+                ProcessGrid::square(nodes),
+            )
+            .with_steps(steps)
+            .with_ratio(ratio)
+            .with_profile(profile.clone());
+            let sim = SimConfig::new(profile.clone(), nodes);
+            PaPoint {
+                ratio,
+                base: run_simulated(&build_base(&cfg, false).program, sim.clone()).makespan,
+                pa1: run_simulated(&build_ca(&cfg, false).program, sim.clone()).makespan,
+                pa2: run_simulated(&build_pa2(&cfg, false).program, sim).makespan,
+            }
+        })
+        .collect();
+    PaPanel {
+        system: profile.name.clone(),
+        nodes,
+        steps,
+        points,
+    }
+}
+
+/// Print panels.
+pub fn print(panels: &[PaPanel]) {
+    println!("PA1 vs PA2 (s = {}; same remote traffic, different work/overlap)", panels[0].steps);
+    for p in panels {
+        println!("-- {} / {} nodes", p.system, p.nodes);
+        println!(
+            "{:>7} {:>11} {:>11} {:>11} {:>11} {:>11}",
+            "ratio", "base (s)", "PA1 (s)", "PA2 (s)", "PA1 gain", "PA2 gain"
+        );
+        for pt in &p.points {
+            println!(
+                "{:>7.1} {:>11.3} {:>11.3} {:>11.3} {:>10.1}% {:>10.1}%",
+                pt.ratio,
+                pt.base,
+                pt.pa1,
+                pt.pa2,
+                100.0 * (pt.base / pt.pa1 - 1.0),
+                100.0 * (pt.base / pt.pa2 - 1.0),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_beat_base_when_comm_bound() {
+        std::env::set_var("REPRO_FAST", "1");
+        let p = run_panel(&MachineProfile::nacl(), 16, &[0.3]);
+        let pt = &p.points[0];
+        assert!(pt.pa1 < pt.base, "{pt:?}");
+        assert!(pt.pa2 < pt.base, "{pt:?}");
+    }
+
+    #[test]
+    fn pa2_catchup_limits_overlap_relative_to_pa1_at_full_kernel() {
+        // at ratio 1.0 on few nodes, PA1's redundant work is cheap and
+        // fully overlapped; PA2's serial bulge lengthens the critical path
+        std::env::set_var("REPRO_FAST", "1");
+        let p = run_panel(&MachineProfile::nacl(), 4, &[1.0]);
+        let pt = &p.points[0];
+        assert!(
+            pt.pa2 > pt.pa1 * 0.95,
+            "expected PA2 not to beat PA1 clearly at full kernel: {pt:?}"
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! The paper's Section VI-A analysis, reproduced as a table: arithmetic
+//! intensity of the generalized 5-point update, the roofline windows the
+//! paper derives from the achieved STREAM bandwidths ("we expect the
+//! effective peak performance between 14.5 to 21.9 GFLOP/s and 63.8 to
+//! 96.6 GFLOP/s"), and how the measured single-node plateaus (Figure 6)
+//! sit inside them.
+
+use machine::roofline::{stencil_intensity_range, stencil_window};
+use machine::{MachineProfile, StencilCostModel};
+use serde::Serialize;
+
+/// One machine's roofline analysis row.
+#[derive(Debug, Clone, Serialize)]
+pub struct RooflineRow {
+    /// System name.
+    pub system: String,
+    /// Achieved memory bandwidth, GB/s (STREAM COPY).
+    pub mem_bw_gb: f64,
+    /// Expected window low end, GFLOP/s (paper Section VI-A).
+    pub window_low: f64,
+    /// Expected window high end, GFLOP/s.
+    pub window_high: f64,
+    /// Single-node plateau from the calibrated kernel model, GFLOP/s.
+    pub plateau: f64,
+    /// Plateau as a fraction of the window's high end.
+    pub efficiency: f64,
+}
+
+/// Run the analysis for both paper machines.
+pub fn run() -> Vec<RooflineRow> {
+    [
+        (MachineProfile::nacl(), 20_000usize, 288usize),
+        (MachineProfile::stampede2(), 27_000, 864),
+    ]
+    .into_iter()
+    .map(|(p, n, tile)| {
+        let w = stencil_window(&p);
+        let plateau = StencilCostModel::for_profile(&p).node_gflops_single(n, tile);
+        RooflineRow {
+            system: p.name.clone(),
+            mem_bw_gb: p.mem_bw_node / 1e9,
+            window_low: w.low_gflops,
+            window_high: w.high_gflops,
+            plateau,
+            efficiency: plateau / w.high_gflops,
+        }
+    })
+    .collect()
+}
+
+/// Print the analysis.
+pub fn print(rows: &[RooflineRow]) {
+    let (lo, hi) = stencil_intensity_range();
+    println!("ROOFLINE (paper Section VI-A)");
+    println!(
+        "stencil arithmetic intensity: {lo:.3}-{hi:.4} flop/byte (9 flops, 24-16 bytes per point)"
+    );
+    println!(
+        "{:<12} {:>10} {:>22} {:>12} {:>12}",
+        "system", "BW GB/s", "expected GFLOP/s", "plateau", "of roofline"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:>10.1} {:>10.1} - {:>8.1} {:>12.1} {:>11.0}%",
+            r.system,
+            r.mem_bw_gb,
+            r.window_low,
+            r.window_high,
+            r.plateau,
+            100.0 * r.efficiency
+        );
+    }
+    println!("(the paper: \"the obtained result is acceptable ... but is still not");
+    println!(" close to the peak memory bandwidth level\" — the unoptimized kernel)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plateaus_sit_inside_the_windows() {
+        for r in run() {
+            assert!(
+                r.plateau < r.window_high,
+                "{}: plateau {} above roofline {}",
+                r.system,
+                r.plateau,
+                r.window_high
+            );
+            assert!(
+                r.efficiency > 0.3,
+                "{}: implausibly low efficiency {}",
+                r.system,
+                r.efficiency
+            );
+        }
+    }
+
+    #[test]
+    fn windows_match_paper_numbers() {
+        let rows = run();
+        assert!((rows[0].window_low - 14.5).abs() / 14.5 < 0.05);
+        assert!((rows[0].window_high - 21.9).abs() / 21.9 < 0.05);
+        assert!((rows[1].window_low - 63.8).abs() / 63.8 < 0.05);
+        assert!((rows[1].window_high - 96.6).abs() / 96.6 < 0.05);
+    }
+}

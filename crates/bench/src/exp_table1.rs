@@ -1,0 +1,96 @@
+//! Table I: STREAM benchmark results (MB/s), 1-core and 1-node.
+//!
+//! Two parts: the paper's published numbers for NaCL and Stampede2
+//! (carried in the machine profiles and echoed for reference), and a real
+//! STREAM run on this host — the measurement a user would put in their own
+//! profile via [`machine::MachineProfile::localhost`].
+
+use machine::{run_stream, MachineProfile, StreamKernel, StreamResult};
+use serde::Serialize;
+
+/// Paper's Table I, verbatim (MB/s).
+pub const PAPER_TABLE1: [(&str, &str, [f64; 4]); 4] = [
+    ("NaCL", "1-core", [9814.2, 10080.3, 10289.3, 10271.6]),
+    ("NaCL", "1-node", [40091.3, 26335.8, 28992.0, 28547.2]),
+    ("Stampede2", "1-core", [10632.6, 10772.0, 13427.1, 13440.0]),
+    ("Stampede2", "1-node", [176701.1, 178718.7, 192560.3, 193216.3]),
+];
+
+/// Results of the local STREAM measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1 {
+    /// One-core run on this host.
+    pub local_core: StreamResult,
+    /// All-cores run on this host.
+    pub local_node: StreamResult,
+    /// Host core count used for the 1-node row.
+    pub cores: usize,
+}
+
+/// Run STREAM on this host. `n` is the per-array element count; pick at
+/// least 4× the last-level cache for a true DRAM figure.
+pub fn run(n: usize, ntimes: usize) -> Table1 {
+    let cores = std::thread::available_parallelism().map_or(4, |c| c.get());
+    Table1 {
+        local_core: run_stream(1, n, ntimes),
+        local_node: run_stream(cores, n, ntimes),
+        cores,
+    }
+}
+
+/// Build a localhost machine profile from the measurement.
+pub fn localhost_profile(t: &Table1) -> MachineProfile {
+    MachineProfile::localhost(
+        t.cores as u32,
+        t.local_node.copy_bytes_per_s(),
+        t.local_core.copy_bytes_per_s(),
+    )
+}
+
+/// Print the table in the paper's layout.
+pub fn print(t: &Table1) {
+    println!("TABLE I: STREAM benchmark results (MB/s)");
+    println!(
+        "{:<12} {:<8} {:>12} {:>12} {:>12} {:>12}",
+        "System", "Scale", "COPY", "SCALE", "ADD", "TRIAD"
+    );
+    for (system, scale, vals) in PAPER_TABLE1 {
+        println!(
+            "{system:<12} {scale:<8} {:>12.1} {:>12.1} {:>12.1} {:>12.1}   (paper)",
+            vals[0], vals[1], vals[2], vals[3]
+        );
+    }
+    for (scale, r) in [("1-core", &t.local_core), ("1-node", &t.local_node)] {
+        println!(
+            "{:<12} {scale:<8} {:>12.1} {:>12.1} {:>12.1} {:>12.1}   (measured, {} threads)",
+            "Localhost",
+            r.kernel(StreamKernel::Copy),
+            r.kernel(StreamKernel::Scale),
+            r.kernel(StreamKernel::Add),
+            r.kernel(StreamKernel::Triad),
+            r.threads,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_produces_profile() {
+        let t = run(64 * 1024, 1);
+        let p = localhost_profile(&t);
+        assert!(p.mem_bw_node > 0.0);
+        assert!(p.mem_bw_core > 0.0);
+        assert_eq!(p.cores_per_node as usize, t.cores);
+    }
+
+    #[test]
+    fn paper_rows_cover_both_machines_and_scales() {
+        assert_eq!(PAPER_TABLE1.len(), 4);
+        // the profile constants agree with the table's COPY column
+        assert!((MachineProfile::nacl().mem_bw_node - 40091.3e6).abs() < 1e3);
+        assert!((MachineProfile::stampede2().mem_bw_core - 10632.6e6).abs() < 1e3);
+    }
+}

@@ -1,0 +1,40 @@
+//! Result export: every experiment binary can drop its data as JSON next
+//! to the human-readable table, for downstream plotting.
+
+use serde::Serialize;
+use std::path::Path;
+
+/// Serialize `data` as pretty JSON into `path`. Panics on I/O failure —
+/// the harness treats an unwritable results directory as fatal.
+pub fn write_json<T: Serialize>(path: impl AsRef<Path>, data: &T) {
+    let path = path.as_ref();
+    let json = serde_json::to_string_pretty(data).expect("experiment data serializes");
+    std::fs::write(path, json)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+}
+
+/// Standard location for a figure's JSON dump: `<name>.json` in the
+/// current directory (the harness is run from `results/`).
+pub fn json_path(name: &str) -> String {
+    format!("{name}.json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_valid_json() {
+        let dir = std::env::temp_dir().join("bench_report_test.json");
+        write_json(&dir, &vec![1, 2, 3]);
+        let back: Vec<i32> =
+            serde_json::from_str(&std::fs::read_to_string(&dir).unwrap()).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn json_path_format() {
+        assert_eq!(json_path("fig7"), "fig7.json");
+    }
+}

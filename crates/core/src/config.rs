@@ -1,0 +1,112 @@
+//! Run configuration shared by the base and CA builders.
+
+use crate::geometry::StencilGeometry;
+use crate::problem::Problem;
+use crate::store::TileStore;
+use machine::MachineProfile;
+use netsim::ProcessGrid;
+use runtime::Program;
+use std::sync::Arc;
+
+/// Everything needed to instantiate one stencil run.
+#[derive(Debug, Clone)]
+pub struct StencilConfig {
+    /// The PDE instance (grid size, weights, initial and boundary values).
+    pub problem: Problem,
+    /// Tile edge length.
+    pub tile: usize,
+    /// Jacobi iterations to run.
+    pub iterations: u32,
+    /// Node grid.
+    pub grid: ProcessGrid,
+    /// CA step size `s` (ignored by the base scheme).
+    pub steps: usize,
+    /// The paper's kernel adjustment ratio (Figures 8–9): service times
+    /// scale with `ratio²`; numerics are unaffected.
+    pub ratio: f64,
+    /// Machine whose cost model prices the tasks.
+    pub profile: MachineProfile,
+}
+
+impl StencilConfig {
+    /// A configuration with the paper's defaults (`ratio = 1`, `s = 15` as
+    /// in Figures 7–8).
+    pub fn new(problem: Problem, tile: usize, iterations: u32, grid: ProcessGrid) -> Self {
+        StencilConfig {
+            problem,
+            tile,
+            iterations,
+            grid,
+            steps: 15,
+            ratio: 1.0,
+            profile: MachineProfile::nacl(),
+        }
+    }
+
+    /// Override the CA step size.
+    pub fn with_steps(mut self, steps: usize) -> Self {
+        assert!(steps >= 1, "step size must be at least 1");
+        self.steps = steps;
+        self
+    }
+
+    /// Override the kernel adjustment ratio.
+    pub fn with_ratio(mut self, ratio: f64) -> Self {
+        self.ratio = ratio;
+        self
+    }
+
+    /// Override the machine profile.
+    pub fn with_profile(mut self, profile: MachineProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// The tiling implied by this configuration.
+    pub fn geometry(&self) -> StencilGeometry {
+        StencilGeometry::new(self.problem.n, self.tile, self.grid)
+    }
+
+    /// Nominal flops of the whole run as the paper counts them:
+    /// `iterations × 9 n²` (redundant CA work excluded, like the paper's
+    /// GFLOP/s figures which divide the same nominal work by time).
+    pub fn nominal_flops(&self) -> f64 {
+        self.iterations as f64 * 9.0 * (self.problem.n as f64) * (self.problem.n as f64)
+    }
+
+    /// GFLOP/s for a run of this configuration that took `seconds`.
+    pub fn gflops(&self, seconds: f64) -> f64 {
+        self.nominal_flops() / seconds / 1e9
+    }
+}
+
+/// A built stencil program: the dataflow plus (optionally) the real tile
+/// data it operates on.
+pub struct StencilBuild {
+    /// The runnable dataflow program.
+    pub program: Program,
+    /// The tile store, when the build carries real data (`None` for
+    /// performance-only simulation).
+    pub store: Option<Arc<TileStore>>,
+    /// The tiling.
+    pub geo: StencilGeometry,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_flops_match_paper_formula() {
+        let cfg = StencilConfig::new(Problem::laplace(100), 10, 7, ProcessGrid::new(1, 1));
+        assert_eq!(cfg.nominal_flops(), 7.0 * 9.0 * 100.0 * 100.0);
+        assert!((cfg.gflops(1.0) - 63e4 / 1e9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_steps_rejected() {
+        let _ = StencilConfig::new(Problem::laplace(8), 4, 1, ProcessGrid::new(1, 1))
+            .with_steps(0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Flow and slot conventions shared by the base and CA task classes.
+//!
+//! Every stencil task `(tx, ty, t)` has up to nine input slots:
+//!
+//! | slot | content |
+//! |------|---------|
+//! | 0    | self-flow from `(tx, ty, t-1)` (serializes the tile, carries no data) |
+//! | 1–4  | edge strips from the North/South/West/East neighbours |
+//! | 5–8  | corner blocks from the NW/NE/SW/SE diagonal neighbours (CA only) |
+
+use crate::geometry::{Corner, Side};
+
+/// Input slot of the self-flow.
+pub const SLOT_SELF: usize = 0;
+
+/// Trace kind of interior-tile tasks.
+pub const KIND_INTERIOR: u32 = 0;
+/// Trace kind of node-boundary-tile tasks (the tiles that talk to remote
+/// nodes — the distinction the paper's Figure 10 plots).
+pub const KIND_BOUNDARY: u32 = 1;
+/// Trace kind of the iterate-0 emission tasks.
+pub const KIND_INIT: u32 = 2;
+
+/// Input slot receiving the strip that fills the ghost region on `side`.
+pub fn slot_of_side(side: Side) -> usize {
+    1 + side as usize
+}
+
+/// Input slot receiving the block that fills the ghost corner at `corner`.
+pub fn slot_of_corner(corner: Corner) -> usize {
+    5 + corner as usize
+}
+
+/// Input slots of a base-scheme task (self + 4 strips).
+pub const NUM_SLOTS_BASE: usize = 5;
+/// Input slots of a CA-scheme task (self + 4 strips + 4 corners).
+pub const NUM_SLOTS_CA: usize = 9;
+
+/// One output flow of a stencil task, in geometric terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutFlow {
+    /// The self-flow to the same tile's next-iteration task.
+    SelfFlow,
+    /// An edge strip of the given depth towards `side`.
+    Strip {
+        /// Which of this tile's edges the strip is read from.
+        side: Side,
+        /// Strip depth in rows/columns.
+        depth: usize,
+    },
+    /// A corner block of the given depth towards `corner`.
+    Block {
+        /// Which of this tile's corners the block is read from.
+        corner: Corner,
+        /// Block edge length.
+        depth: usize,
+    },
+}
+
+impl OutFlow {
+    /// Wire size of this flow for a `tile × tile` tile, in bytes.
+    pub fn bytes(&self, tile: usize) -> usize {
+        match *self {
+            OutFlow::SelfFlow => 0,
+            OutFlow::Strip { depth, .. } => depth * tile * 8,
+            OutFlow::Block { depth, .. } => depth * depth * 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_disjoint_and_dense() {
+        let mut slots = vec![SLOT_SELF];
+        slots.extend(Side::ALL.iter().map(|&s| slot_of_side(s)));
+        slots.extend(Corner::ALL.iter().map(|&c| slot_of_corner(c)));
+        slots.sort_unstable();
+        assert_eq!(slots, (0..NUM_SLOTS_CA).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flow_sizes() {
+        assert_eq!(OutFlow::SelfFlow.bytes(288), 0);
+        assert_eq!(
+            OutFlow::Strip {
+                side: Side::North,
+                depth: 1
+            }
+            .bytes(288),
+            288 * 8
+        );
+        assert_eq!(
+            OutFlow::Strip {
+                side: Side::East,
+                depth: 15
+            }
+            .bytes(288),
+            15 * 288 * 8
+        );
+        assert_eq!(
+            OutFlow::Block {
+                corner: Corner::Nw,
+                depth: 15
+            }
+            .bytes(288),
+            15 * 15 * 8
+        );
+    }
+}

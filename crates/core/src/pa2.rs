@@ -1,0 +1,435 @@
+//! PA2 — the second communication-avoiding algorithm of Demmel et al.,
+//! which the paper describes but does not implement ("PA1 is the naive
+//! version while PA2 will minimize the redundant work but might limit the
+//! amount of overlap between computation and communication"; "Our
+//! implementation follows the PA1 algorithm").
+//!
+//! This module models PA2 as a *performance skeleton* so the PA1-vs-PA2
+//! trade-off can be measured on the simulated clusters:
+//!
+//! * remote message cadence and sizes are **identical** to PA1 (one
+//!   `s`-deep surface bundle per remote side pair plus corner blocks per
+//!   cycle — in PA2 the bundle carries the neighbour's *computed* edge
+//!   layers of the cycle's iterates instead of raw ghost data);
+//! * **no redundant flops**: boundary tiles defer the edge bands that
+//!   depend on not-yet-received remote surfaces (the band grows one cell
+//!   per phase) and recompute nothing;
+//! * the deferred work lands as a **catch-up bulge** in the exchange-phase
+//!   task, serialized behind the message — exactly the reduced overlap the
+//!   paper warns about;
+//! * local-facing sides still exchange one-layer strips every iteration,
+//!   so only remote sides participate in deferral.
+//!
+//! The skeleton carries no payloads (building with `carry_data` is
+//! rejected): PA2's deferred-band numerics would require per-iterate ghost
+//! history, which the paper's argument does not need.
+
+use crate::config::{StencilBuild, StencilConfig};
+use crate::flows::{
+    slot_of_corner, slot_of_side, OutFlow, KIND_BOUNDARY, KIND_INIT, KIND_INTERIOR, NUM_SLOTS_CA,
+    SLOT_SELF,
+};
+use crate::geometry::{Corner, Side, StencilGeometry};
+use machine::StencilCostModel;
+use netsim::NodeId;
+use runtime::{FlowData, OutputDep, Params, Program, TaskClass, TaskGraph, TaskKey};
+use std::sync::Arc;
+
+const CLASS: u16 = 0;
+
+/// Task class of the PA2 skeleton.
+pub struct Pa2Stencil {
+    geo: StencilGeometry,
+    model: StencilCostModel,
+    iterations: u32,
+    steps: usize,
+    ratio: f64,
+}
+
+impl Pa2Stencil {
+    fn decode(p: Params) -> (usize, usize, u32) {
+        (p[0] as usize, p[1] as usize, p[2] as u32)
+    }
+
+    fn key(tx: usize, ty: usize, t: u32) -> TaskKey {
+        TaskKey::new(CLASS, [tx as i32, ty as i32, t as i32, 0])
+    }
+
+    fn is_remote(&self, tx: usize, ty: usize, nx: usize, ny: usize) -> bool {
+        self.geo.node_of_tile(tx, ty) != self.geo.node_of_tile(nx, ny)
+    }
+
+    fn is_boundary(&self, tx: usize, ty: usize) -> bool {
+        self.geo.is_node_boundary(tx, ty)
+    }
+
+    fn phase(&self, t: u32) -> usize {
+        (t as usize - 1) % self.steps
+    }
+
+    fn feeds_exchange(&self, t: u32) -> bool {
+        t as usize % self.steps == 0
+    }
+
+    /// Cells of tile `(tx, ty)` deferred at phase `k`: the bands of width
+    /// `k` along each remote side (clipped union over the rectangle).
+    fn deferred_cells(&self, tx: usize, ty: usize, k: usize) -> usize {
+        let tile = self.geo.tile;
+        let band = |side| {
+            self.geo
+                .neighbor(tx, ty, side)
+                .is_some_and(|(nx, ny)| self.is_remote(tx, ty, nx, ny))
+                .then_some(k)
+                .unwrap_or(0)
+        };
+        let w = band(Side::West);
+        let e = band(Side::East);
+        let n = band(Side::North);
+        let s = band(Side::South);
+        let inner_w = tile.saturating_sub(w + e);
+        let inner_h = tile.saturating_sub(n + s);
+        tile * tile - inner_w * inner_h
+    }
+
+    fn local_side_neighbors(&self, tx: usize, ty: usize) -> usize {
+        Side::ALL
+            .iter()
+            .filter(|&&s| {
+                self.geo
+                    .neighbor(tx, ty, s)
+                    .is_some_and(|(nx, ny)| !self.is_remote(tx, ty, nx, ny))
+            })
+            .count()
+    }
+
+    fn remote_side_neighbors(&self, tx: usize, ty: usize) -> usize {
+        Side::ALL
+            .iter()
+            .filter(|&&s| {
+                self.geo
+                    .neighbor(tx, ty, s)
+                    .is_some_and(|(nx, ny)| self.is_remote(tx, ty, nx, ny))
+            })
+            .count()
+    }
+
+    fn remote_diag_neighbors(&self, tx: usize, ty: usize) -> usize {
+        Corner::ALL
+            .iter()
+            .filter(|&&c| {
+                self.geo
+                    .diagonal(tx, ty, c)
+                    .is_some_and(|(nx, ny)| self.is_remote(tx, ty, nx, ny))
+            })
+            .count()
+    }
+
+    fn enumerate_out(&self, p: Params) -> Vec<(OutFlow, TaskKey, usize)> {
+        let (tx, ty, t) = Self::decode(p);
+        if t >= self.iterations {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(9);
+        out.push((OutFlow::SelfFlow, Self::key(tx, ty, t + 1), SLOT_SELF));
+        let deep = self.feeds_exchange(t);
+        for side in Side::ALL {
+            if let Some((nx, ny)) = self.geo.neighbor(tx, ty, side) {
+                if self.is_remote(tx, ty, nx, ny) {
+                    if deep {
+                        out.push((
+                            OutFlow::Strip {
+                                side,
+                                depth: self.steps,
+                            },
+                            Self::key(nx, ny, t + 1),
+                            slot_of_side(side.opposite()),
+                        ));
+                    }
+                } else {
+                    out.push((
+                        OutFlow::Strip { side, depth: 1 },
+                        Self::key(nx, ny, t + 1),
+                        slot_of_side(side.opposite()),
+                    ));
+                }
+            }
+        }
+        if deep {
+            for corner in Corner::ALL {
+                if let Some((dx, dy)) = self.geo.diagonal(tx, ty, corner) {
+                    if self.is_remote(tx, ty, dx, dy) {
+                        debug_assert!(
+                            self.is_boundary(dx, dy),
+                            "remote diagonal of a block distribution must be a boundary tile"
+                        );
+                        out.push((
+                            OutFlow::Block {
+                                corner,
+                                depth: self.steps,
+                            },
+                            Self::key(dx, dy, t + 1),
+                            slot_of_corner(corner.opposite()),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl TaskClass for Pa2Stencil {
+    fn name(&self) -> &str {
+        "pa2-stencil"
+    }
+
+    fn node_of(&self, p: Params) -> NodeId {
+        let (tx, ty, _) = Self::decode(p);
+        self.geo.node_of_tile(tx, ty)
+    }
+
+    fn activation_count(&self, p: Params) -> usize {
+        let (tx, ty, t) = Self::decode(p);
+        if t == 0 {
+            return 0;
+        }
+        if !self.is_boundary(tx, ty) {
+            return 1 + self.geo.num_side_neighbors(tx, ty);
+        }
+        let locals = self.local_side_neighbors(tx, ty);
+        if self.phase(t) == 0 {
+            1 + locals + self.remote_side_neighbors(tx, ty) + self.remote_diag_neighbors(tx, ty)
+        } else {
+            1 + locals
+        }
+    }
+
+    fn num_input_slots(&self, _p: Params) -> usize {
+        NUM_SLOTS_CA
+    }
+
+    fn num_output_flows(&self, p: Params) -> usize {
+        self.enumerate_out(p).len()
+    }
+
+    fn outputs(&self, p: Params) -> Vec<OutputDep> {
+        self.enumerate_out(p)
+            .into_iter()
+            .enumerate()
+            .map(|(flow, (_, consumer, slot))| OutputDep {
+                flow,
+                consumer,
+                slot,
+            })
+            .collect()
+    }
+
+    fn execute(&self, p: Params, _inputs: &mut [Option<FlowData>]) -> Vec<FlowData> {
+        // performance skeleton: sized flows only (see module docs)
+        let tile = self.geo.tile;
+        self.enumerate_out(p)
+            .into_iter()
+            .map(|(of, _, _)| FlowData::sized(of.bytes(tile)))
+            .collect()
+    }
+
+    fn output_bytes(&self, p: Params, flow: usize) -> usize {
+        self.enumerate_out(p)[flow].0.bytes(self.geo.tile)
+    }
+
+    fn cost(&self, p: Params) -> f64 {
+        let (tx, ty, t) = Self::decode(p);
+        let tile = self.geo.tile;
+        if t == 0 {
+            let cells: usize = self
+                .enumerate_out(p)
+                .iter()
+                .map(|(of, _, _)| of.bytes(tile) / 8)
+                .sum();
+            return self.model.ghost_copy_time(cells);
+        }
+        let full = self.model.task_time(tile, tile, self.ratio);
+        if !self.is_boundary(tx, ty) {
+            return full;
+        }
+        let k = self.phase(t);
+        let r2 = self.ratio * self.ratio;
+        if k == 0 {
+            // exchange phase: this iteration's full tile, plus the
+            // catch-up of every band deferred in the previous cycle
+            // (phases 1..s-1), serialized behind the surface message.
+            let catchup: usize = (1..self.steps)
+                .map(|kk| self.deferred_cells(tx, ty, kk))
+                .sum();
+            full + self.model.region_time(catchup as f64 * r2, tile, tile)
+        } else {
+            // quiet phase: the deferred band is *not* computed now
+            let deferred = self.deferred_cells(tx, ty, k);
+            let done = (tile * tile - deferred) as f64;
+            self.model.task_overhead + self.model.region_time(done * r2, tile, tile)
+        }
+    }
+
+    fn priority(&self, p: Params) -> i32 {
+        // boundary tiles first: their strips reach the comm thread early
+        let (tx, ty, _) = Self::decode(p);
+        i32::from(self.is_boundary(tx, ty))
+    }
+
+    fn kind(&self, p: Params) -> u32 {
+        let (tx, ty, t) = Self::decode(p);
+        if t == 0 {
+            KIND_INIT
+        } else if self.is_boundary(tx, ty) {
+            KIND_BOUNDARY
+        } else {
+            KIND_INTERIOR
+        }
+    }
+}
+
+/// Build the PA2 performance skeleton. `carry_data` must be false.
+pub fn build_pa2(cfg: &StencilConfig, carry_data: bool) -> StencilBuild {
+    assert!(
+        !carry_data,
+        "PA2 is a performance skeleton; it cannot carry data (see module docs)"
+    );
+    assert!(
+        cfg.steps >= 1 && cfg.steps <= cfg.tile / 2,
+        "PA2 step size {} must be in [1, tile/2 = {}] (deferred bands meet otherwise)",
+        cfg.steps,
+        cfg.tile / 2
+    );
+    let geo = cfg.geometry();
+    let mut model = StencilCostModel::for_profile(&cfg.profile);
+    if cfg.problem.op.is_variable() {
+        model = model.with_variable_coefficients();
+    }
+    let class = Pa2Stencil {
+        geo: geo.clone(),
+        model,
+        iterations: cfg.iterations,
+        steps: cfg.steps,
+        ratio: cfg.ratio,
+    };
+    let mut graph = TaskGraph::new();
+    let id = graph.add_class(Arc::new(class));
+    assert_eq!(id, CLASS, "PA2 program must have exactly one class");
+    let roots = (0..geo.tiles_y)
+        .flat_map(|ty| (0..geo.tiles_x).map(move |tx| Pa2Stencil::key(tx, ty, 0)))
+        .collect();
+    let total_tasks = geo.num_tiles() as u64 * (cfg.iterations as u64 + 1);
+    StencilBuild {
+        program: Program {
+            graph: Arc::new(graph),
+            roots,
+            total_tasks,
+        },
+        store: None,
+        geo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::build_ca;
+    use crate::problem::Problem;
+    use machine::MachineProfile;
+    use netsim::ProcessGrid;
+    use runtime::{assert_valid, run_simulated, SimConfig};
+
+    fn cfg(n: usize, tile: usize, iters: u32, steps: usize) -> StencilConfig {
+        StencilConfig::new(
+            Problem::laplace(n),
+            tile,
+            iters,
+            ProcessGrid::new(2, 2),
+        )
+        .with_steps(steps)
+    }
+
+    #[test]
+    fn graphs_validate_across_step_sizes() {
+        for steps in [1usize, 2, 3] {
+            let c = cfg(48, 8, 7, steps);
+            assert_valid(&build_pa2(&c, false).program);
+        }
+    }
+
+    #[test]
+    fn remote_traffic_identical_to_pa1() {
+        let c = cfg(64, 8, 12, 4);
+        let pa1 = run_simulated(
+            &build_ca(&c, false).program,
+            SimConfig::new(MachineProfile::nacl(), 4),
+        );
+        let pa2 = run_simulated(
+            &build_pa2(&c, false).program,
+            SimConfig::new(MachineProfile::nacl(), 4),
+        );
+        assert_eq!(pa1.remote_messages, pa2.remote_messages);
+        assert_eq!(pa1.remote_bytes, pa2.remote_bytes);
+    }
+
+    #[test]
+    fn pa2_does_less_total_work_than_pa1() {
+        // total busy time = Σ occupancy × lanes × makespan per node
+        let c = cfg(64, 8, 12, 4);
+        let lanes = MachineProfile::nacl().compute_threads() as f64;
+        let work = |r: &runtime::SimRunReport| -> f64 {
+            r.node_occupancy
+                .iter()
+                .map(|o| o * lanes * r.makespan)
+                .sum()
+        };
+        let pa1 = run_simulated(
+            &build_ca(&c, false).program,
+            SimConfig::new(MachineProfile::nacl(), 4),
+        );
+        let pa2 = run_simulated(
+            &build_pa2(&c, false).program,
+            SimConfig::new(MachineProfile::nacl(), 4),
+        );
+        assert!(
+            work(&pa2) < work(&pa1),
+            "PA2 work {} vs PA1 {}",
+            work(&pa2),
+            work(&pa1)
+        );
+    }
+
+    #[test]
+    fn deferred_band_geometry() {
+        let c = cfg(64, 8, 2, 4);
+        let geo = c.geometry();
+        let class = Pa2Stencil {
+            geo: geo.clone(),
+            model: StencilCostModel::for_profile(&MachineProfile::nacl()),
+            iterations: 2,
+            steps: 4,
+            ratio: 1.0,
+        };
+        // tile (3,1): east side remote only => band = k * tile
+        assert_eq!(class.deferred_cells(3, 1, 0), 0);
+        assert_eq!(class.deferred_cells(3, 1, 2), 2 * 8);
+        // tile (3,3): east and south remote => L-shaped band
+        assert_eq!(class.deferred_cells(3, 3, 2), 64 - 6 * 6);
+        // interior tile: nothing deferred
+        assert_eq!(class.deferred_cells(1, 1, 3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "performance skeleton")]
+    fn carrying_data_rejected() {
+        let c = cfg(48, 8, 2, 2);
+        let _ = build_pa2(&c, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile/2")]
+    fn oversized_steps_rejected() {
+        let c = cfg(48, 8, 2, 5);
+        let _ = build_pa2(&c, false);
+    }
+}

@@ -1,0 +1,213 @@
+//! Problem specification: the PDE instance behind the stencil sweep.
+//!
+//! The paper solves Laplace's equation by Jacobi iteration on an `n × n`
+//! grid. A [`Problem`] supplies the initial interior values and the static
+//! Dirichlet boundary ring around the domain; the generalized weights make
+//! every implementation perform the paper's 9 flops per point.
+
+use crate::tile::Weights;
+use std::sync::Arc;
+
+/// Global-coordinate value function: `(row, col) -> value`.
+pub type ValueFn = Arc<dyn Fn(i64, i64) -> f64 + Send + Sync>;
+
+/// Per-point weight function for variable-coefficient stencils.
+pub type CoefFn = Arc<dyn Fn(i64, i64) -> Weights + Send + Sync>;
+
+/// The stencil operator: the paper's background (Section III-A)
+/// distinguishes constant-coefficient stencils ("the same across the
+/// entire grid") from variable-coefficient ones ("differ at each grid
+/// point"); both perform the same 9 flops per point.
+#[derive(Clone)]
+pub enum Operator {
+    /// One weight set for the whole grid.
+    Constant(Weights),
+    /// Weights that vary per grid point.
+    Variable(CoefFn),
+}
+
+impl Operator {
+    /// The weights at a global grid point.
+    pub fn weights_at(&self, r: i64, c: i64) -> Weights {
+        match self {
+            Operator::Constant(w) => *w,
+            Operator::Variable(f) => f(r, c),
+        }
+    }
+
+    /// The constant weights; panics for a variable-coefficient operator
+    /// (callers that require constancy, e.g. hand-written cost formulas,
+    /// should check [`Operator::is_variable`] first).
+    pub fn constant(&self) -> Weights {
+        match self {
+            Operator::Constant(w) => *w,
+            Operator::Variable(_) => panic!("operator has variable coefficients"),
+        }
+    }
+
+    /// True for variable-coefficient operators.
+    pub fn is_variable(&self) -> bool {
+        matches!(self, Operator::Variable(_))
+    }
+}
+
+impl std::fmt::Debug for Operator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operator::Constant(w) => write!(f, "Constant({w:?})"),
+            Operator::Variable(_) => write!(f, "Variable(..)"),
+        }
+    }
+}
+
+/// One PDE instance.
+#[derive(Clone)]
+pub struct Problem {
+    /// Grid dimension (the domain is `[0, n) × [0, n)`).
+    pub n: usize,
+    /// The stencil operator.
+    pub op: Operator,
+    /// Initial interior values (iterate 0).
+    pub init: ValueFn,
+    /// Static boundary values for every cell outside the domain.
+    pub bc: ValueFn,
+}
+
+impl Problem {
+    /// Laplace's equation with a linear Dirichlet boundary (`g = r + 2c`,
+    /// scaled into O(1)) and a zero initial guess — the canonical Jacobi
+    /// test case: the iteration converges towards the same linear function,
+    /// which is harmonic.
+    pub fn laplace(n: usize) -> Self {
+        let scale = 1.0 / n as f64;
+        Problem {
+            n,
+            op: Operator::Constant(Weights::laplace_jacobi()),
+            init: Arc::new(|_, _| 0.0),
+            bc: Arc::new(move |r, c| (r as f64 + 2.0 * c as f64) * scale),
+        }
+    }
+
+    /// A deterministic pseudo-random initial field with asymmetric weights;
+    /// used by correctness tests so that any orientation or scheduling
+    /// mistake changes the answer.
+    pub fn scrambled(n: usize, seed: u64) -> Self {
+        let init = move |r: i64, c: i64| hash_unit(seed, r, c);
+        let bc = move |r: i64, c: i64| hash_unit(seed ^ 0xb0a7, r, c) - 0.5;
+        Problem {
+            n,
+            op: Operator::Constant(Weights::skewed()),
+            init: Arc::new(init),
+            bc: Arc::new(bc),
+        }
+    }
+
+    /// A steady-state check case: initial values already equal to the
+    /// boundary extension of a harmonic (linear) function, so the Laplace
+    /// Jacobi sweep is a fixed point.
+    pub fn harmonic_fixed_point(n: usize) -> Self {
+        let f = move |r: i64, c: i64| 0.5 * r as f64 - 0.25 * c as f64 + 3.0;
+        Problem {
+            n,
+            op: Operator::Constant(Weights::laplace_jacobi()),
+            init: Arc::new(f),
+            bc: Arc::new(f),
+        }
+    }
+
+    /// A variable-coefficient diffusion problem: smoothly varying,
+    /// diagonally-dominant per-point weights (a heterogeneous-medium
+    /// diffusion operator). The weights sum to at most 1 everywhere, so
+    /// the sweep is a contraction.
+    pub fn variable_diffusion(n: usize, seed: u64) -> Self {
+        let coef = move |r: i64, c: i64| {
+            // smooth positive fields in (0.1, 0.3) for each direction
+            let f = |phase: f64| {
+                0.2 + 0.1
+                    * ((r as f64 * 0.37 + c as f64 * 0.23 + phase + seed as f64).sin() * 0.5)
+            };
+            let (wn, ws, ww, we) = (f(0.0), f(1.3), f(2.6), f(3.9));
+            Weights {
+                center: 1.0 - (wn + ws + ww + we),
+                north: wn,
+                south: ws,
+                west: ww,
+                east: we,
+            }
+        };
+        let init = move |r: i64, c: i64| hash_unit(seed ^ 0x51ab, r, c);
+        Problem {
+            n,
+            op: Operator::Variable(Arc::new(coef)),
+            init: Arc::new(init),
+            bc: Arc::new(|_, _| 0.0),
+        }
+    }
+
+    /// The value of the initial global field at `(r, c)`: `init` inside the
+    /// domain, `bc` outside.
+    pub fn value_at(&self, r: i64, c: i64) -> f64 {
+        let n = self.n as i64;
+        if r >= 0 && c >= 0 && r < n && c < n {
+            (self.init)(r, c)
+        } else {
+            (self.bc)(r, c)
+        }
+    }
+}
+
+impl std::fmt::Debug for Problem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Problem")
+            .field("n", &self.n)
+            .field("op", &self.op)
+            .finish_non_exhaustive()
+    }
+}
+
+/// SplitMix64-style hash of `(seed, r, c)` mapped into `[0, 1)`.
+/// Deterministic across platforms so tests are reproducible.
+fn hash_unit(seed: u64, r: i64, c: i64) -> f64 {
+    let mut z = seed
+        .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(r as u64 ^ 0x5851f42d4c957f2d))
+        .wrapping_add((c as u64).wrapping_mul(0x14057b7ef767814f));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_at_dispatches_between_init_and_bc() {
+        let p = Problem::laplace(8);
+        assert_eq!(p.value_at(3, 3), 0.0);
+        let scale = 1.0 / 8.0;
+        assert!((p.value_at(-1, 2) - (-1.0 + 4.0) * scale).abs() < 1e-15);
+        assert!((p.value_at(8, 0) - 8.0 * scale).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scrambled_is_deterministic_and_varied() {
+        let p = Problem::scrambled(8, 42);
+        let a = p.value_at(1, 2);
+        let b = p.value_at(1, 2);
+        assert_eq!(a, b);
+        assert_ne!(p.value_at(1, 2), p.value_at(2, 1));
+        let q = Problem::scrambled(8, 43);
+        assert_ne!(p.value_at(1, 2), q.value_at(1, 2));
+    }
+
+    #[test]
+    fn hash_unit_in_range() {
+        for r in -5..5 {
+            for c in -5..5 {
+                let v = hash_unit(7, r, c);
+                assert!((0.0..1.0).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Sequential ground truth: the whole-grid Jacobi iteration with no tiling,
+//! no tasks and no communication. Both distributed schemes must reproduce
+//! it bit for bit (the update expression is evaluated in the same order
+//! everywhere, so even floating-point rounding agrees).
+
+use crate::problem::Problem;
+
+/// Run `iterations` Jacobi sweeps of `problem` and return the final
+/// interior, row-major `n × n`.
+pub fn jacobi_reference(problem: &Problem, iterations: u32) -> Vec<f64> {
+    let n = problem.n;
+    let stride = n + 2;
+    let mut cur = vec![0.0; stride * stride];
+    let mut next = vec![0.0; stride * stride];
+    // Fill the frame (static) and the interior (iterate 0).
+    for r in -1..=n as i64 {
+        for c in -1..=n as i64 {
+            let v = problem.value_at(r, c);
+            let i = (r + 1) as usize * stride + (c + 1) as usize;
+            cur[i] = v;
+            next[i] = v; // frame cells must survive swaps
+        }
+    }
+    for _ in 0..iterations {
+        for r in 1..=n {
+            for c in 1..=n {
+                let i = r * stride + c;
+                let w = problem.op.weights_at(r as i64 - 1, c as i64 - 1);
+                next[i] = w.center * cur[i]
+                    + w.north * cur[i - stride]
+                    + w.south * cur[i + stride]
+                    + w.west * cur[i - 1]
+                    + w.east * cur[i + 1];
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    let mut out = Vec::with_capacity(n * n);
+    for r in 1..=n {
+        out.extend_from_slice(&cur[r * stride + 1..r * stride + 1 + n]);
+    }
+    out
+}
+
+/// Maximum absolute difference between two fields; panics on length
+/// mismatch.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "field size mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// The residual `max |x - reference|` of Laplace's-equation convergence:
+/// distance of the field from the harmonic boundary extension. Used by
+/// examples to show the solver actually converges.
+pub fn laplace_residual(problem: &Problem, field: &[f64]) -> f64 {
+    let n = problem.n;
+    assert_eq!(field.len(), n * n, "field size mismatch");
+    let mut worst = 0.0f64;
+    for r in 0..n {
+        for c in 0..n {
+            let exact = (problem.bc)(r as i64, c as i64);
+            worst = worst.max((field[r * n + c] - exact).abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_iterations_returns_initial_field() {
+        let p = Problem::scrambled(6, 5);
+        let f = jacobi_reference(&p, 0);
+        for r in 0..6 {
+            for c in 0..6 {
+                assert_eq!(f[r * 6 + c], p.value_at(r as i64, c as i64));
+            }
+        }
+    }
+
+    #[test]
+    fn harmonic_function_is_a_fixed_point() {
+        let p = Problem::harmonic_fixed_point(8);
+        let f0 = jacobi_reference(&p, 0);
+        let f50 = jacobi_reference(&p, 50);
+        assert!(max_abs_diff(&f0, &f50) < 1e-12);
+    }
+
+    #[test]
+    fn laplace_jacobi_converges_towards_boundary_extension() {
+        let p = Problem::laplace(16);
+        let early = jacobi_reference(&p, 5);
+        let late = jacobi_reference(&p, 500);
+        assert!(laplace_residual(&p, &late) < laplace_residual(&p, &early));
+        assert!(laplace_residual(&p, &late) < 0.05);
+    }
+
+    #[test]
+    fn one_step_hand_check() {
+        // 2×2 grid, scrambled; verify one point by hand.
+        let p = Problem::scrambled(2, 11);
+        let f = jacobi_reference(&p, 1);
+        let w = p.op.constant();
+        let expected = w.center * p.value_at(0, 0)
+            + w.north * p.value_at(-1, 0)
+            + w.south * p.value_at(1, 0)
+            + w.west * p.value_at(0, -1)
+            + w.east * p.value_at(0, 1);
+        assert!((f[0] - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn diff_requires_equal_lengths() {
+        max_abs_diff(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests on the tile layer: ghost-transfer round trips, kernel
+//! linearity, and the equivalence of constant- and variable-coefficient
+//! kernels when the coefficient function is constant.
+
+use ca_stencil::{Corner, Extents, Side, TileBuf, Weights};
+use proptest::prelude::*;
+
+fn weights() -> impl Strategy<Value = Weights> {
+    (
+        -1.0f64..1.0,
+        -1.0f64..1.0,
+        -1.0f64..1.0,
+        -1.0f64..1.0,
+        -1.0f64..1.0,
+    )
+        .prop_map(|(c, n, s, w, e)| Weights {
+            center: c,
+            north: n,
+            south: s,
+            west: w,
+            east: e,
+        })
+}
+
+fn filled_tile(tile: usize, ghost: usize, seed: u64) -> TileBuf {
+    let mut b = TileBuf::new(tile, ghost);
+    b.fill_both(|r, c| {
+        let x = seed
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add((r * 1031 + c) as u64);
+        (x % 1000) as f64 / 1000.0 - 0.5
+    });
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A strip sent to a neighbour and read back is the identity: the
+    /// neighbour's ghost matches the producer's edge cell for cell.
+    #[test]
+    fn strip_transfer_preserves_values(
+        tile in 2usize..10,
+        depth in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let depth = depth.min(tile);
+        let src = filled_tile(tile, depth, seed);
+        for side in Side::ALL {
+            let mut dst = TileBuf::new(tile, depth);
+            let strip = src.extract_strip(side.opposite(), depth);
+            prop_assert_eq!(strip.len(), depth * tile);
+            dst.write_strip(side, depth, &strip);
+            // spot-check the full ghost region on that side
+            let t = tile as i64;
+            let d = depth as i64;
+            let (rows, cols): (Vec<i64>, Vec<i64>) = match side {
+                Side::North => ((-d..0).collect(), (0..t).collect()),
+                Side::South => ((t..t + d).collect(), (0..t).collect()),
+                Side::West => ((0..t).collect(), (-d..0).collect()),
+                Side::East => ((0..t).collect(), (t..t + d).collect()),
+            };
+            let mut it = strip.iter();
+            for &r in &rows {
+                for &c in &cols {
+                    prop_assert_eq!(dst.get(r, c), *it.next().unwrap());
+                }
+            }
+        }
+    }
+
+    /// Corner blocks round-trip likewise.
+    #[test]
+    fn corner_transfer_preserves_values(
+        tile in 2usize..10,
+        depth in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let depth = depth.min(tile);
+        let src = filled_tile(tile, depth, seed);
+        for corner in Corner::ALL {
+            let mut dst = TileBuf::new(tile, depth);
+            let block = src.extract_corner(corner.opposite(), depth);
+            prop_assert_eq!(block.len(), depth * depth);
+            dst.write_corner(corner, depth, &block);
+            let t = tile as i64;
+            let d = depth as i64;
+            let (rows, cols): (Vec<i64>, Vec<i64>) = match corner {
+                Corner::Nw => ((-d..0).collect(), (-d..0).collect()),
+                Corner::Ne => ((-d..0).collect(), (t..t + d).collect()),
+                Corner::Sw => ((t..t + d).collect(), (-d..0).collect()),
+                Corner::Se => ((t..t + d).collect(), (t..t + d).collect()),
+            };
+            let mut it = block.iter();
+            for &r in &rows {
+                for &c in &cols {
+                    prop_assert_eq!(dst.get(r, c), *it.next().unwrap());
+                }
+            }
+        }
+    }
+
+    /// The Jacobi step is linear: stepping `a·X + b·Y` equals
+    /// `a·step(X) + b·step(Y)` (all ghosts included, to rounding).
+    #[test]
+    fn jacobi_step_is_linear(
+        tile in 2usize..8,
+        w in weights(),
+        a in -2.0f64..2.0,
+        b in -2.0f64..2.0,
+        seed in 0u64..1000,
+    ) {
+        let x = filled_tile(tile, 1, seed);
+        let y = filled_tile(tile, 1, seed ^ 0xdead);
+        let mut combo = TileBuf::new(tile, 1);
+        let t = tile as i64;
+        for r in -1..=t {
+            for c in -1..=t {
+                combo.set_both(r, c, a * x.get(r, c) + b * y.get(r, c));
+            }
+        }
+        let mut xs = x;
+        let mut ys = y;
+        xs.jacobi_step(&w, Extents::ZERO);
+        ys.jacobi_step(&w, Extents::ZERO);
+        combo.jacobi_step(&w, Extents::ZERO);
+        for r in 0..t {
+            for c in 0..t {
+                let want = a * xs.get(r, c) + b * ys.get(r, c);
+                prop_assert!(
+                    (combo.get(r, c) - want).abs() <= 1e-12 * (1.0 + want.abs()),
+                    "({r},{c}): {} vs {}",
+                    combo.get(r, c),
+                    want
+                );
+            }
+        }
+    }
+
+    /// The variable-coefficient kernel with a constant coefficient
+    /// function is bitwise identical to the constant kernel, including
+    /// over extended regions.
+    #[test]
+    fn var_kernel_degenerates_to_constant(
+        tile in 2usize..8,
+        ext in 0usize..3,
+        w in weights(),
+        seed in 0u64..1000,
+    ) {
+        let ghost = ext + 1;
+        let mut a = filled_tile(tile, ghost, seed);
+        let mut b = a.clone();
+        a.jacobi_step(&w, Extents::uniform(ext));
+        b.jacobi_step_var(|_, _| w, (7, -3), Extents::uniform(ext));
+        let t = tile as i64;
+        let e = ext as i64;
+        for r in -e..t + e {
+            for c in -e..t + e {
+                prop_assert_eq!(a.get(r, c), b.get(r, c), "({}, {})", r, c);
+            }
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! The event loop: a typed, deterministic discrete-event engine.
+//!
+//! A simulation is a [`Model`] (your state) plus an [`Engine`] that owns the
+//! pending-event heap and the virtual clock. The model handles one event at
+//! a time and schedules future events through the [`Scheduler`] handle it is
+//! given. Events at equal timestamps are delivered in the order they were
+//! scheduled (a monotone sequence number breaks ties), so a given model and
+//! input always replays identically.
+
+use crate::time::{VirtualDuration, VirtualTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation state machine: holds the model-specific state and reacts to
+/// its own event type.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Handle `event` occurring at `now`, scheduling any follow-up events
+    /// on `sched`.
+    fn handle(&mut self, now: VirtualTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+struct Entry<E> {
+    at: VirtualTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    // Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Handle through which a [`Model`] schedules future events.
+///
+/// Separated from [`Engine`] so that `Model::handle` can borrow the model
+/// mutably while still enqueueing events.
+pub struct Scheduler<E> {
+    now: VirtualTime,
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    events_processed: u64,
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Scheduler {
+            now: VirtualTime::ZERO,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// The current virtual time.
+    #[inline]
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// Schedule `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: VirtualDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedule `event` at an absolute time. Panics if `at` is in the past —
+    /// a model that rewinds the clock is a bug, not a recoverable state.
+    pub fn schedule_at(&mut self, at: VirtualTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: at={at}, now={now}",
+            at = at,
+            now = self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedule `event` to fire immediately (at the current time, after any
+    /// events already queued for this instant).
+    pub fn schedule_now(&mut self, event: E) {
+        self.schedule_at(self.now, event);
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Total number of events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    fn pop(&mut self) -> Option<Entry<E>> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.at >= self.now, "event heap yielded a past event");
+        self.now = e.at;
+        self.events_processed += 1;
+        Some(e)
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<VirtualTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+}
+
+/// The simulation driver: owns a model and its scheduler.
+pub struct Engine<M: Model> {
+    model: M,
+    sched: Scheduler<M::Event>,
+    /// Safety valve against runaway models. `None` disables the check.
+    max_events: Option<u64>,
+}
+
+impl<M: Model> Engine<M> {
+    /// Create an engine around `model` with an empty event queue.
+    pub fn new(model: M) -> Self {
+        Engine {
+            model,
+            sched: Scheduler::new(),
+            max_events: None,
+        }
+    }
+
+    /// Cap the total number of events the engine will deliver; exceeding it
+    /// panics with a diagnostic. Useful in tests of potentially divergent
+    /// models.
+    pub fn with_max_events(mut self, cap: u64) -> Self {
+        self.max_events = Some(cap);
+        self
+    }
+
+    /// Seed the queue with an initial event at time zero.
+    pub fn prime(&mut self, event: M::Event) {
+        self.sched.schedule_at(VirtualTime::ZERO, event);
+    }
+
+    /// Seed the queue with an initial event at an arbitrary time.
+    pub fn prime_at(&mut self, at: VirtualTime, event: M::Event) {
+        self.sched.schedule_at(at, event);
+    }
+
+    /// Immutable access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (for pre/post-run setup and inspection).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.sched.now()
+    }
+
+    /// Deliver the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        if let Some(cap) = self.max_events {
+            assert!(
+                self.sched.events_processed() < cap,
+                "simulation exceeded event cap of {cap}"
+            );
+        }
+        match self.sched.pop() {
+            Some(e) => {
+                self.model.handle(e.at, e.event, &mut self.sched);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the event queue drains. Returns the final virtual time.
+    pub fn run(&mut self) -> VirtualTime {
+        while self.step() {}
+        self.now()
+    }
+
+    /// Run until the queue drains or the next event would be after
+    /// `deadline`. Events exactly at `deadline` are delivered.
+    pub fn run_until(&mut self, deadline: VirtualTime) -> VirtualTime {
+        while let Some(t) = self.sched.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now()
+    }
+
+    /// Consume the engine, returning the model (for result extraction).
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Total number of events delivered.
+    pub fn events_processed(&self) -> u64 {
+        self.sched.events_processed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records (time, tag) pairs in delivery order.
+    struct Recorder {
+        log: Vec<(u64, u32)>,
+    }
+
+    enum Ev {
+        Tag(u32),
+        Chain { tag: u32, next_in: u64, count: u32 },
+    }
+
+    impl Model for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, now: VirtualTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+            match ev {
+                Ev::Tag(t) => self.log.push((now.as_nanos(), t)),
+                Ev::Chain { tag, next_in, count } => {
+                    self.log.push((now.as_nanos(), tag));
+                    if count > 0 {
+                        sched.schedule_in(
+                            VirtualDuration::from_nanos(next_in),
+                            Ev::Chain {
+                                tag: tag + 1,
+                                next_in,
+                                count: count - 1,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn engine() -> Engine<Recorder> {
+        Engine::new(Recorder { log: Vec::new() })
+    }
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut e = engine();
+        e.prime_at(VirtualTime(30), Ev::Tag(3));
+        e.prime_at(VirtualTime(10), Ev::Tag(1));
+        e.prime_at(VirtualTime(20), Ev::Tag(2));
+        e.run();
+        assert_eq!(e.model().log, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn equal_times_delivered_fifo() {
+        let mut e = engine();
+        for i in 0..100 {
+            e.prime_at(VirtualTime(5), Ev::Tag(i));
+        }
+        e.run();
+        let tags: Vec<u32> = e.model().log.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_events_advance_clock() {
+        let mut e = engine();
+        e.prime(Ev::Chain {
+            tag: 0,
+            next_in: 7,
+            count: 4,
+        });
+        let end = e.run();
+        assert_eq!(end.as_nanos(), 28);
+        assert_eq!(e.model().log.len(), 5);
+        assert_eq!(e.events_processed(), 5);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut e = engine();
+        e.prime(Ev::Chain {
+            tag: 0,
+            next_in: 10,
+            count: 10,
+        });
+        e.run_until(VirtualTime(35));
+        // events at t = 0, 10, 20, 30 delivered; t = 40 onwards pending
+        assert_eq!(e.model().log.len(), 4);
+        assert_eq!(e.now().as_nanos(), 30);
+        e.run();
+        assert_eq!(e.model().log.len(), 11);
+    }
+
+    #[test]
+    fn run_until_delivers_events_exactly_at_deadline() {
+        let mut e = engine();
+        e.prime_at(VirtualTime(50), Ev::Tag(9));
+        e.run_until(VirtualTime(50));
+        assert_eq!(e.model().log, vec![(50, 9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        struct Bad;
+        enum BadEv {
+            Go,
+        }
+        impl Model for Bad {
+            type Event = BadEv;
+            fn handle(&mut self, _: VirtualTime, _: BadEv, sched: &mut Scheduler<BadEv>) {
+                sched.schedule_at(VirtualTime::ZERO, BadEv::Go);
+            }
+        }
+        let mut e = Engine::new(Bad);
+        e.prime_at(VirtualTime(10), BadEv::Go);
+        e.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "event cap")]
+    fn event_cap_trips_on_runaway() {
+        struct Loopy;
+        impl Model for Loopy {
+            type Event = ();
+            fn handle(&mut self, _: VirtualTime, _: (), sched: &mut Scheduler<()>) {
+                sched.schedule_in(VirtualDuration::from_nanos(1), ());
+            }
+        }
+        let mut e = Engine::new(Loopy).with_max_events(1000);
+        e.prime(());
+        e.run();
+    }
+
+    #[test]
+    fn schedule_now_runs_after_current_instant_queue() {
+        struct M {
+            order: Vec<u32>,
+        }
+        enum E2 {
+            First,
+            Second,
+            Injected,
+        }
+        impl Model for M {
+            type Event = E2;
+            fn handle(&mut self, _: VirtualTime, ev: E2, sched: &mut Scheduler<E2>) {
+                match ev {
+                    E2::First => {
+                        self.order.push(1);
+                        sched.schedule_now(E2::Injected);
+                    }
+                    E2::Second => self.order.push(2),
+                    E2::Injected => self.order.push(3),
+                }
+            }
+        }
+        let mut e = Engine::new(M { order: vec![] });
+        e.prime(E2::First);
+        e.prime(E2::Second);
+        e.run();
+        // Injected was scheduled at the same instant but after Second.
+        assert_eq!(e.model().order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_engine_runs_to_zero() {
+        let mut e = engine();
+        assert_eq!(e.run(), VirtualTime::ZERO);
+        assert!(!e.step());
+    }
+}

@@ -1,0 +1,263 @@
+//! Multi-server FIFO resources with utilization accounting.
+//!
+//! A [`Resource`] models `k` identical servers (worker cores, NIC engines,
+//! memory-bandwidth tokens) in front of a FIFO queue of jobs. The resource
+//! itself is passive — it never schedules events. The owning [`Model`](crate::engine::Model)
+//! (see [`crate::engine::Model`]) calls [`Resource::request`] when a job
+//! arrives and [`Resource::release`] when a job it started finishes; both
+//! return the job(s) that may start service *now*, and the model schedules
+//! their completion events.
+//!
+//! Utilization is tracked as a time integral of busy servers so experiments
+//! can report core occupancy (paper Figure 10).
+
+use crate::stats::TimeWeighted;
+use crate::time::{VirtualDuration, VirtualTime};
+use std::collections::VecDeque;
+
+/// A `k`-server FIFO queueing resource holding jobs of type `J`.
+#[derive(Debug)]
+pub struct Resource<J> {
+    servers: usize,
+    busy: usize,
+    queue: VecDeque<J>,
+    utilization: TimeWeighted,
+    total_started: u64,
+}
+
+impl<J> Resource<J> {
+    /// Create a resource with `servers` identical servers. Panics when
+    /// `servers == 0`: a zero-capacity resource deadlocks every caller.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "a resource needs at least one server");
+        Resource {
+            servers,
+            busy: 0,
+            queue: VecDeque::new(),
+            utilization: TimeWeighted::new(),
+            total_started: 0,
+        }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Servers currently serving a job.
+    pub fn busy(&self) -> usize {
+        self.busy
+    }
+
+    /// Servers currently idle.
+    pub fn idle(&self) -> usize {
+        self.servers - self.busy
+    }
+
+    /// Jobs waiting for a server.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total jobs that have entered service since construction.
+    pub fn total_started(&self) -> u64 {
+        self.total_started
+    }
+
+    /// Offer a job at time `now`. If a server is free the job enters
+    /// service immediately and is returned; the caller must schedule its
+    /// completion. Otherwise the job queues and `None` is returned.
+    #[must_use = "a returned job has entered service; schedule its completion"]
+    pub fn request(&mut self, now: VirtualTime, job: J) -> Option<J> {
+        if self.busy < self.servers {
+            self.start(now);
+            Some(job)
+        } else {
+            self.queue.push_back(job);
+            None
+        }
+    }
+
+    /// Signal that one in-service job finished at time `now`. If a job was
+    /// queued it enters service immediately and is returned; the caller must
+    /// schedule its completion.
+    ///
+    /// Panics when no job was in service — releasing an idle resource means
+    /// the model double-counted a completion.
+    #[must_use = "a returned job has entered service; schedule its completion"]
+    pub fn release(&mut self, now: VirtualTime) -> Option<J> {
+        assert!(self.busy > 0, "release() on a resource with no busy server");
+        self.utilization.record(now, self.busy as f64);
+        self.busy -= 1;
+        if let Some(job) = self.queue.pop_front() {
+            self.start(now);
+            Some(job)
+        } else {
+            None
+        }
+    }
+
+    fn start(&mut self, now: VirtualTime) {
+        self.utilization.record(now, self.busy as f64);
+        self.busy += 1;
+        self.total_started += 1;
+    }
+
+    /// Mean number of busy servers over `[0, now]`.
+    pub fn mean_busy(&self, now: VirtualTime) -> f64 {
+        self.utilization.mean_until(now, self.busy as f64)
+    }
+
+    /// Mean utilization in `[0, 1]` over `[0, now]` (mean busy / servers).
+    pub fn mean_utilization(&self, now: VirtualTime) -> f64 {
+        self.mean_busy(now) / self.servers as f64
+    }
+
+    /// Drain all queued jobs without starting them (for shutdown paths).
+    pub fn drain_queue(&mut self) -> impl Iterator<Item = J> + '_ {
+        self.queue.drain(..)
+    }
+}
+
+/// A single-token gate: a binary resource with an attached FIFO of waiters.
+/// Convenience wrapper over `Resource<J>` with one server, used for e.g. a
+/// one-message-at-a-time NIC send engine.
+#[derive(Debug)]
+pub struct Gate<J> {
+    inner: Resource<J>,
+}
+
+impl<J> Gate<J> {
+    /// Create an open gate.
+    pub fn new() -> Self {
+        Gate {
+            inner: Resource::new(1),
+        }
+    }
+
+    /// True when a job is in service.
+    pub fn is_busy(&self) -> bool {
+        self.inner.busy() == 1
+    }
+
+    /// Jobs waiting for the gate.
+    pub fn queued(&self) -> usize {
+        self.inner.queued()
+    }
+
+    /// Offer a job; see [`Resource::request`].
+    #[must_use = "a returned job has entered service; schedule its completion"]
+    pub fn request(&mut self, now: VirtualTime, job: J) -> Option<J> {
+        self.inner.request(now, job)
+    }
+
+    /// Complete the in-service job; see [`Resource::release`].
+    #[must_use = "a returned job has entered service; schedule its completion"]
+    pub fn release(&mut self, now: VirtualTime) -> Option<J> {
+        self.inner.release(now)
+    }
+
+    /// Mean utilization in `[0, 1]` over `[0, now]`.
+    pub fn mean_utilization(&self, now: VirtualTime) -> f64 {
+        self.inner.mean_utilization(now)
+    }
+}
+
+impl<J> Default for Gate<J> {
+    fn default() -> Self {
+        Gate::new()
+    }
+}
+
+/// Round a busy period up: given a service demand, when `k` jobs share a
+/// serially-reusable resource the effective span is `demand * k`. Helper for
+/// coarse contention models.
+pub fn serialized_span(demand: VirtualDuration, jobs: u64) -> VirtualDuration {
+    demand * jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_service_when_idle() {
+        let mut r: Resource<u32> = Resource::new(2);
+        assert_eq!(r.request(VirtualTime(0), 1), Some(1));
+        assert_eq!(r.request(VirtualTime(0), 2), Some(2));
+        assert_eq!(r.busy(), 2);
+        assert_eq!(r.idle(), 0);
+    }
+
+    #[test]
+    fn queues_when_full_and_fifo_on_release() {
+        let mut r: Resource<u32> = Resource::new(1);
+        assert_eq!(r.request(VirtualTime(0), 10), Some(10));
+        assert_eq!(r.request(VirtualTime(1), 11), None);
+        assert_eq!(r.request(VirtualTime(2), 12), None);
+        assert_eq!(r.queued(), 2);
+        assert_eq!(r.release(VirtualTime(5)), Some(11));
+        assert_eq!(r.release(VirtualTime(9)), Some(12));
+        assert_eq!(r.release(VirtualTime(12)), None);
+        assert_eq!(r.busy(), 0);
+        assert_eq!(r.total_started(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no busy server")]
+    fn release_idle_panics() {
+        let mut r: Resource<u32> = Resource::new(1);
+        let _ = r.release(VirtualTime(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        let _: Resource<u32> = Resource::new(0);
+    }
+
+    #[test]
+    fn utilization_integral() {
+        let mut r: Resource<u32> = Resource::new(2);
+        // one server busy on [0, 10), both on [10, 20), none after 20
+        assert_eq!(r.request(VirtualTime(0), 1), Some(1));
+        assert_eq!(r.request(VirtualTime(10), 2), Some(2));
+        assert_eq!(r.release(VirtualTime(20)), None);
+        assert_eq!(r.release(VirtualTime(20)), None);
+        // busy integral = 1*10 + 2*10 = 30 over [0, 40] => mean 0.75 busy
+        let mean = r.mean_busy(VirtualTime(40));
+        assert!((mean - 0.75).abs() < 1e-12, "mean = {mean}");
+        assert!((r.mean_utilization(VirtualTime(40)) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_serializes() {
+        let mut g: Gate<&'static str> = Gate::new();
+        assert_eq!(g.request(VirtualTime(0), "a"), Some("a"));
+        assert!(g.is_busy());
+        assert_eq!(g.request(VirtualTime(1), "b"), None);
+        assert_eq!(g.queued(), 1);
+        assert_eq!(g.release(VirtualTime(4)), Some("b"));
+        assert_eq!(g.release(VirtualTime(8)), None);
+        assert!(!g.is_busy());
+    }
+
+    #[test]
+    fn drain_queue_empties() {
+        let mut r: Resource<u32> = Resource::new(1);
+        assert_eq!(r.request(VirtualTime(0), 1), Some(1));
+        assert_eq!(r.request(VirtualTime(0), 2), None);
+        assert_eq!(r.request(VirtualTime(0), 3), None);
+        let drained: Vec<u32> = r.drain_queue().collect();
+        assert_eq!(drained, vec![2, 3]);
+        assert_eq!(r.queued(), 0);
+    }
+
+    #[test]
+    fn serialized_span_multiplies() {
+        assert_eq!(
+            serialized_span(VirtualDuration::from_nanos(5), 4).as_nanos(),
+            20
+        );
+    }
+}

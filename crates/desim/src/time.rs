@@ -1,0 +1,290 @@
+//! Virtual time for the discrete-event engine.
+//!
+//! All simulation timestamps are nanoseconds held in a `u64`, giving ~584
+//! years of range — far beyond any experiment in this repository. Keeping
+//! time integral makes event ordering exact and simulations bit-reproducible
+//! (no floating-point drift in the clock).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in virtual time, in nanoseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VirtualTime(pub u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VirtualDuration(pub u64);
+
+impl VirtualTime {
+    /// The origin of simulated time.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+    /// The greatest representable instant; used as "never".
+    pub const MAX: VirtualTime = VirtualTime(u64::MAX);
+
+    /// Nanoseconds since simulation start.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Milliseconds since simulation start, as a float (for reporting only).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 * 1e-6
+    }
+
+    /// Elapsed duration since `earlier`. Saturates at zero if `earlier` is
+    /// in the future, which callers treat as "no elapsed time".
+    #[inline]
+    pub fn duration_since(self, earlier: VirtualTime) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, d: VirtualDuration) -> Option<VirtualTime> {
+        self.0.checked_add(d.0).map(VirtualTime)
+    }
+}
+
+impl VirtualDuration {
+    /// Zero-length duration.
+    pub const ZERO: VirtualDuration = VirtualDuration(0);
+
+    /// Build from whole nanoseconds.
+    #[inline]
+    pub fn from_nanos(ns: u64) -> Self {
+        VirtualDuration(ns)
+    }
+
+    /// Build from whole microseconds.
+    #[inline]
+    pub fn from_micros(us: u64) -> Self {
+        VirtualDuration(us * 1_000)
+    }
+
+    /// Build from whole milliseconds.
+    #[inline]
+    pub fn from_millis(ms: u64) -> Self {
+        VirtualDuration(ms * 1_000_000)
+    }
+
+    /// Build from fractional seconds, rounding to the nearest nanosecond.
+    /// Negative and non-finite inputs clamp to zero — model code computes
+    /// durations from measured rates and must never panic on a degenerate
+    /// parameter combination.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return VirtualDuration(0);
+        }
+        VirtualDuration((s * 1e9).round() as u64)
+    }
+
+    /// Whole nanoseconds in this duration.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This duration in seconds, as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// True if the duration is exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<VirtualDuration> for VirtualTime {
+    type Output = VirtualTime;
+    #[inline]
+    fn add(self, d: VirtualDuration) -> VirtualTime {
+        VirtualTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<VirtualDuration> for VirtualTime {
+    #[inline]
+    fn add_assign(&mut self, d: VirtualDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<VirtualTime> for VirtualTime {
+    type Output = VirtualDuration;
+    #[inline]
+    fn sub(self, other: VirtualTime) -> VirtualDuration {
+        self.duration_since(other)
+    }
+}
+
+impl Add for VirtualDuration {
+    type Output = VirtualDuration;
+    #[inline]
+    fn add(self, other: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0 + other.0)
+    }
+}
+
+impl AddAssign for VirtualDuration {
+    #[inline]
+    fn add_assign(&mut self, other: VirtualDuration) {
+        self.0 += other.0;
+    }
+}
+
+impl SubAssign for VirtualDuration {
+    #[inline]
+    fn sub_assign(&mut self, other: VirtualDuration) {
+        self.0 = self.0.saturating_sub(other.0);
+    }
+}
+
+impl Sub for VirtualDuration {
+    type Output = VirtualDuration;
+    #[inline]
+    fn sub(self, other: VirtualDuration) -> VirtualDuration {
+        self.saturating_sub(other)
+    }
+}
+
+impl Mul<u64> for VirtualDuration {
+    type Output = VirtualDuration;
+    #[inline]
+    fn mul(self, k: u64) -> VirtualDuration {
+        VirtualDuration(self.0 * k)
+    }
+}
+
+impl Div<u64> for VirtualDuration {
+    type Output = VirtualDuration;
+    #[inline]
+    fn div(self, k: u64) -> VirtualDuration {
+        VirtualDuration(self.0 / k)
+    }
+}
+
+impl Sum for VirtualDuration {
+    fn sum<I: Iterator<Item = VirtualDuration>>(iter: I) -> VirtualDuration {
+        iter.fold(VirtualDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for VirtualDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ns", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else if self.0 < 1_000_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{:.6}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_duration_to_time() {
+        let t = VirtualTime::ZERO + VirtualDuration::from_micros(3);
+        assert_eq!(t.as_nanos(), 3_000);
+    }
+
+    #[test]
+    fn duration_since_saturates() {
+        let a = VirtualTime(100);
+        let b = VirtualTime(200);
+        assert_eq!(a.duration_since(b), VirtualDuration::ZERO);
+        assert_eq!(b.duration_since(a), VirtualDuration(100));
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(VirtualDuration::from_secs_f64(1e-9).as_nanos(), 1);
+        assert_eq!(VirtualDuration::from_secs_f64(1.5e-9).as_nanos(), 2);
+        assert_eq!(VirtualDuration::from_secs_f64(2.0).as_nanos(), 2_000_000_000);
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_degenerate() {
+        assert_eq!(VirtualDuration::from_secs_f64(-1.0), VirtualDuration::ZERO);
+        assert_eq!(
+            VirtualDuration::from_secs_f64(f64::NAN),
+            VirtualDuration::ZERO
+        );
+        assert_eq!(
+            VirtualDuration::from_secs_f64(f64::INFINITY),
+            VirtualDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(VirtualDuration(5).to_string(), "5ns");
+        assert_eq!(VirtualDuration(5_000).to_string(), "5.000us");
+        assert_eq!(VirtualDuration(5_000_000).to_string(), "5.000ms");
+        assert_eq!(VirtualDuration(5_000_000_000).to_string(), "5.000000s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: VirtualDuration = (1..=4).map(VirtualDuration::from_nanos).sum();
+        assert_eq!(total.as_nanos(), 10);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(VirtualTime(1) < VirtualTime(2));
+        assert!(VirtualDuration(1) < VirtualDuration(2));
+    }
+
+    #[test]
+    fn mul_div_duration() {
+        let d = VirtualDuration::from_nanos(10);
+        assert_eq!((d * 3).as_nanos(), 30);
+        assert_eq!((d / 4).as_nanos(), 2);
+    }
+
+    #[test]
+    fn checked_add_overflow() {
+        assert!(VirtualTime::MAX.checked_add(VirtualDuration(1)).is_none());
+        assert_eq!(
+            VirtualTime(1).checked_add(VirtualDuration(1)),
+            Some(VirtualTime(2))
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Execution-trace recording: timestamped spans of named activities on
+//! (node, lane) pairs, mirroring PaRSEC's profiling subsystem that produced
+//! the paper's Figure 10.
+
+use crate::stats::Summary;
+use crate::time::{VirtualDuration, VirtualTime};
+use serde::Serialize;
+
+/// One recorded activity: a half-open interval `[start, end)` of a given
+/// kind executing on `lane` (a core or the communication thread) of `node`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Span {
+    /// Node rank the activity ran on.
+    pub node: u32,
+    /// Execution lane within the node (core index, or a dedicated lane for
+    /// the communication thread).
+    pub lane: u32,
+    /// Activity class, interpreted by the producer (e.g. interior task,
+    /// boundary task, message send).
+    pub kind: u32,
+    /// Inclusive start time.
+    pub start: VirtualTime,
+    /// Exclusive end time.
+    pub end: VirtualTime,
+}
+
+impl Span {
+    /// Duration of the span.
+    pub fn duration(&self) -> VirtualDuration {
+        self.end.duration_since(self.start)
+    }
+}
+
+/// Append-only buffer of spans with analysis helpers.
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct TraceBuffer {
+    spans: Vec<Span>,
+}
+
+impl TraceBuffer {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one span. `end` must not precede `start`.
+    pub fn push(&mut self, span: Span) {
+        assert!(span.end >= span.start, "span ends before it starts");
+        self.spans.push(span);
+    }
+
+    /// All recorded spans, in insertion order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans on one node.
+    pub fn node_spans(&self, node: u32) -> impl Iterator<Item = &Span> + '_ {
+        self.spans.iter().filter(move |s| s.node == node)
+    }
+
+    /// Busy fraction of `lanes` lanes on `node` over `[0, horizon]`:
+    /// total busy time / (lanes × horizon). The paper's "CPU occupancy".
+    pub fn occupancy(&self, node: u32, lanes: u32, horizon: VirtualTime) -> f64 {
+        let span_time = horizon.as_secs_f64() * lanes as f64;
+        if span_time == 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .node_spans(node)
+            .filter(|s| s.lane < lanes)
+            .map(|s| s.duration().as_secs_f64())
+            .sum();
+        busy / span_time
+    }
+
+    /// Summary of span durations (in seconds) of one kind on one node, or
+    /// across all nodes when `node` is `None`.
+    pub fn duration_summary(&self, node: Option<u32>, kind: u32) -> Option<Summary> {
+        let durations: Vec<f64> = self
+            .spans
+            .iter()
+            .filter(|s| s.kind == kind && node.map_or(true, |n| s.node == n))
+            .map(|s| s.duration().as_secs_f64())
+            .collect();
+        Summary::of(&durations)
+    }
+
+    /// Latest end time over all spans (the trace horizon); zero when empty.
+    pub fn horizon(&self) -> VirtualTime {
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .max()
+            .unwrap_or(VirtualTime::ZERO)
+    }
+
+    /// Merge another buffer's spans into this one.
+    pub fn absorb(&mut self, other: TraceBuffer) {
+        self.spans.extend(other.spans);
+    }
+
+    /// Render the trace as JSON-lines text, one span per line — the format
+    /// the Figure 10 harness writes to disk.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            // Serialization of a Copy struct with integer fields cannot fail.
+            out.push_str(&serde_json::to_string(s).expect("span serialization"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(node: u32, lane: u32, kind: u32, start: u64, end: u64) -> Span {
+        Span {
+            node,
+            lane,
+            kind,
+            start: VirtualTime(start),
+            end: VirtualTime(end),
+        }
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut t = TraceBuffer::new();
+        t.push(span(0, 0, 1, 0, 10));
+        t.push(span(0, 1, 2, 5, 25));
+        t.push(span(1, 0, 1, 0, 50));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.node_spans(0).count(), 2);
+        assert_eq!(t.horizon(), VirtualTime(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn inverted_span_panics() {
+        let mut t = TraceBuffer::new();
+        t.push(span(0, 0, 0, 10, 5));
+    }
+
+    #[test]
+    fn occupancy_counts_only_requested_lanes() {
+        let mut t = TraceBuffer::new();
+        // two lanes, horizon 100: lane 0 busy 60, lane 1 busy 20, lane 7 ignored
+        t.push(span(0, 0, 0, 0, 60));
+        t.push(span(0, 1, 0, 10, 30));
+        t.push(span(0, 7, 0, 0, 100));
+        let occ = t.occupancy(0, 2, VirtualTime(100));
+        assert!((occ - 0.4).abs() < 1e-12, "occ = {occ}");
+        // other node: nothing recorded
+        assert_eq!(t.occupancy(3, 2, VirtualTime(100)), 0.0);
+    }
+
+    #[test]
+    fn occupancy_zero_horizon() {
+        let t = TraceBuffer::new();
+        assert_eq!(t.occupancy(0, 4, VirtualTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn duration_summary_filters_kind_and_node() {
+        let mut t = TraceBuffer::new();
+        t.push(span(0, 0, 1, 0, 10));
+        t.push(span(0, 0, 1, 10, 30));
+        t.push(span(0, 0, 2, 0, 1000));
+        t.push(span(1, 0, 1, 0, 100));
+        let s = t.duration_summary(Some(0), 1).unwrap();
+        assert_eq!(s.count, 2);
+        assert!((s.mean - 15e-9).abs() < 1e-18);
+        let all = t.duration_summary(None, 1).unwrap();
+        assert_eq!(all.count, 3);
+        assert!(t.duration_summary(Some(2), 1).is_none());
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = TraceBuffer::new();
+        a.push(span(0, 0, 0, 0, 1));
+        let mut b = TraceBuffer::new();
+        b.push(span(1, 0, 0, 0, 2));
+        a.absorb(b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn jsonl_one_line_per_span() {
+        let mut t = TraceBuffer::new();
+        t.push(span(0, 0, 1, 0, 10));
+        t.push(span(1, 2, 3, 4, 5));
+        let text = t.to_jsonl();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().next().unwrap().contains("\"kind\":1"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Machine profiles: the hardware parameters the paper's two evaluation
+//! systems expose to the performance model.
+//!
+//! The numbers for NaCL and Stampede2 come directly from the paper
+//! (Section VI, Table I, Figure 5):
+//!
+//! * **NaCL** — 64 nodes, 2 × Intel Xeon X5660 (12 cores), 23 GB RAM,
+//!   InfiniBand QDR (32 Gb/s peak, ~27 Gb/s effective), STREAM COPY
+//!   40 091.3 MB/s per node / 9 814.2 MB/s per core.
+//! * **Stampede2** — 2 × Xeon Platinum 8160 (48 cores), 192 GB RAM,
+//!   Omni-Path (100 Gb/s peak, ~86 Gb/s effective), STREAM COPY
+//!   176 701.1 MB/s per node / 10 632.6 MB/s per core.
+//!
+//! Network latency on both systems is about 1 µs (Section VI-A).
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one cluster: everything the simulator needs to predict
+/// stencil and SpMV performance on it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineProfile {
+    /// Human-readable system name.
+    pub name: String,
+    /// Total nodes available in the cluster.
+    pub max_nodes: u32,
+    /// Cores per node.
+    pub cores_per_node: u32,
+    /// STREAM COPY bandwidth of a full node, bytes/s.
+    pub mem_bw_node: f64,
+    /// STREAM COPY bandwidth of a single core, bytes/s.
+    pub mem_bw_core: f64,
+    /// Last-level cache capacity available to one core, bytes (used by the
+    /// tile-size cache model).
+    pub cache_per_core: f64,
+    /// Peak double-precision rate of one core, flop/s.
+    pub flops_per_core: f64,
+    /// Theoretical peak network bandwidth, bits/s.
+    pub net_peak_bw_bits: f64,
+    /// Effective (achievable) network bandwidth, bits/s — the NetPIPE
+    /// asymptote reported in the paper.
+    pub net_eff_bw_bits: f64,
+    /// One-way small-message network latency, seconds.
+    pub net_latency: f64,
+    /// Per-message CPU/NIC injection overhead, seconds (LogGP `o`).
+    pub net_msg_overhead: f64,
+    /// Message size (bytes) above which the rendezvous protocol (an extra
+    /// round-trip handshake) is used instead of eager sends.
+    pub rendezvous_threshold: usize,
+    /// Per-message processing time on the runtime's dedicated communication
+    /// thread (dependence resolution, activation, unpacking), seconds.
+    /// This — not wire latency — is what makes many small messages
+    /// expensive and is the cost communication avoidance amortizes.
+    /// Calibrated so the simulated CA gains match the paper's Figure 8.
+    pub runtime_msg_cost: f64,
+}
+
+impl MachineProfile {
+    /// The paper's in-house NaCL cluster.
+    pub fn nacl() -> Self {
+        MachineProfile {
+            name: "NaCL".to_string(),
+            max_nodes: 64,
+            cores_per_node: 12,
+            mem_bw_node: 40_091.3e6,
+            mem_bw_core: 9_814.2e6,
+            // 12 MB L3 per Westmere socket shared by 6 cores.
+            cache_per_core: 2.0e6,
+            // X5660 @ 2.8 GHz, 4 DP flops/cycle.
+            flops_per_core: 11.2e9,
+            net_peak_bw_bits: 32e9,
+            net_eff_bw_bits: 27e9,
+            net_latency: 1e-6,
+            net_msg_overhead: 1e-6,
+            rendezvous_threshold: 64 * 1024,
+            runtime_msg_cost: 40e-6,
+        }
+    }
+
+    /// TACC Stampede2 (Skylake partition).
+    pub fn stampede2() -> Self {
+        MachineProfile {
+            name: "Stampede2".to_string(),
+            max_nodes: 256,
+            cores_per_node: 48,
+            mem_bw_node: 176_701.1e6,
+            mem_bw_core: 10_632.6e6,
+            // Skylake 8160: 1.375 MB non-inclusive L3 per core (the private
+            // 1 MB L2 overlaps it and adds little for streaming sweeps).
+            cache_per_core: 1.4e6,
+            // 8160 @ 2.1 GHz, 32 DP flops/cycle (AVX-512 FMA).
+            flops_per_core: 67.2e9,
+            net_peak_bw_bits: 100e9,
+            net_eff_bw_bits: 86e9,
+            net_latency: 1e-6,
+            net_msg_overhead: 0.5e-6,
+            rendezvous_threshold: 64 * 1024,
+            runtime_msg_cost: 15e-6,
+        }
+    }
+
+    /// A Summit-class node (paper Section VII: "each node has 6 GPUs and
+    /// 900 GB/s memory bandwidth per GPU and showed a network latency of
+    /// about 1 microsecond"): six accelerator lanes of 900 GB/s each
+    /// behind a dual-rail 200 Gb/s injection port. With this much memory
+    /// bandwidth the stencil workload turns network-bound — the regime
+    /// where the paper predicts "the communication-avoiding approach shows
+    /// a distinct advantage".
+    pub fn summit_like() -> Self {
+        MachineProfile {
+            name: "Summit-like".to_string(),
+            max_nodes: 256,
+            cores_per_node: 7, // 6 accelerator lanes + 1 comm thread
+            mem_bw_node: 5.4e12,
+            mem_bw_core: 900e9,
+            cache_per_core: 6.0e6,
+            flops_per_core: 7e12,
+            net_peak_bw_bits: 200e9,
+            net_eff_bw_bits: 180e9,
+            net_latency: 1e-6,
+            net_msg_overhead: 0.5e-6,
+            rendezvous_threshold: 64 * 1024,
+            runtime_msg_cost: 10e-6,
+        }
+    }
+
+    /// A deliberately slow-network profile used by tests and ablations to
+    /// magnify communication effects.
+    pub fn slow_network() -> Self {
+        MachineProfile {
+            name: "SlowNet".to_string(),
+            net_peak_bw_bits: 1e9,
+            net_eff_bw_bits: 0.8e9,
+            net_latency: 50e-6,
+            runtime_msg_cost: 100e-6,
+            ..Self::nacl()
+        }
+    }
+
+    /// Compute threads available to the dataflow runtime: the paper runs one
+    /// process per node with one core dedicated to communication.
+    pub fn compute_threads(&self) -> u32 {
+        self.cores_per_node.saturating_sub(1).max(1)
+    }
+
+    /// Effective network bandwidth in bytes/s.
+    pub fn net_eff_bw_bytes(&self) -> f64 {
+        self.net_eff_bw_bits / 8.0
+    }
+
+    /// Peak network bandwidth in bytes/s.
+    pub fn net_peak_bw_bytes(&self) -> f64 {
+        self.net_peak_bw_bits / 8.0
+    }
+
+    /// Build a profile from locally measured STREAM results (bytes/s) so all
+    /// experiments can also run against "this machine".
+    pub fn localhost(cores: u32, copy_node: f64, copy_core: f64) -> Self {
+        MachineProfile {
+            name: "Localhost".to_string(),
+            max_nodes: 1,
+            cores_per_node: cores.max(1),
+            mem_bw_node: copy_node,
+            mem_bw_core: copy_core,
+            cache_per_core: 2.0e6,
+            flops_per_core: 16e9,
+            // A loopback "network" — latency-dominated like shared memory.
+            net_peak_bw_bits: 200e9,
+            net_eff_bw_bits: 160e9,
+            net_latency: 0.3e-6,
+            net_msg_overhead: 0.2e-6,
+            rendezvous_threshold: 64 * 1024,
+            runtime_msg_cost: 5e-6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nacl_matches_paper_numbers() {
+        let p = MachineProfile::nacl();
+        assert_eq!(p.cores_per_node, 12);
+        assert_eq!(p.compute_threads(), 11);
+        assert!((p.mem_bw_node - 40.0913e9).abs() < 1e6);
+        assert!((p.net_eff_bw_bytes() - 27e9 / 8.0).abs() < 1.0);
+        assert_eq!(p.max_nodes, 64);
+    }
+
+    #[test]
+    fn stampede2_matches_paper_numbers() {
+        let p = MachineProfile::stampede2();
+        assert_eq!(p.cores_per_node, 48);
+        assert_eq!(p.compute_threads(), 47);
+        assert!((p.mem_bw_node - 176.7011e9).abs() < 1e6);
+        assert!((p.net_peak_bw_bits - 100e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn compute_threads_never_zero() {
+        let p = MachineProfile::localhost(1, 1e9, 1e9);
+        assert_eq!(p.compute_threads(), 1);
+    }
+
+    #[test]
+    fn summit_like_matches_paper_conclusion() {
+        let p = MachineProfile::summit_like();
+        assert_eq!(p.compute_threads(), 6);
+        assert!((p.mem_bw_core - 900e9).abs() < 1.0);
+        assert!((p.net_latency - 1e-6).abs() < 1e-12);
+        // memory per node vastly outpaces the network: the network-bound
+        // regime of the paper's conclusion
+        assert!(p.mem_bw_node / p.net_eff_bw_bytes() > 100.0);
+    }
+
+    #[test]
+    fn profiles_serialize_roundtrip() {
+        let p = MachineProfile::stampede2();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: MachineProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

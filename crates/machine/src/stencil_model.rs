@@ -1,0 +1,239 @@
+//! Cost model for the tiled 5-point Jacobi task: how long one tile update
+//! takes on one worker core of a given machine.
+//!
+//! The paper's distributed experiments (Figures 7–10) hinge on three knobs:
+//!
+//! 1. **Memory-bound service time.** The kernel is bandwidth bound; one
+//!    task's time is `points × bytes_per_point / per-thread share of node
+//!    bandwidth`. The unoptimized kernel reaches only a fraction of STREAM
+//!    (the paper's Figure 6 plateaus at 11 GFLOP/s on NaCL and 43.5 GFLOP/s
+//!    on Stampede2, well under the roofline window); that fraction is the
+//!    calibrated [`StencilCostModel::kernel_efficiency`].
+//! 2. **Cache regime.** Small tiles keep both buffers in a core's cache
+//!    share (16 bytes of traffic per point); big tiles stream from DRAM
+//!    (24 bytes per point). This reproduces NaCL's fall-off beyond tile
+//!    ~300 in Figure 6.
+//! 3. **Kernel adjustment ratio.** Figures 8–9 shrink the updated region to
+//!    `(ratio·mb) × (ratio·nb)` to emulate a faster memory system or an
+//!    optimized kernel; service time scales with `ratio²`.
+
+use crate::profile::MachineProfile;
+use crate::roofline::{STENCIL_BYTES_CACHED, STENCIL_BYTES_STREAMED, STENCIL_FLOPS_PER_POINT};
+use serde::Serialize;
+
+/// Service-time model for stencil tile tasks on one machine.
+#[derive(Debug, Clone, Serialize)]
+pub struct StencilCostModel {
+    /// The machine this model predicts.
+    pub profile: MachineProfile,
+    /// Fraction of STREAM COPY bandwidth the naive kernel achieves.
+    /// Calibrated against the paper's Figure 6 plateaus: 0.51 for NaCL
+    /// (11 GFLOP/s), 0.66 for Stampede2 (43.5 GFLOP/s); 0.55 otherwise.
+    pub kernel_efficiency: f64,
+    /// Fixed per-task cost in seconds: runtime scheduling plus intra-node
+    /// ghost copies. Produces the small-tile fall-off in Figure 6.
+    pub task_overhead: f64,
+    /// Flops per updated point (9 for the paper's generalized 5-point
+    /// update: 5 multiplies + 4 adds).
+    pub flops_per_point: f64,
+    /// Extra DRAM traffic per point for coefficient loads: 0 for
+    /// constant-coefficient stencils (weights live in registers), 40 for
+    /// variable coefficients (five f64 weights streamed per point).
+    pub coef_bytes_per_point: f64,
+}
+
+impl StencilCostModel {
+    /// Build the calibrated model for a profile.
+    pub fn for_profile(profile: &MachineProfile) -> Self {
+        let kernel_efficiency = match profile.name.as_str() {
+            "NaCL" => 0.51,
+            "Stampede2" => 0.66,
+            _ => 0.55,
+        };
+        StencilCostModel {
+            profile: profile.clone(),
+            kernel_efficiency,
+            task_overhead: 30e-6,
+            flops_per_point: STENCIL_FLOPS_PER_POINT,
+            coef_bytes_per_point: 0.0,
+        }
+    }
+
+    /// Switch the model to a variable-coefficient stencil: five extra f64
+    /// loads per point.
+    pub fn with_variable_coefficients(mut self) -> Self {
+        self.coef_bytes_per_point = 40.0;
+        self
+    }
+
+    /// Memory bandwidth one compute thread can count on when all compute
+    /// threads are active, bytes/s.
+    pub fn per_thread_bw(&self) -> f64 {
+        self.kernel_efficiency * self.profile.mem_bw_node / self.profile.compute_threads() as f64
+    }
+
+    /// Effective DRAM traffic per updated point for an `mb × nb` tile.
+    ///
+    /// When the tile's working set (read + write buffer) fits a core's cache
+    /// share the kernel moves 16 B/point; once it exceeds twice the share it
+    /// moves 24 B/point, with a linear ramp in between.
+    pub fn bytes_per_point(&self, mb: usize, nb: usize) -> f64 {
+        let working_set = 2.0 * (mb * nb * 8) as f64;
+        let cache = self.profile.cache_per_core;
+        let excess = ((working_set - cache) / cache).clamp(0.0, 1.0);
+        STENCIL_BYTES_CACHED + (STENCIL_BYTES_STREAMED - STENCIL_BYTES_CACHED) * excess
+    }
+
+    /// Memory-bound time (seconds) to sweep `points` grid points of a
+    /// kernel whose cache behaviour is that of an `mb × nb` tile. Used both
+    /// for the tile proper and for the CA scheme's redundant halo regions.
+    pub fn region_time(&self, points: f64, mb: usize, nb: usize) -> f64 {
+        points * (self.bytes_per_point(mb, nb) + self.coef_bytes_per_point)
+            / self.per_thread_bw()
+    }
+
+    /// Service time (seconds) of one tile-update task: updating the
+    /// `(ratio·mb) × (ratio·nb)` sub-region of an `mb × nb` tile on one
+    /// worker thread. `ratio = 1.0` is the unmodified kernel.
+    pub fn task_time(&self, mb: usize, nb: usize, ratio: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&ratio),
+            "kernel adjustment ratio out of range: {ratio}"
+        );
+        let points = (ratio * mb as f64) * (ratio * nb as f64);
+        let mem_time = self.region_time(points, mb, nb);
+        let flop_time = points * self.flops_per_point / self.profile.flops_per_core;
+        self.task_overhead + mem_time.max(flop_time)
+    }
+
+    /// Extra time (seconds) to copy `cells` ghost cells in or out of a tile
+    /// buffer (read + write of each 8-byte value at the thread's bandwidth
+    /// share). This is the "extra copies in the body" that make the CA
+    /// kernel's median 153 ms versus 136 ms base in the paper's Figure 10
+    /// discussion.
+    pub fn ghost_copy_time(&self, cells: usize) -> f64 {
+        (cells * 16) as f64 / self.per_thread_bw()
+    }
+
+    /// Flops performed by one task at the given ratio.
+    pub fn task_flops(&self, mb: usize, nb: usize, ratio: f64) -> f64 {
+        (ratio * mb as f64) * (ratio * nb as f64) * self.flops_per_point
+    }
+
+    /// Analytic single-node sweep rate for an `n × n` problem cut into
+    /// `tile × tile` tiles: the Figure 6 model. Accounts for quantized load
+    /// balance (`ceil(tasks / threads)` rounds of task execution).
+    pub fn node_gflops_single(&self, n: usize, tile: usize) -> f64 {
+        assert!(tile > 0 && n >= tile, "need at least one full tile");
+        let tiles_per_side = n / tile;
+        let ntasks = tiles_per_side * tiles_per_side;
+        let threads = self.profile.compute_threads() as usize;
+        let rounds = ntasks.div_ceil(threads);
+        let sweep_time = rounds as f64 * self.task_time(tile, tile, 1.0);
+        let flops = ntasks as f64 * self.task_flops(tile, tile, 1.0);
+        flops / sweep_time / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nacl_model() -> StencilCostModel {
+        StencilCostModel::for_profile(&MachineProfile::nacl())
+    }
+
+    fn s2_model() -> StencilCostModel {
+        StencilCostModel::for_profile(&MachineProfile::stampede2())
+    }
+
+    #[test]
+    fn small_tiles_are_cached_big_tiles_stream() {
+        let m = nacl_model();
+        assert_eq!(m.bytes_per_point(100, 100), STENCIL_BYTES_CACHED);
+        assert_eq!(m.bytes_per_point(288, 288), STENCIL_BYTES_CACHED);
+        assert_eq!(m.bytes_per_point(600, 600), STENCIL_BYTES_STREAMED);
+        // the ramp is monotone
+        let b400 = m.bytes_per_point(400, 400);
+        let b450 = m.bytes_per_point(450, 450);
+        assert!(STENCIL_BYTES_CACHED < b400 && b400 < b450 && b450 < STENCIL_BYTES_STREAMED);
+    }
+
+    #[test]
+    fn nacl_plateau_near_11_gflops() {
+        // Figure 6 top: problem 20k, tiles 200-300 yield ~11 GFLOP/s.
+        let m = nacl_model();
+        for tile in [200, 250, 288, 300] {
+            let gf = m.node_gflops_single(20_000, tile);
+            assert!((gf - 11.0).abs() < 1.2, "tile {tile}: {gf} GFLOP/s");
+        }
+    }
+
+    #[test]
+    fn nacl_falls_off_at_both_ends() {
+        let m = nacl_model();
+        let peak = m.node_gflops_single(20_000, 288);
+        let small = m.node_gflops_single(20_000, 100);
+        let big = m.node_gflops_single(20_000, 500);
+        assert!(small < peak, "small {small} vs peak {peak}");
+        assert!(big < peak, "big {big} vs peak {peak}");
+        // Figure 6: ~7 GFLOP/s at tile 500.
+        assert!((big - 7.0).abs() < 1.2, "big tile gives {big}");
+    }
+
+    #[test]
+    fn stampede2_plateau_near_43_gflops() {
+        // Figure 6 bottom: problem 27k, tiles 400-2000 near 43.5 GFLOP/s.
+        let m = s2_model();
+        for tile in [450, 864, 1350, 1800] {
+            let gf = m.node_gflops_single(27_000, tile);
+            assert!((gf - 43.5).abs() < 3.0, "tile {tile}: {gf} GFLOP/s");
+        }
+    }
+
+    #[test]
+    fn stampede2_imbalance_hurts_huge_tiles() {
+        let m = s2_model();
+        let plateau = m.node_gflops_single(27_000, 900);
+        let huge = m.node_gflops_single(27_000, 3000);
+        assert!(
+            huge < plateau * 0.93,
+            "huge {huge} not below plateau {plateau}"
+        );
+    }
+
+    #[test]
+    fn ratio_scales_service_time_quadratically() {
+        let m = nacl_model();
+        let t_full = m.task_time(288, 288, 1.0) - m.task_overhead;
+        let t_half = m.task_time(288, 288, 0.5) - m.task_overhead;
+        assert!((t_half / t_full - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_zero_leaves_only_overhead() {
+        let m = nacl_model();
+        assert!((m.task_time(288, 288, 0.0) - m.task_overhead).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio out of range")]
+    fn ratio_above_one_rejected() {
+        nacl_model().task_time(100, 100, 1.5);
+    }
+
+    #[test]
+    fn ghost_copy_time_positive_and_linear() {
+        let m = nacl_model();
+        let t1 = m.ghost_copy_time(1000);
+        let t2 = m.ghost_copy_time(2000);
+        assert!(t1 > 0.0);
+        assert!((t2 / t1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn task_flops_match_paper_count() {
+        let m = nacl_model();
+        assert_eq!(m.task_flops(10, 10, 1.0), 900.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Collective-operation cost models over the point-to-point network.
+//!
+//! The paper's motivation (Section I) is Krylov solvers, whose inner
+//! products impose global reductions every iteration — the other
+//! communication bottleneck s-step methods attack. These models price the
+//! standard algorithms:
+//!
+//! * small messages: binomial tree (`⌈log₂ n⌉` rounds);
+//! * large reductions: Rabenseifner reduce-scatter + allgather
+//!   (`2·(n−1)/n` of the data over the wire, `2·⌈log₂ n⌉` latencies).
+
+use crate::model::NetworkModel;
+use serde::Serialize;
+
+/// Collective cost model for a cluster of homogeneous nodes.
+#[derive(Debug, Clone, Serialize)]
+pub struct CollectiveModel {
+    /// The underlying point-to-point model.
+    pub net: NetworkModel,
+    /// Switch point between tree and Rabenseifner allreduce, bytes.
+    pub rabenseifner_threshold: usize,
+}
+
+impl CollectiveModel {
+    /// Build from a point-to-point model with the conventional 32 KiB
+    /// algorithm switch.
+    pub fn new(net: NetworkModel) -> Self {
+        CollectiveModel {
+            net,
+            rabenseifner_threshold: 32 * 1024,
+        }
+    }
+
+    fn rounds(nodes: u32) -> f64 {
+        assert!(nodes >= 1, "collectives need at least one node");
+        (nodes as f64).log2().ceil()
+    }
+
+    /// Binomial-tree broadcast of `bytes` to `nodes` nodes, seconds.
+    pub fn broadcast_time(&self, nodes: u32, bytes: usize) -> f64 {
+        assert!(nodes >= 1, "collectives need at least one node");
+        if nodes == 1 {
+            return 0.0;
+        }
+        Self::rounds(nodes) * self.net.transfer_time(bytes)
+    }
+
+    /// Binomial-tree reduction of `bytes` from `nodes` nodes, seconds.
+    /// Same wire pattern as a broadcast, run in reverse.
+    pub fn reduce_time(&self, nodes: u32, bytes: usize) -> f64 {
+        self.broadcast_time(nodes, bytes)
+    }
+
+    /// Allreduce of `bytes` across `nodes` nodes, seconds.
+    pub fn allreduce_time(&self, nodes: u32, bytes: usize) -> f64 {
+        assert!(nodes >= 1, "collectives need at least one node");
+        if nodes == 1 {
+            return 0.0;
+        }
+        if bytes < self.rabenseifner_threshold {
+            // reduce + broadcast over a binomial tree
+            2.0 * Self::rounds(nodes) * self.net.transfer_time(bytes)
+        } else {
+            // Rabenseifner: reduce-scatter then allgather
+            let n = nodes as f64;
+            let wire_bytes = 2.0 * (n - 1.0) / n * bytes as f64;
+            let latencies = 2.0 * Self::rounds(nodes) * (self.net.latency + self.net.overhead);
+            latencies + wire_bytes / self.net.bandwidth
+        }
+    }
+
+    /// Barrier across `nodes` nodes, seconds (an 8-byte allreduce).
+    pub fn barrier_time(&self, nodes: u32) -> f64 {
+        self.allreduce_time(nodes, 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::MachineProfile;
+
+    fn model() -> CollectiveModel {
+        CollectiveModel::new(NetworkModel::from_profile(&MachineProfile::nacl()))
+    }
+
+    #[test]
+    fn single_node_is_free() {
+        let m = model();
+        assert_eq!(m.broadcast_time(1, 1 << 20), 0.0);
+        assert_eq!(m.allreduce_time(1, 8), 0.0);
+        assert_eq!(m.barrier_time(1), 0.0);
+    }
+
+    #[test]
+    fn tree_scales_logarithmically() {
+        let m = model();
+        let t2 = m.broadcast_time(2, 8);
+        let t16 = m.broadcast_time(16, 8);
+        let t64 = m.broadcast_time(64, 8);
+        assert!((t16 / t2 - 4.0).abs() < 1e-9);
+        assert!((t64 / t2 - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_allreduce_is_latency_dominated() {
+        let m = model();
+        let t = m.allreduce_time(64, 8);
+        // 2 × 6 rounds × ~2 µs
+        assert!(t > 20e-6 && t < 40e-6, "t = {t}");
+    }
+
+    #[test]
+    fn large_allreduce_is_bandwidth_dominated() {
+        let m = model();
+        let bytes = 8 << 20;
+        let t = m.allreduce_time(64, bytes);
+        let wire = 2.0 * 63.0 / 64.0 * bytes as f64 / m.net.bandwidth;
+        assert!((t - wire) / wire < 0.05, "t = {t}, wire = {wire}");
+        // and beats the naive tree by a wide margin
+        let tree = 2.0 * 6.0 * m.net.transfer_time(bytes);
+        assert!(t < tree / 3.0);
+    }
+
+    #[test]
+    fn allreduce_monotone_in_nodes_and_bytes() {
+        let m = model();
+        assert!(m.allreduce_time(4, 8) < m.allreduce_time(64, 8));
+        assert!(m.allreduce_time(16, 64) < m.allreduce_time(16, 1 << 22));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = model().broadcast_time(0, 8);
+    }
+}

@@ -1,0 +1,28 @@
+//! # netsim — the simulated interconnect
+//!
+//! The paper's experiments ran over InfiniBand QDR (NaCL) and Intel
+//! Omni-Path (Stampede2). This crate substitutes a calibrated
+//! point-to-point cost model running inside the [`desim`] engine:
+//!
+//! * [`model`] — [`NetworkModel`]: LogGP-style `o + L + n/B` with an
+//!   eager/rendezvous protocol switch, parameterized per machine profile;
+//! * [`topology`] — [`ProcessGrid`]: the square logical node grid the
+//!   paper arranges its runs on, over a full-crossbar fabric;
+//! * [`message`] — [`Message`]: size-carrying (and optionally
+//!   payload-carrying) point-to-point messages;
+//! * [`netpipe`] — the NetPIPE ping-pong benchmark, reproducing the
+//!   bandwidth-vs-message-size curves of the paper's Figure 5;
+//! * [`collective`] — tree and Rabenseifner collective cost models for the
+//!   Krylov-solver workloads the paper motivates.
+
+pub mod collective;
+pub mod message;
+pub mod model;
+pub mod netpipe;
+pub mod topology;
+
+pub use collective::CollectiveModel;
+pub use message::{Message, Tag};
+pub use model::NetworkModel;
+pub use netpipe::{netpipe_sweep, ping_pong, NetPipePoint};
+pub use topology::{NodeId, ProcessGrid};

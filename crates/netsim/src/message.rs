@@ -1,0 +1,69 @@
+//! Message descriptors exchanged between nodes in the simulated fabric.
+
+use crate::topology::NodeId;
+use bytes::Bytes;
+
+/// A tag disambiguating messages between the same (src, dst) pair; the
+/// runtime encodes (task class, flow, parameters) into it.
+pub type Tag = u64;
+
+/// One point-to-point message. The payload is optional: performance-only
+/// simulations carry sizes, correctness-carrying simulations attach the
+/// actual bytes.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Match tag.
+    pub tag: Tag,
+    /// Logical size in bytes (what the cost model charges). Always set,
+    /// even when `payload` is `None`.
+    pub bytes: usize,
+    /// Optional actual payload.
+    pub payload: Option<Bytes>,
+}
+
+impl Message {
+    /// A size-only message (performance simulation).
+    pub fn sized(src: NodeId, dst: NodeId, tag: Tag, bytes: usize) -> Self {
+        Message {
+            src,
+            dst,
+            tag,
+            bytes,
+            payload: None,
+        }
+    }
+
+    /// A message carrying real data; the charged size is the payload size.
+    pub fn with_payload(src: NodeId, dst: NodeId, tag: Tag, payload: Bytes) -> Self {
+        Message {
+            src,
+            dst,
+            tag,
+            bytes: payload.len(),
+            payload: Some(payload),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sized_has_no_payload() {
+        let m = Message::sized(0, 1, 42, 1024);
+        assert_eq!(m.bytes, 1024);
+        assert!(m.payload.is_none());
+    }
+
+    #[test]
+    fn payload_sets_size() {
+        let m = Message::with_payload(2, 3, 7, Bytes::from(vec![0u8; 64]));
+        assert_eq!(m.bytes, 64);
+        assert_eq!(m.payload.as_ref().unwrap().len(), 64);
+    }
+}

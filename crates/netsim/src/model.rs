@@ -1,0 +1,162 @@
+//! Point-to-point message cost model.
+//!
+//! A LogGP-flavoured model with an eager/rendezvous protocol switch, the
+//! same structure MPI implementations expose and the shape NetPIPE measures
+//! (paper Figure 5):
+//!
+//! * **eager** (small messages): `o + L + n / B`
+//! * **rendezvous** (large messages): `o + 3·L + n / B` — the extra
+//!   round-trip is the ready-to-send handshake.
+//!
+//! `L` is the one-way latency (~1 µs on both of the paper's systems), `o`
+//! the sender's injection overhead, and `B` the *effective* bandwidth (the
+//! paper: ~27 of 32 Gb/s on NaCL, ~86 of 100 Gb/s on Stampede2). Measured
+//! bandwidth therefore rises from a few percent of peak at 256 B toward
+//! `B_eff / B_peak` (84–86 %) for megabyte messages — exactly the Figure 5
+//! curves, including the small dip at the protocol switch.
+
+use machine::MachineProfile;
+use serde::Serialize;
+
+/// Cost model for one interconnect.
+#[derive(Debug, Clone, Serialize)]
+pub struct NetworkModel {
+    /// One-way latency, seconds.
+    pub latency: f64,
+    /// Per-message injection overhead, seconds.
+    pub overhead: f64,
+    /// Effective bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// Theoretical peak bandwidth, bytes/s (for percent-of-peak reporting).
+    pub peak_bandwidth: f64,
+    /// Eager→rendezvous protocol switch point, bytes.
+    pub rendezvous_threshold: usize,
+}
+
+impl NetworkModel {
+    /// Build the model from a machine profile's network parameters.
+    pub fn from_profile(p: &MachineProfile) -> Self {
+        NetworkModel {
+            latency: p.net_latency,
+            overhead: p.net_msg_overhead,
+            bandwidth: p.net_eff_bw_bytes(),
+            peak_bandwidth: p.net_peak_bw_bytes(),
+            rendezvous_threshold: p.rendezvous_threshold,
+        }
+    }
+
+    /// True when `bytes` is carried by the rendezvous protocol.
+    pub fn is_rendezvous(&self, bytes: usize) -> bool {
+        bytes >= self.rendezvous_threshold
+    }
+
+    /// One-way time (seconds) to deliver a `bytes`-byte message between two
+    /// distinct nodes.
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        let protocol_latency = if self.is_rendezvous(bytes) {
+            3.0 * self.latency
+        } else {
+            self.latency
+        };
+        self.overhead + protocol_latency + bytes as f64 / self.bandwidth
+    }
+
+    /// Sender-side occupancy (seconds) of one message: how long the comm
+    /// engine is busy before it can start the next send. The wire time is
+    /// charged here too because a single NIC port serializes back-to-back
+    /// sends of large messages.
+    pub fn sender_occupancy(&self, bytes: usize) -> f64 {
+        self.overhead + bytes as f64 / self.bandwidth
+    }
+
+    /// Effective bandwidth (bytes/s) observed for a message of `bytes`.
+    pub fn effective_bandwidth(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.transfer_time(bytes)
+    }
+
+    /// Fraction of theoretical peak achieved for a message of `bytes`.
+    pub fn percent_of_peak(&self, bytes: usize) -> f64 {
+        100.0 * self.effective_bandwidth(bytes) / self.peak_bandwidth
+    }
+
+    /// The message size at which half the effective bandwidth is reached
+    /// (the classic `n_1/2` figure of merit).
+    pub fn half_bandwidth_point(&self) -> f64 {
+        // n / (o + L + n/B) = B/2  =>  n = B (o + L)
+        self.bandwidth * (self.overhead + self.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nacl() -> NetworkModel {
+        NetworkModel::from_profile(&MachineProfile::nacl())
+    }
+
+    #[test]
+    fn latency_floor_for_tiny_messages() {
+        let m = nacl();
+        let t = m.transfer_time(8);
+        // ~ o + L = 2 µs plus negligible wire time
+        assert!((t - 2e-6).abs() < 0.1e-6, "t = {t}");
+    }
+
+    #[test]
+    fn large_messages_approach_effective_bandwidth() {
+        let m = nacl();
+        let bw = m.effective_bandwidth(16 * 1024 * 1024);
+        assert!(bw > 0.98 * m.bandwidth, "bw = {bw}");
+    }
+
+    #[test]
+    fn percent_of_peak_matches_paper_asymptote() {
+        // NaCL: 27 of 32 Gb/s ≈ 84 % at large sizes.
+        let m = nacl();
+        let pct = m.percent_of_peak(4 * 1024 * 1024);
+        assert!((pct - 84.0).abs() < 2.0, "pct = {pct}");
+        // Small messages achieve only a few percent.
+        assert!(m.percent_of_peak(256) < 5.0);
+    }
+
+    #[test]
+    fn rendezvous_adds_handshake() {
+        let m = nacl();
+        let just_below = m.transfer_time(m.rendezvous_threshold - 1);
+        let just_above = m.transfer_time(m.rendezvous_threshold);
+        let extra = just_above - just_below;
+        // two extra latency hops, minus one byte of wire time
+        assert!((extra - 2.0 * m.latency).abs() < 1e-9, "extra = {extra}");
+    }
+
+    #[test]
+    fn transfer_time_monotone_within_protocol() {
+        let m = nacl();
+        let mut last = 0.0;
+        for bytes in [1usize, 64, 1024, 32 * 1024, 63 * 1024] {
+            let t = m.transfer_time(bytes);
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn half_bandwidth_point_is_consistent() {
+        let m = nacl();
+        let n = m.half_bandwidth_point();
+        // At n_1/2 bytes the achieved bandwidth is half the effective
+        // bandwidth (within the eager regime).
+        assert!(n < m.rendezvous_threshold as f64);
+        let bw = m.effective_bandwidth(n as usize);
+        assert!((bw / (m.bandwidth / 2.0) - 1.0).abs() < 0.01, "bw = {bw}");
+    }
+
+    #[test]
+    fn sender_occupancy_below_transfer_time() {
+        let m = nacl();
+        for bytes in [64usize, 4096, 1 << 20] {
+            assert!(m.sender_occupancy(bytes) < m.transfer_time(bytes));
+        }
+    }
+}

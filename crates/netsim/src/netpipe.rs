@@ -1,0 +1,181 @@
+//! NetPIPE, simulated: the ping-pong benchmark the paper runs in Section
+//! VI-A to characterize each system's interconnect (Figure 5).
+//!
+//! Two nodes bounce a message of a given size back and forth through the
+//! [`NetworkModel`] inside the discrete-event engine; the reported bandwidth
+//! is `bytes / one-way time`, and Figure 5 plots it as a percentage of the
+//! theoretical peak (32 Gb/s NaCL, 100 Gb/s Stampede2).
+
+use crate::model::NetworkModel;
+use desim::{Engine, Model, Scheduler, VirtualDuration, VirtualTime};
+use machine::MachineProfile;
+use serde::Serialize;
+
+/// One point of the NetPIPE curve.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct NetPipePoint {
+    /// Message size, bytes.
+    pub bytes: usize,
+    /// Measured one-way time, seconds.
+    pub one_way_time: f64,
+    /// Achieved bandwidth, bits/s.
+    pub bandwidth_bits: f64,
+    /// Achieved bandwidth as a percentage of theoretical peak.
+    pub percent_of_peak: f64,
+}
+
+/// Ping-pong state machine between node 0 and node 1.
+struct PingPong {
+    model: NetworkModel,
+    bytes: usize,
+    remaining: u32,
+    finished_at: VirtualTime,
+}
+
+/// A message arrival at one end of the ping-pong.
+struct Arrival;
+
+impl Model for PingPong {
+    type Event = Arrival;
+    fn handle(&mut self, now: VirtualTime, _ev: Arrival, sched: &mut Scheduler<Arrival>) {
+        self.finished_at = now;
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            let t = VirtualDuration::from_secs_f64(self.model.transfer_time(self.bytes));
+            sched.schedule_in(t, Arrival);
+        }
+    }
+}
+
+/// Run the ping-pong for one message size. `reps` round trips are timed
+/// (NetPIPE uses enough repetitions to amortize clock resolution; in virtual
+/// time one would suffice, but we keep several to exercise the engine).
+pub fn ping_pong(model: &NetworkModel, bytes: usize, reps: u32) -> NetPipePoint {
+    assert!(reps > 0, "need at least one repetition");
+    let hops = 2 * reps; // each round trip is two one-way transfers
+    let mut engine = Engine::new(PingPong {
+        model: model.clone(),
+        bytes,
+        remaining: hops,
+        finished_at: VirtualTime::ZERO,
+    });
+    // Kick off: the first send is initiated at t = 0; the first Arrival
+    // event below is the completion of that send.
+    engine.prime_at(
+        VirtualTime::ZERO + VirtualDuration::from_secs_f64(model.transfer_time(bytes)),
+        Arrival,
+    );
+    engine.run();
+    let total = engine.model().finished_at.as_secs_f64();
+    // `hops + 1` arrivals were delivered (the priming one plus `hops`
+    // scheduled in handle), i.e. `hops + 1` one-way transfers total.
+    let one_way = total / (hops + 1) as f64;
+    let bandwidth_bits = bytes as f64 * 8.0 / one_way;
+    NetPipePoint {
+        bytes,
+        one_way_time: one_way,
+        bandwidth_bits,
+        percent_of_peak: 100.0 * bandwidth_bits / (model.peak_bandwidth * 8.0),
+    }
+}
+
+/// The standard NetPIPE size ladder: powers of two from `min` to `max`
+/// with the classic ±3-byte perturbations omitted (they exist to catch
+/// alignment bugs in real NICs, which the model does not have).
+pub fn size_ladder(min: usize, max: usize) -> Vec<usize> {
+    assert!(min > 0 && min <= max, "bad size range");
+    let mut sizes = Vec::new();
+    let mut s = min;
+    while s <= max {
+        sizes.push(s);
+        s *= 2;
+    }
+    sizes
+}
+
+/// Full sweep over a machine profile's interconnect: the Figure 5 series.
+pub fn netpipe_sweep(profile: &MachineProfile, min: usize, max: usize) -> Vec<NetPipePoint> {
+    let model = NetworkModel::from_profile(profile);
+    size_ladder(min, max)
+        .into_iter()
+        .map(|bytes| ping_pong(&model, bytes, 8))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nacl_model() -> NetworkModel {
+        NetworkModel::from_profile(&MachineProfile::nacl())
+    }
+
+    #[test]
+    fn simulated_ping_pong_matches_analytic_model() {
+        let m = nacl_model();
+        for bytes in [64usize, 4096, 1 << 20] {
+            let p = ping_pong(&m, bytes, 4);
+            let expected = m.transfer_time(bytes);
+            // virtual time is quantized to whole nanoseconds
+            assert!(
+                (p.one_way_time - expected).abs() / expected < 1e-3,
+                "bytes {bytes}: simulated {} vs analytic {expected}",
+                p.one_way_time
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_bandwidth_within_protocol() {
+        let pts = netpipe_sweep(&MachineProfile::nacl(), 256, 32 * 1024);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].bandwidth_bits > w[0].bandwidth_bits,
+                "bandwidth dropped from {} to {} bytes",
+                w[0].bytes,
+                w[1].bytes
+            );
+        }
+    }
+
+    #[test]
+    fn nacl_asymptote_near_84_percent() {
+        let pts = netpipe_sweep(&MachineProfile::nacl(), 1 << 20, 8 << 20);
+        let last = pts.last().unwrap();
+        assert!(
+            (last.percent_of_peak - 84.0).abs() < 2.0,
+            "asymptote = {}",
+            last.percent_of_peak
+        );
+    }
+
+    #[test]
+    fn stampede2_asymptote_near_86_percent() {
+        let pts = netpipe_sweep(&MachineProfile::stampede2(), 1 << 20, 8 << 20);
+        let last = pts.last().unwrap();
+        assert!(
+            (last.percent_of_peak - 86.0).abs() < 2.0,
+            "asymptote = {}",
+            last.percent_of_peak
+        );
+    }
+
+    #[test]
+    fn small_messages_latency_bound() {
+        let pts = netpipe_sweep(&MachineProfile::nacl(), 256, 256);
+        assert!(pts[0].percent_of_peak < 5.0);
+        // one-way time is within 10% of the pure latency floor
+        assert!(pts[0].one_way_time < 1.1 * (1e-6 + 1e-6 + 256.0 / (27e9 / 8.0)));
+    }
+
+    #[test]
+    fn size_ladder_doubles() {
+        assert_eq!(size_ladder(256, 2048), vec![256, 512, 1024, 2048]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad size range")]
+    fn empty_ladder_rejected() {
+        size_ladder(0, 10);
+    }
+}

@@ -1,0 +1,48 @@
+//! # runtime — a PaRSEC-like dataflow task runtime
+//!
+//! The paper delegates inter-node communication of a 2D stencil to the
+//! PaRSEC runtime; this crate is a from-scratch Rust reimplementation of
+//! the parts that carry the paper's argument:
+//!
+//! * [`task`] — the Parameterized Task Graph model: task classes indexed
+//!   by integer parameters, declaring placement, dataflow inputs and
+//!   consumers as pure functions ([`TaskClass`], [`TaskGraph`],
+//!   [`Program`]);
+//! * [`pending`] — dynamic DAG unfolding by activation counting
+//!   ([`PendingTable`]);
+//! * [`validate`] — whole-graph consistency checking for tests
+//!   ([`validate::assert_valid`]);
+//! * [`real_exec`] — a shared-memory executor with real threads and real
+//!   task bodies (the paper's single-node runs, Figure 6);
+//! * [`mp_exec`] — a multi-process-semantics executor: a thread pool per
+//!   node plus a per-node communication thread, real channel-borne
+//!   messages (stress-tests the distributed logic under true races);
+//! * [`sim_exec`] — a virtual-time executor over [`desim`]/[`netsim`]: a
+//!   whole cluster per run, one comm thread per node, optional real body
+//!   execution, trace capture (Figures 7–10);
+//! * [`profiling`] — Figure 10-style occupancy/Gantt analysis;
+//! * [`dtd`] — the Dynamic Task Discovery insertion API (PaRSEC's second
+//!   DSL) as an alternative front-end;
+//! * [`halo`] — the paper's future-work feature: a generic
+//!   communication-avoiding halo-exchange framework where the runtime
+//!   generates and schedules the redundant tasks transparently.
+
+pub mod dtd;
+pub mod halo;
+pub mod mp_exec;
+pub mod pending;
+pub mod profiling;
+pub mod ready_queue;
+pub mod real_exec;
+pub mod sim_exec;
+pub mod task;
+pub mod validate;
+
+pub use dtd::{DtdBuilder, DtdTaskId};
+pub use halo::{build_halo_program, HaloSpec};
+pub use mp_exec::{run_multiprocess, MpRunReport};
+pub use pending::{PendingTable, ReadyTask};
+pub use real_exec::{run_shared_memory, RealRunReport};
+pub use sim_exec::{run_simulated, SchedulerPolicy, SimConfig, SimRunReport, KIND_COMM};
+pub use task::{ClassId, FlowData, OutputDep, Params, Program, TaskClass, TaskGraph, TaskKey};
+pub use validate::{assert_valid, validate_program, GraphError};

@@ -1,0 +1,224 @@
+//! Activation counting: the dynamic DAG-unfolding bookkeeping shared by
+//! both executors.
+//!
+//! A task is *pending* from the moment its first input flow arrives until
+//! all of its inputs have arrived, at which point it becomes *ready* and
+//! leaves the table. This mirrors PaRSEC's activation counters: no global
+//! graph is ever built, memory is proportional to the wavefront.
+
+use crate::task::{FlowData, TaskGraph, TaskKey};
+use std::collections::HashMap;
+
+/// A task whose inputs are all present, ready for dispatch.
+pub struct ReadyTask {
+    /// The task.
+    pub key: TaskKey,
+    /// Input slots, indexed as the producers' [`crate::task::OutputDep::slot`]s.
+    pub inputs: Vec<Option<FlowData>>,
+}
+
+impl std::fmt::Debug for ReadyTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ReadyTask({:?}, {} inputs)", self.key, self.inputs.len())
+    }
+}
+
+struct Pending {
+    remaining: usize,
+    inputs: Vec<Option<FlowData>>,
+}
+
+/// The activation table.
+#[derive(Default)]
+pub struct PendingTable {
+    map: HashMap<TaskKey, Pending>,
+    delivered: u64,
+}
+
+impl PendingTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deliver one flow into `consumer`'s input `slot`. Returns the ready
+    /// task when this was the last missing input.
+    ///
+    /// Panics if the slot is out of range or already filled — both indicate
+    /// an inconsistent task graph (see [`crate::validate`]).
+    pub fn deliver(
+        &mut self,
+        graph: &TaskGraph,
+        consumer: TaskKey,
+        slot: usize,
+        data: FlowData,
+    ) -> Option<ReadyTask> {
+        self.delivered += 1;
+        let entry = self.map.entry(consumer).or_insert_with(|| {
+            let class = graph.class(consumer.class);
+            let remaining = class.activation_count(consumer.params);
+            assert!(
+                remaining > 0,
+                "{:?} received a flow but declares zero inputs",
+                consumer
+            );
+            Pending {
+                remaining,
+                inputs: vec![None; class.num_input_slots(consumer.params)],
+            }
+        });
+        assert!(
+            slot < entry.inputs.len(),
+            "{consumer:?}: slot {slot} out of range ({} slots)",
+            entry.inputs.len()
+        );
+        assert!(
+            entry.inputs[slot].is_none(),
+            "{consumer:?}: slot {slot} delivered twice"
+        );
+        entry.inputs[slot] = Some(data);
+        entry.remaining -= 1;
+        if entry.remaining == 0 {
+            let p = self.map.remove(&consumer).expect("entry just touched");
+            Some(ReadyTask {
+                key: consumer,
+                inputs: p.inputs,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Make a root task (zero activation count) ready directly.
+    pub fn root(graph: &TaskGraph, key: TaskKey) -> ReadyTask {
+        let class = graph.class(key.class);
+        assert_eq!(
+            class.activation_count(key.params),
+            0,
+            "{key:?} is not a root (activation count nonzero)"
+        );
+        ReadyTask {
+            key,
+            inputs: vec![None; class.num_input_slots(key.params)],
+        }
+    }
+
+    /// Number of tasks currently waiting for more inputs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no task is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total flows delivered through this table.
+    pub fn flows_delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Keys of tasks stuck waiting (diagnostics for deadlocked graphs).
+    pub fn stuck_tasks(&self) -> Vec<TaskKey> {
+        self.map.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::testutil::ExplicitDag;
+    use crate::task::TaskGraph;
+    use std::collections::HashMap as Map;
+    use std::sync::Arc;
+
+    fn graph_with_indeg(indeg: &[(i32, usize)]) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        g.add_class(Arc::new(ExplicitDag {
+            name: "t".into(),
+            edges: Map::new(),
+            indeg: indeg.iter().copied().collect(),
+            node: Map::new(),
+            cost: 0.0,
+            bytes: 8,
+        }));
+        g
+    }
+
+    fn key(i: i32) -> TaskKey {
+        TaskKey::new(0, [i, 0, 0, 0])
+    }
+
+    #[test]
+    fn task_fires_when_all_inputs_arrive() {
+        let g = graph_with_indeg(&[(1, 3)]);
+        let mut t = PendingTable::new();
+        assert!(t.deliver(&g, key(1), 0, FlowData::sized(8)).is_none());
+        assert!(t.deliver(&g, key(1), 2, FlowData::sized(8)).is_none());
+        assert_eq!(t.len(), 1);
+        let ready = t.deliver(&g, key(1), 1, FlowData::sized(8)).unwrap();
+        assert_eq!(ready.key, key(1));
+        assert_eq!(ready.inputs.len(), 3);
+        assert!(ready.inputs.iter().all(Option::is_some));
+        assert!(t.is_empty());
+        assert_eq!(t.flows_delivered(), 3);
+    }
+
+    #[test]
+    fn single_input_task_fires_immediately() {
+        let g = graph_with_indeg(&[(7, 1)]);
+        let mut t = PendingTable::new();
+        assert!(t.deliver(&g, key(7), 0, FlowData::sized(1)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "delivered twice")]
+    fn double_delivery_panics() {
+        let g = graph_with_indeg(&[(1, 2)]);
+        let mut t = PendingTable::new();
+        let _ = t.deliver(&g, key(1), 0, FlowData::sized(8));
+        let _ = t.deliver(&g, key(1), 0, FlowData::sized(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "slot 5 out of range")]
+    fn out_of_range_slot_panics() {
+        let g = graph_with_indeg(&[(1, 2)]);
+        let mut t = PendingTable::new();
+        let _ = t.deliver(&g, key(1), 5, FlowData::sized(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero inputs")]
+    fn delivering_to_root_panics() {
+        let g = graph_with_indeg(&[(1, 0)]);
+        let mut t = PendingTable::new();
+        let _ = t.deliver(&g, key(1), 0, FlowData::sized(8));
+    }
+
+    #[test]
+    fn root_constructs_ready_task() {
+        let g = graph_with_indeg(&[(4, 0)]);
+        let r = PendingTable::root(&g, key(4));
+        assert_eq!(r.key, key(4));
+        assert!(r.inputs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a root")]
+    fn root_on_dependent_task_panics() {
+        let g = graph_with_indeg(&[(4, 2)]);
+        let _ = PendingTable::root(&g, key(4));
+    }
+
+    #[test]
+    fn stuck_tasks_reported() {
+        let g = graph_with_indeg(&[(1, 2), (2, 2)]);
+        let mut t = PendingTable::new();
+        let _ = t.deliver(&g, key(1), 0, FlowData::sized(8));
+        let _ = t.deliver(&g, key(2), 0, FlowData::sized(8));
+        let mut stuck = t.stuck_tasks();
+        stuck.sort_by_key(|k| k.params[0]);
+        assert_eq!(stuck, vec![key(1), key(2)]);
+    }
+}

@@ -1,0 +1,151 @@
+//! The node-local ready queue, parameterized by scheduling policy.
+//!
+//! PaRSEC's schedulers differ in which ready task a worker picks; the
+//! policies here are the ones the experiments ablate: FIFO (breadth-first,
+//! fair), LIFO (depth-first, cache-friendly), and priority order (e.g.
+//! boundary tiles first, so their strips reach the communication thread
+//! as early as possible — a standard PaRSEC trick for hiding latency).
+
+use crate::pending::ReadyTask;
+use crate::sim_exec::SchedulerPolicy;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+struct Entry {
+    priority: i32,
+    seq: u64,
+    task: ReadyTask,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // max-heap: higher priority first, FIFO (lower seq) within a level
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A policy-aware ready queue.
+pub struct ReadyQueue {
+    policy: SchedulerPolicy,
+    deque: VecDeque<ReadyTask>,
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+impl ReadyQueue {
+    /// Empty queue with the given policy.
+    pub fn new(policy: SchedulerPolicy) -> Self {
+        ReadyQueue {
+            policy,
+            deque: VecDeque::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Enqueue a ready task with its priority (ignored by FIFO/LIFO).
+    pub fn push(&mut self, task: ReadyTask, priority: i32) {
+        match self.policy {
+            SchedulerPolicy::Fifo | SchedulerPolicy::Lifo => self.deque.push_back(task),
+            SchedulerPolicy::Priority => {
+                let seq = self.seq;
+                self.seq += 1;
+                self.heap.push(Entry {
+                    priority,
+                    seq,
+                    task,
+                });
+            }
+        }
+    }
+
+    /// Take the next task per the policy.
+    pub fn pop(&mut self) -> Option<ReadyTask> {
+        match self.policy {
+            SchedulerPolicy::Fifo => self.deque.pop_front(),
+            SchedulerPolicy::Lifo => self.deque.pop_back(),
+            SchedulerPolicy::Priority => self.heap.pop().map(|e| e.task),
+        }
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.deque.is_empty() && self.heap.is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.deque.len() + self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskKey;
+
+    fn task(i: i32) -> ReadyTask {
+        ReadyTask {
+            key: TaskKey::new(0, [i, 0, 0, 0]),
+            inputs: Vec::new(),
+        }
+    }
+
+    fn drain_ids(q: &mut ReadyQueue) -> Vec<i32> {
+        let mut out = Vec::new();
+        while let Some(t) = q.pop() {
+            out.push(t.key.params[0]);
+        }
+        out
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = ReadyQueue::new(SchedulerPolicy::Fifo);
+        for i in 0..4 {
+            q.push(task(i), 0);
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!(drain_ids(&mut q), vec![0, 1, 2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn lifo_order() {
+        let mut q = ReadyQueue::new(SchedulerPolicy::Lifo);
+        for i in 0..4 {
+            q.push(task(i), 0);
+        }
+        assert_eq!(drain_ids(&mut q), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn priority_order_with_fifo_ties() {
+        let mut q = ReadyQueue::new(SchedulerPolicy::Priority);
+        q.push(task(0), 0);
+        q.push(task(1), 5);
+        q.push(task(2), 0);
+        q.push(task(3), 5);
+        q.push(task(4), -1);
+        assert_eq!(drain_ids(&mut q), vec![1, 3, 0, 2, 4]);
+    }
+
+    #[test]
+    fn empty_pop_is_none() {
+        let mut q = ReadyQueue::new(SchedulerPolicy::Priority);
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,384 @@
+//! The shared-memory executor: real threads, real task bodies, wall-clock
+//! time.
+//!
+//! This is the runtime the paper's single-node experiments exercise
+//! (Figure 6's tile-size tuning runs PaRSEC "on a single node (no network
+//! communication)"). All tasks execute in one address space; inter-task
+//! flows are `Arc` hand-offs through the activation table. Worker threads
+//! pull ready tasks from a shared MPMC channel — tasks here are
+//! coarse-grained (hundreds of microseconds and up), so a channel's
+//! per-task overhead is noise, and FIFO dispatch matches the simulated
+//! executor's default scheduler.
+
+use crate::pending::{PendingTable, ReadyTask};
+use crate::task::Program;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Outcome of a shared-memory run.
+#[derive(Debug, Clone, Copy)]
+pub struct RealRunReport {
+    /// Wall-clock time of the parallel section, seconds.
+    pub wall_time: f64,
+    /// Tasks executed (always equals the program's `total_tasks` on
+    /// successful return).
+    pub tasks_executed: u64,
+    /// Total flows delivered between tasks.
+    pub flows_delivered: u64,
+}
+
+enum WorkItem {
+    Task(ReadyTask),
+    Shutdown,
+}
+
+struct Shared<'p> {
+    program: &'p Program,
+    pending: Mutex<PendingTable>,
+    tx: Sender<WorkItem>,
+    completed: AtomicU64,
+}
+
+impl<'p> Shared<'p> {
+    /// Execute one ready task and deliver its outputs; returns true when
+    /// this was the final task.
+    fn run_task(&self, mut ready: ReadyTask) -> bool {
+        let class = self.program.graph.class(ready.key.class);
+        let outputs = class.execute(ready.key.params, &mut ready.inputs);
+        for dep in class.outputs(ready.key.params) {
+            let data = outputs
+                .get(dep.flow)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "{:?}: execute produced {} flows but outputs reference flow {}",
+                        ready.key,
+                        outputs.len(),
+                        dep.flow
+                    )
+                })
+                .clone();
+            let now_ready =
+                self.pending
+                    .lock()
+                    .deliver(&self.program.graph, dep.consumer, dep.slot, data);
+            if let Some(t) = now_ready {
+                self.tx.send(WorkItem::Task(t)).expect("channel closed");
+            }
+        }
+        let done = self.completed.fetch_add(1, Ordering::AcqRel) + 1;
+        done == self.program.total_tasks
+    }
+}
+
+fn worker(rx: &Receiver<WorkItem>, shared: &Shared<'_>, threads: usize) {
+    // If the graph deadlocks (inconsistent declarations), fail loudly
+    // instead of hanging: ~10 s without any global progress trips a panic.
+    let mut idle_rounds = 0u32;
+    let mut last_seen = shared.completed.load(Ordering::Acquire);
+    loop {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(WorkItem::Task(t)) => {
+                idle_rounds = 0;
+                if shared.run_task(t) {
+                    for _ in 0..threads {
+                        shared.tx.send(WorkItem::Shutdown).expect("channel closed");
+                    }
+                }
+            }
+            Ok(WorkItem::Shutdown) => return,
+            Err(RecvTimeoutError::Timeout) => {
+                let now = shared.completed.load(Ordering::Acquire);
+                if now == last_seen {
+                    idle_rounds += 1;
+                } else {
+                    idle_rounds = 0;
+                    last_seen = now;
+                }
+                if idle_rounds > 200 {
+                    let stuck = shared.pending.lock().stuck_tasks();
+                    panic!(
+                        "shared-memory run stalled: {}/{} tasks done, {} pending (first stuck: {:?})",
+                        now,
+                        shared.program.total_tasks,
+                        stuck.len(),
+                        stuck.first()
+                    );
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Run `program` to completion on `threads` worker threads, executing all
+/// task bodies, and report wall-clock time.
+///
+/// Panics if the program is empty, has no roots, or deadlocks.
+pub fn run_shared_memory(program: &Program, threads: usize) -> RealRunReport {
+    assert!(threads >= 1, "need at least one worker thread");
+    assert!(program.total_tasks > 0, "empty program");
+    assert!(!program.roots.is_empty(), "program has no root tasks");
+
+    let (tx, rx) = unbounded::<WorkItem>();
+    let shared = Shared {
+        program,
+        pending: Mutex::new(PendingTable::new()),
+        tx,
+        completed: AtomicU64::new(0),
+    };
+
+    for &root in &program.roots {
+        let ready = PendingTable::root(&program.graph, root);
+        shared.tx.send(WorkItem::Task(ready)).expect("fresh channel");
+    }
+
+    let start = Instant::now();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let shared = &shared;
+            s.spawn(move |_| worker(&rx, shared, threads));
+        }
+    })
+    .expect("worker panicked");
+    let wall_time = start.elapsed().as_secs_f64();
+
+    let completed = shared.completed.load(Ordering::Acquire);
+    assert_eq!(
+        completed, program.total_tasks,
+        "run finished early: {completed}/{} tasks",
+        program.total_tasks
+    );
+    let pending = shared.pending.into_inner();
+    assert!(
+        pending.is_empty(),
+        "run finished with {} tasks still pending",
+        pending.len()
+    );
+
+    RealRunReport {
+        wall_time,
+        tasks_executed: completed,
+        flows_delivered: pending.flows_delivered(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::testutil::ExplicitDag;
+    use crate::task::{Program, TaskGraph, TaskKey};
+    use std::collections::HashMap as Map;
+    use std::sync::Arc;
+
+    fn chain_program(n: i32) -> Program {
+        // 0 -> 1 -> 2 -> ... -> n-1
+        let mut edges: Map<i32, Vec<(i32, usize)>> = Map::new();
+        let mut indeg: Map<i32, usize> = Map::new();
+        for i in 0..n - 1 {
+            edges.insert(i, vec![(i + 1, 0)]);
+            indeg.insert(i + 1, 1);
+        }
+        let mut g = TaskGraph::new();
+        g.add_class(Arc::new(ExplicitDag {
+            name: "chain".into(),
+            edges,
+            indeg,
+            node: Map::new(),
+            cost: 0.0,
+            bytes: 8,
+        }));
+        Program {
+            graph: Arc::new(g),
+            roots: vec![TaskKey::new(0, [0, 0, 0, 0])],
+            total_tasks: n as u64,
+        }
+    }
+
+    fn fan_program(width: i32) -> Program {
+        // 0 fans out to 1..=width, all fan into width+1
+        let sink = width + 1;
+        let mut edges: Map<i32, Vec<(i32, usize)>> = Map::new();
+        let mut indeg: Map<i32, usize> = Map::new();
+        edges.insert(0, (1..=width).map(|i| (i, 0)).collect());
+        for i in 1..=width {
+            edges.insert(i, vec![(sink, (i - 1) as usize)]);
+            indeg.insert(i, 1);
+        }
+        indeg.insert(sink, width as usize);
+        let mut g = TaskGraph::new();
+        g.add_class(Arc::new(ExplicitDag {
+            name: "fan".into(),
+            edges,
+            indeg,
+            node: Map::new(),
+            cost: 0.0,
+            bytes: 8,
+        }));
+        Program {
+            graph: Arc::new(g),
+            roots: vec![TaskKey::new(0, [0, 0, 0, 0])],
+            total_tasks: (width + 2) as u64,
+        }
+    }
+
+    #[test]
+    fn chain_completes_single_thread() {
+        let p = chain_program(50);
+        let r = run_shared_memory(&p, 1);
+        assert_eq!(r.tasks_executed, 50);
+        assert_eq!(r.flows_delivered, 49);
+    }
+
+    #[test]
+    fn chain_completes_many_threads() {
+        let p = chain_program(100);
+        let r = run_shared_memory(&p, 8);
+        assert_eq!(r.tasks_executed, 100);
+    }
+
+    #[test]
+    fn fan_out_fan_in_completes() {
+        let p = fan_program(64);
+        let r = run_shared_memory(&p, 4);
+        assert_eq!(r.tasks_executed, 66);
+        assert_eq!(r.flows_delivered, 128);
+    }
+
+    #[test]
+    fn repeated_runs_agree() {
+        for _ in 0..5 {
+            let p = fan_program(16);
+            let r = run_shared_memory(&p, 3);
+            assert_eq!(r.tasks_executed, 18);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one worker")]
+    fn zero_threads_rejected() {
+        run_shared_memory(&chain_program(2), 0);
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use crate::task::{FlowData, OutputDep, Params, Program, TaskClass, TaskGraph, TaskKey};
+    use std::sync::Arc;
+
+    /// A class whose body panics on a chosen task.
+    struct Exploding {
+        bomb: i32,
+    }
+
+    impl TaskClass for Exploding {
+        fn name(&self) -> &str {
+            "exploding"
+        }
+        fn node_of(&self, _p: Params) -> u32 {
+            0
+        }
+        fn activation_count(&self, p: Params) -> usize {
+            usize::from(p[0] > 0)
+        }
+        fn num_output_flows(&self, p: Params) -> usize {
+            usize::from(p[0] < 3)
+        }
+        fn outputs(&self, p: Params) -> Vec<OutputDep> {
+            if p[0] < 3 {
+                vec![OutputDep {
+                    flow: 0,
+                    consumer: TaskKey::new(0, [p[0] + 1, 0, 0, 0]),
+                    slot: 0,
+                }]
+            } else {
+                vec![]
+            }
+        }
+        fn execute(&self, p: Params, _i: &mut [Option<FlowData>]) -> Vec<FlowData> {
+            assert!(p[0] != self.bomb, "task body failure injected");
+            vec![FlowData::sized(8); self.num_output_flows(p)]
+        }
+        fn output_bytes(&self, _p: Params, _f: usize) -> usize {
+            8
+        }
+        fn cost(&self, _p: Params) -> f64 {
+            1e-6
+        }
+    }
+
+    fn chain(bomb: i32) -> Program {
+        let mut g = TaskGraph::new();
+        g.add_class(Arc::new(Exploding { bomb }));
+        Program {
+            graph: Arc::new(g),
+            roots: vec![TaskKey::new(0, [0, 0, 0, 0])],
+            total_tasks: 4,
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn body_panic_fails_the_run_loudly() {
+        let _ = run_shared_memory(&chain(2), 2);
+    }
+
+    #[test]
+    fn clean_bodies_complete() {
+        let r = run_shared_memory(&chain(-1), 2);
+        assert_eq!(r.tasks_executed, 4);
+    }
+
+    /// A class that produces fewer flows than its outputs reference.
+    struct ShortOutputs;
+    impl TaskClass for ShortOutputs {
+        fn name(&self) -> &str {
+            "short"
+        }
+        fn node_of(&self, _p: Params) -> u32 {
+            0
+        }
+        fn activation_count(&self, p: Params) -> usize {
+            usize::from(p[0] > 0)
+        }
+        fn num_output_flows(&self, _p: Params) -> usize {
+            1
+        }
+        fn outputs(&self, p: Params) -> Vec<OutputDep> {
+            if p[0] == 0 {
+                vec![OutputDep {
+                    flow: 0,
+                    consumer: TaskKey::new(0, [1, 0, 0, 0]),
+                    slot: 0,
+                }]
+            } else {
+                vec![]
+            }
+        }
+        fn execute(&self, _p: Params, _i: &mut [Option<FlowData>]) -> Vec<FlowData> {
+            Vec::new() // bug under test: declared one flow, produced none
+        }
+        fn output_bytes(&self, _p: Params, _f: usize) -> usize {
+            8
+        }
+        fn cost(&self, _p: Params) -> f64 {
+            1e-6
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn missing_output_flow_detected() {
+        let mut g = TaskGraph::new();
+        g.add_class(Arc::new(ShortOutputs));
+        let p = Program {
+            graph: Arc::new(g),
+            roots: vec![TaskKey::new(0, [0, 0, 0, 0])],
+            total_tasks: 2,
+        };
+        let _ = run_shared_memory(&p, 1);
+    }
+}

@@ -1,0 +1,725 @@
+//! The simulated distributed executor: the dataflow runtime running on the
+//! virtual cluster.
+//!
+//! Each node owns `compute_threads` worker lanes plus a dedicated
+//! communication engine, matching the paper's PaRSEC configuration ("one
+//! process per node, with one thread dedicated for communication while the
+//! remaining ones for computation"). Task service times come from the task
+//! class's cost model; message times come from the [`netsim`] network
+//! model. Task *bodies* can optionally execute for real inside the
+//! simulation, so the same run that predicts performance also verifies
+//! numerics.
+//!
+//! The executor reproduces the two properties the paper leans on:
+//!
+//! * **communication/computation overlap** — sends progress on the comm
+//!   engine while worker lanes keep executing ready tasks;
+//! * **dataflow scheduling** — a task fires the instant its last input
+//!   arrives; there are no barriers between iterations.
+
+use crate::pending::{PendingTable, ReadyTask};
+use crate::ready_queue::ReadyQueue;
+use crate::task::{FlowData, Program, TaskKey};
+use desim::{Engine, Model, Scheduler, Span, TimeWeighted, TraceBuffer, VirtualDuration, VirtualTime};
+use machine::MachineProfile;
+use netsim::NetworkModel;
+use serde::Serialize;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Trace kind used for communication-engine spans (task kinds are
+/// application-defined and small).
+pub const KIND_COMM: u32 = 1000;
+
+/// Ready-queue discipline of the node-local scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SchedulerPolicy {
+    /// Oldest ready task first (default; matches the real executor).
+    Fifo,
+    /// Newest ready task first (depth-first; PaRSEC's default locality
+    /// heuristic).
+    Lifo,
+    /// Highest [`crate::task::TaskClass::priority`] first, FIFO within a
+    /// level (e.g. boundary tiles before interior tiles, so their strips
+    /// reach the comm thread early).
+    Priority,
+}
+
+/// Configuration of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The machine whose nodes and network are simulated.
+    pub profile: MachineProfile,
+    /// Number of nodes; every task's `node_of` must map below this.
+    pub nodes: u32,
+    /// Execute task bodies (verifies numerics) or skip them (performance
+    /// only).
+    pub execute_bodies: bool,
+    /// Record per-task spans for Figure 10-style analysis.
+    pub capture_trace: bool,
+    /// Ready-queue discipline.
+    pub scheduler: SchedulerPolicy,
+    /// Parallel send engines per node (1 = the paper's single dedicated
+    /// communication thread).
+    pub comm_engines: usize,
+}
+
+impl SimConfig {
+    /// The paper's configuration on `nodes` nodes of `profile`.
+    pub fn new(profile: MachineProfile, nodes: u32) -> Self {
+        SimConfig {
+            profile,
+            nodes,
+            execute_bodies: false,
+            capture_trace: false,
+            scheduler: SchedulerPolicy::Fifo,
+            comm_engines: 1,
+        }
+    }
+
+    /// Enable body execution.
+    pub fn with_bodies(mut self) -> Self {
+        self.execute_bodies = true;
+        self
+    }
+
+    /// Enable trace capture.
+    pub fn with_trace(mut self) -> Self {
+        self.capture_trace = true;
+        self
+    }
+
+    /// Select the scheduler policy.
+    pub fn with_scheduler(mut self, policy: SchedulerPolicy) -> Self {
+        self.scheduler = policy;
+        self
+    }
+}
+
+/// Outcome of a simulated run.
+#[derive(Debug)]
+pub struct SimRunReport {
+    /// Virtual time of the last task completion, seconds.
+    pub makespan: f64,
+    /// Tasks executed.
+    pub tasks_executed: u64,
+    /// Messages that crossed the network.
+    pub remote_messages: u64,
+    /// Bytes that crossed the network.
+    pub remote_bytes: u64,
+    /// Flows delivered node-locally.
+    pub local_flows: u64,
+    /// Per-node mean busy worker lanes divided by lane count, over the
+    /// makespan (the paper's "CPU occupancy").
+    pub node_occupancy: Vec<f64>,
+    /// Per-node communication-engine utilization over the makespan.
+    pub comm_utilization: Vec<f64>,
+    /// Captured spans, when requested.
+    pub trace: Option<TraceBuffer>,
+}
+
+/// Work item for a node's communication engine. Both directions cost
+/// `runtime_msg_cost` of comm-thread time: PaRSEC's dedicated communication
+/// thread resolves dependences, activates successors, and packs/unpacks on
+/// every message, and that per-message processing — amortized by the CA
+/// scheme's fewer, larger messages — is the resource the paper's Figures
+/// 8–10 are about.
+enum CommJob {
+    Send {
+        consumer: TaskKey,
+        slot: usize,
+        data: FlowData,
+    },
+    Recv {
+        consumer: TaskKey,
+        slot: usize,
+        data: FlowData,
+    },
+}
+
+struct Running {
+    lane: u32,
+    start: VirtualTime,
+    inputs: Vec<Option<FlowData>>,
+}
+
+struct NodeState {
+    free_lanes: Vec<u32>,
+    ready: ReadyQueue,
+    running: HashMap<TaskKey, Running>,
+    comm_queue: VecDeque<CommJob>,
+    comm_active: usize,
+    busy: TimeWeighted,
+    busy_now: u32,
+    comm_busy: TimeWeighted,
+}
+
+enum Ev {
+    Ready(ReadyTask),
+    TaskDone {
+        key: TaskKey,
+    },
+    /// A comm-engine job finished on `node`; for `Recv` jobs this also
+    /// delivers the flow.
+    CommDone {
+        node: u32,
+        started: VirtualTime,
+        deliver: Option<(TaskKey, usize, FlowData)>,
+    },
+    /// Wire delivery: the message reached the destination NIC and now
+    /// queues for receive processing.
+    Arrive {
+        consumer: TaskKey,
+        slot: usize,
+        data: FlowData,
+    },
+}
+
+struct Sim {
+    program: Arc<Program>,
+    cfg: SimConfig,
+    net: NetworkModel,
+    lanes_per_node: u32,
+    pending: PendingTable,
+    nodes: Vec<NodeState>,
+    completed: u64,
+    last_task_done: VirtualTime,
+    remote_messages: u64,
+    remote_bytes: u64,
+    local_flows: u64,
+    trace: TraceBuffer,
+}
+
+impl Sim {
+    fn node_of(&self, key: TaskKey) -> u32 {
+        let n = self.program.graph.class(key.class).node_of(key.params);
+        assert!(
+            n < self.cfg.nodes,
+            "{key:?} placed on node {n} but the run has {} nodes",
+            self.cfg.nodes
+        );
+        n
+    }
+
+    fn dispatch(&mut self, node: u32, now: VirtualTime, sched: &mut Scheduler<Ev>) {
+        loop {
+            let st = &mut self.nodes[node as usize];
+            if st.ready.is_empty() || st.free_lanes.is_empty() {
+                return;
+            }
+            let ready = st.ready.pop().expect("nonempty");
+            let lane = st.free_lanes.pop().expect("nonempty");
+            st.busy.record(now, st.busy_now as f64);
+            st.busy_now += 1;
+            let cost = self.program.graph.class(ready.key.class).cost(ready.key.params);
+            let key = ready.key;
+            st.running.insert(
+                key,
+                Running {
+                    lane,
+                    start: now,
+                    inputs: ready.inputs,
+                },
+            );
+            sched.schedule_in(VirtualDuration::from_secs_f64(cost), Ev::TaskDone { key });
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        consumer: TaskKey,
+        slot: usize,
+        data: FlowData,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        if let Some(ready) = self
+            .pending
+            .deliver(&self.program.graph, consumer, slot, data)
+        {
+            sched.schedule_now(Ev::Ready(ready));
+        }
+    }
+
+    /// Start queued comm jobs while engines are free.
+    fn pump_comm(&mut self, node: u32, now: VirtualTime, sched: &mut Scheduler<Ev>) {
+        let msg_cost = self.cfg.profile.runtime_msg_cost;
+        loop {
+            let st = &mut self.nodes[node as usize];
+            if st.comm_active >= self.cfg.comm_engines || st.comm_queue.is_empty() {
+                return;
+            }
+            let job = st.comm_queue.pop_front().expect("nonempty");
+            st.comm_busy.record(now, st.comm_active.min(1) as f64);
+            st.comm_active += 1;
+            match job {
+                CommJob::Send {
+                    consumer,
+                    slot,
+                    data,
+                } => {
+                    let bytes = data.bytes.max(1);
+                    // processing precedes injection: the wire transfer
+                    // starts once the comm thread has prepared the message
+                    let occupancy = msg_cost + self.net.sender_occupancy(bytes);
+                    let arrival = msg_cost + self.net.transfer_time(bytes);
+                    self.remote_messages += 1;
+                    self.remote_bytes += data.bytes as u64;
+                    sched.schedule_in(
+                        VirtualDuration::from_secs_f64(arrival),
+                        Ev::Arrive {
+                            consumer,
+                            slot,
+                            data,
+                        },
+                    );
+                    sched.schedule_in(
+                        VirtualDuration::from_secs_f64(occupancy),
+                        Ev::CommDone {
+                            node,
+                            started: now,
+                            deliver: None,
+                        },
+                    );
+                }
+                CommJob::Recv {
+                    consumer,
+                    slot,
+                    data,
+                } => {
+                    sched.schedule_in(
+                        VirtualDuration::from_secs_f64(msg_cost),
+                        Ev::CommDone {
+                            node,
+                            started: now,
+                            deliver: Some((consumer, slot, data)),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn finish_task(&mut self, key: TaskKey, now: VirtualTime, sched: &mut Scheduler<Ev>) {
+        let node = self.node_of(key);
+        // Keep the program alive independently of `self` so the class
+        // reference does not pin the whole struct borrow.
+        let program = Arc::clone(&self.program);
+        let class = program.graph.class(key.class);
+        let run = self.nodes[node as usize]
+            .running
+            .remove(&key)
+            .unwrap_or_else(|| panic!("{key:?} completed but was not running"));
+
+        if self.cfg.capture_trace {
+            self.trace.push(Span {
+                node,
+                lane: run.lane,
+                kind: self.program.graph.kind_of(key),
+                start: run.start,
+                end: now,
+            });
+        }
+
+        // Produce outputs: real bodies or size-only placeholders.
+        let deps = class.outputs(key.params);
+        let bodies: Option<Vec<FlowData>> = if self.cfg.execute_bodies {
+            let mut inputs = run.inputs;
+            Some(class.execute(key.params, &mut inputs))
+        } else {
+            None
+        };
+
+        for dep in &deps {
+            let data = match &bodies {
+                Some(out) => out
+                    .get(dep.flow)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "{key:?}: execute produced {} flows, outputs reference flow {}",
+                            out.len(),
+                            dep.flow
+                        )
+                    })
+                    .clone(),
+                None => FlowData::sized(class.output_bytes(key.params, dep.flow)),
+            };
+            let dst = self.node_of(dep.consumer);
+            if dst == node {
+                self.local_flows += 1;
+                self.deliver(dep.consumer, dep.slot, data, sched);
+            } else {
+                self.nodes[node as usize].comm_queue.push_back(CommJob::Send {
+                    consumer: dep.consumer,
+                    slot: dep.slot,
+                    data,
+                });
+                self.pump_comm(node, now, sched);
+            }
+        }
+
+        // Free the lane and keep the node busy.
+        let st = &mut self.nodes[node as usize];
+        st.busy.record(now, st.busy_now as f64);
+        st.busy_now -= 1;
+        st.free_lanes.push(run.lane);
+
+        self.completed += 1;
+        self.last_task_done = now;
+        self.dispatch(node, now, sched);
+    }
+}
+
+impl Model for Sim {
+    type Event = Ev;
+
+    fn handle(&mut self, now: VirtualTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::Ready(ready) => {
+                let node = self.node_of(ready.key);
+                let priority = self
+                    .program
+                    .graph
+                    .class(ready.key.class)
+                    .priority(ready.key.params);
+                self.nodes[node as usize].ready.push(ready, priority);
+                self.dispatch(node, now, sched);
+            }
+            Ev::TaskDone { key } => self.finish_task(key, now, sched),
+            Ev::CommDone {
+                node,
+                started,
+                deliver,
+            } => {
+                let st = &mut self.nodes[node as usize];
+                st.comm_active -= 1;
+                st.comm_busy
+                    .record(now, (st.comm_active + 1).min(self.cfg.comm_engines) as f64);
+                if self.cfg.capture_trace {
+                    self.trace.push(Span {
+                        node,
+                        lane: self.lanes_per_node, // the comm lane
+                        kind: KIND_COMM,
+                        start: started,
+                        end: now,
+                    });
+                }
+                if let Some((consumer, slot, data)) = deliver {
+                    self.deliver(consumer, slot, data, sched);
+                }
+                self.pump_comm(node, now, sched);
+            }
+            Ev::Arrive {
+                consumer,
+                slot,
+                data,
+            } => {
+                let dst = self.node_of(consumer);
+                self.nodes[dst as usize].comm_queue.push_back(CommJob::Recv {
+                    consumer,
+                    slot,
+                    data,
+                });
+                self.pump_comm(dst, now, sched);
+            }
+        }
+    }
+}
+
+/// Run `program` on the simulated cluster described by `cfg`.
+///
+/// Panics when the run deadlocks (tasks remain pending after the event
+/// queue drains) — use [`crate::validate::assert_valid`] on a scaled-down
+/// instance to debug the graph.
+pub fn run_simulated(program: &Program, cfg: SimConfig) -> SimRunReport {
+    assert!(cfg.nodes >= 1, "need at least one node");
+    assert!(cfg.comm_engines >= 1, "need at least one comm engine");
+    assert!(program.total_tasks > 0, "empty program");
+
+    let lanes = cfg.profile.compute_threads();
+    let net = NetworkModel::from_profile(&cfg.profile);
+    let nodes = (0..cfg.nodes)
+        .map(|_| NodeState {
+            free_lanes: (0..lanes).rev().collect(),
+            ready: ReadyQueue::new(cfg.scheduler),
+            running: HashMap::new(),
+            comm_queue: VecDeque::new(),
+            comm_active: 0,
+            busy: TimeWeighted::new(),
+            busy_now: 0,
+            comm_busy: TimeWeighted::new(),
+        })
+        .collect();
+
+    let program = Arc::new(Program {
+        graph: Arc::clone(&program.graph),
+        roots: program.roots.clone(),
+        total_tasks: program.total_tasks,
+    });
+
+    let sim = Sim {
+        program: Arc::clone(&program),
+        cfg: cfg.clone(),
+        net,
+        lanes_per_node: lanes,
+        pending: PendingTable::new(),
+        nodes,
+        completed: 0,
+        last_task_done: VirtualTime::ZERO,
+        remote_messages: 0,
+        remote_bytes: 0,
+        local_flows: 0,
+        trace: TraceBuffer::new(),
+    };
+
+    let mut engine = Engine::new(sim);
+    for &root in &program.roots {
+        let ready = PendingTable::root(&program.graph, root);
+        engine.prime(Ev::Ready(ready));
+    }
+    engine.run();
+
+    let sim = engine.into_model();
+    if sim.completed != program.total_tasks {
+        let stuck = sim.pending.stuck_tasks();
+        panic!(
+            "simulated run deadlocked: {}/{} tasks done, {} pending (first stuck: {:?})",
+            sim.completed,
+            program.total_tasks,
+            stuck.len(),
+            stuck.first()
+        );
+    }
+
+    let makespan_t = sim.last_task_done;
+    let node_occupancy = sim
+        .nodes
+        .iter()
+        .map(|n| n.busy.mean_until(makespan_t, n.busy_now as f64) / lanes as f64)
+        .collect();
+    let comm_utilization = sim
+        .nodes
+        .iter()
+        .map(|n| {
+            n.comm_busy
+                .mean_until(makespan_t, n.comm_active.min(1) as f64)
+                / cfg.comm_engines as f64
+        })
+        .collect();
+
+    SimRunReport {
+        makespan: makespan_t.as_secs_f64(),
+        tasks_executed: sim.completed,
+        remote_messages: sim.remote_messages,
+        remote_bytes: sim.remote_bytes,
+        local_flows: sim.local_flows,
+        node_occupancy,
+        comm_utilization,
+        trace: cfg.capture_trace.then_some(sim.trace),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::testutil::ExplicitDag;
+    use crate::task::{TaskGraph, TaskKey};
+    use std::collections::HashMap as Map;
+
+    /// Build a program from an explicit edge list with per-task node
+    /// placement.
+    fn program(
+        edges: &[(i32, i32, usize)],
+        indeg: &[(i32, usize)],
+        node: &[(i32, u32)],
+        roots: &[i32],
+        total: u64,
+        cost: f64,
+        bytes: usize,
+    ) -> Program {
+        let mut edge_map: Map<i32, Vec<(i32, usize)>> = Map::new();
+        for &(from, to, slot) in edges {
+            edge_map.entry(from).or_default().push((to, slot));
+        }
+        let mut g = TaskGraph::new();
+        g.add_class(Arc::new(ExplicitDag {
+            name: "t".into(),
+            edges: edge_map,
+            indeg: indeg.iter().copied().collect(),
+            node: node.iter().copied().collect(),
+            cost,
+            bytes,
+        }));
+        Program {
+            graph: Arc::new(g),
+            roots: roots
+                .iter()
+                .map(|&i| TaskKey::new(0, [i, 0, 0, 0]))
+                .collect(),
+            total_tasks: total,
+        }
+    }
+
+    fn cfg(nodes: u32) -> SimConfig {
+        SimConfig::new(MachineProfile::nacl(), nodes)
+    }
+
+    #[test]
+    fn single_task_makespan_is_its_cost() {
+        let p = program(&[], &[], &[], &[0], 1, 1e-3, 8);
+        let r = run_simulated(&p, cfg(1));
+        assert!((r.makespan - 1e-3).abs() < 1e-9, "makespan {}", r.makespan);
+        assert_eq!(r.tasks_executed, 1);
+        assert_eq!(r.remote_messages, 0);
+    }
+
+    #[test]
+    fn independent_tasks_run_in_parallel() {
+        // 22 independent tasks of 1 ms on 11 lanes -> 2 ms.
+        let roots: Vec<i32> = (0..22).collect();
+        let p = program(&[], &[], &[], &roots, 22, 1e-3, 8);
+        let r = run_simulated(&p, cfg(1));
+        assert!((r.makespan - 2e-3).abs() < 1e-8, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn chain_serializes() {
+        // 0 -> 1 -> 2, 1 ms each => 3 ms.
+        let p = program(
+            &[(0, 1, 0), (1, 2, 0)],
+            &[(1, 1), (2, 1)],
+            &[],
+            &[0],
+            3,
+            1e-3,
+            8,
+        );
+        let r = run_simulated(&p, cfg(1));
+        assert!((r.makespan - 3e-3).abs() < 1e-8, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn remote_edge_pays_network_latency() {
+        // 0 on node 0 -> 1 on node 1; one 8-byte message.
+        let p = program(&[(0, 1, 0)], &[(1, 1)], &[(1, 1)], &[0], 2, 1e-3, 8);
+        let r = run_simulated(&p, cfg(2));
+        let net = NetworkModel::from_profile(&MachineProfile::nacl());
+        let msg_cost = MachineProfile::nacl().runtime_msg_cost;
+        // task + send processing + wire + receive processing + task
+        let expected = 2e-3 + msg_cost + net.transfer_time(8) + msg_cost;
+        assert!(
+            (r.makespan - expected).abs() < 1e-8,
+            "makespan {} vs expected {expected}",
+            r.makespan
+        );
+        assert_eq!(r.remote_messages, 1);
+        assert_eq!(r.remote_bytes, 8);
+        assert_eq!(r.local_flows, 0);
+    }
+
+    #[test]
+    fn local_edge_pays_nothing() {
+        let p = program(&[(0, 1, 0)], &[(1, 1)], &[], &[0], 2, 1e-3, 8);
+        let r = run_simulated(&p, cfg(1));
+        assert!((r.makespan - 2e-3).abs() < 1e-8);
+        assert_eq!(r.local_flows, 1);
+        assert_eq!(r.remote_messages, 0);
+    }
+
+    #[test]
+    fn comm_engine_serializes_sends() {
+        // Node 0 task 0 fans out to tasks 1 and 2 on node 1 with large
+        // messages; the second send starts only after the first's
+        // occupancy.
+        let mb = 1 << 20;
+        let p = program(
+            &[(0, 1, 0), (0, 2, 0)],
+            &[(1, 1), (2, 1)],
+            &[(1, 1), (2, 1)],
+            &[0],
+            3,
+            1e-3,
+            mb,
+        );
+        let r = run_simulated(&p, cfg(2));
+        let net = NetworkModel::from_profile(&MachineProfile::nacl());
+        let c = MachineProfile::nacl().runtime_msg_cost;
+        // second send waits for the first's full comm-engine occupancy;
+        // on arrival both queue for receive processing (the second recv
+        // arrives after the first finished processing, so no recv queueing)
+        let expected =
+            1e-3 + (c + net.sender_occupancy(mb)) + (c + net.transfer_time(mb)) + c + 1e-3;
+        assert!(
+            (r.makespan - expected).abs() < 1e-7,
+            "makespan {} vs expected {expected}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn bodies_execute_and_flow_values() {
+        // ExplicitDag's execute emits the task index as the payload; just
+        // confirm body mode completes and counts match.
+        let p = program(
+            &[(0, 1, 0), (1, 2, 0)],
+            &[(1, 1), (2, 1)],
+            &[(1, 1), (2, 0)],
+            &[0],
+            3,
+            1e-4,
+            8,
+        );
+        let r = run_simulated(&p, SimConfig::new(MachineProfile::nacl(), 2).with_bodies());
+        assert_eq!(r.tasks_executed, 3);
+        assert_eq!(r.remote_messages, 2);
+    }
+
+    #[test]
+    fn trace_captures_task_spans() {
+        let p = program(&[(0, 1, 0)], &[(1, 1)], &[], &[0], 2, 1e-3, 8);
+        let r = run_simulated(&p, cfg(1).with_trace());
+        let trace = r.trace.unwrap();
+        assert_eq!(trace.len(), 2);
+        assert!(trace
+            .spans()
+            .iter()
+            .all(|s| s.duration().as_secs_f64() > 0.9e-3));
+    }
+
+    #[test]
+    fn occupancy_reflects_parallelism() {
+        // 11 independent 1 ms tasks on 11 lanes: occupancy 1.0.
+        let roots: Vec<i32> = (0..11).collect();
+        let p = program(&[], &[], &[], &roots, 11, 1e-3, 8);
+        let r = run_simulated(&p, cfg(1));
+        assert!((r.node_occupancy[0] - 1.0).abs() < 1e-9);
+        // a serial chain on 11 lanes: occupancy ~1/11
+        let p = program(&[(0, 1, 0)], &[(1, 1)], &[], &[0], 2, 1e-3, 8);
+        let r = run_simulated(&p, cfg(1));
+        assert!((r.node_occupancy[0] - 1.0 / 11.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lifo_and_fifo_both_complete() {
+        let roots: Vec<i32> = (0..40).collect();
+        let p = program(&[], &[], &[], &roots, 40, 1e-4, 8);
+        for policy in [SchedulerPolicy::Fifo, SchedulerPolicy::Lifo] {
+            let r = run_simulated(&p, cfg(1).with_scheduler(policy));
+            assert_eq!(r.tasks_executed, 40);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn inconsistent_graph_detected() {
+        // task 1 declares 2 inputs but only one edge targets it
+        let p = program(&[(0, 1, 0)], &[(1, 2)], &[], &[0], 2, 1e-3, 8);
+        run_simulated(&p, cfg(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "placed on node")]
+    fn placement_out_of_range_detected() {
+        let p = program(&[], &[], &[(0, 5)], &[0], 1, 1e-3, 8);
+        run_simulated(&p, cfg(2));
+    }
+}

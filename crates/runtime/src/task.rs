@@ -1,0 +1,360 @@
+//! The parameterized task model: PaRSEC's Parameterized Task Graph (PTG)
+//! distilled to its load-bearing parts.
+//!
+//! A *task class* is a family of tasks indexed by up to four integer
+//! parameters (for the stencil: tile column, tile row, iteration). The
+//! class answers, **as pure functions of the parameters**:
+//!
+//! * which node owns (executes) the task,
+//! * how many dataflow inputs it waits for and how many input slots it has,
+//! * which successor tasks consume each of its outputs,
+//! * what the task body does, and what it costs.
+//!
+//! The runtime never materializes the whole DAG: tasks are *discovered*
+//! when their first input arrives and *fire* when the activation count
+//! reaches zero — exactly PaRSEC's dynamic unfolding of a JDF.
+
+use netsim::NodeId;
+use std::fmt;
+use std::sync::Arc;
+
+/// Task parameters: a fixed-size vector, unused trailing entries zero.
+pub type Params = [i32; 4];
+
+/// Identifier of a task class within its [`TaskGraph`].
+pub type ClassId = u16;
+
+/// A specific task instance: class plus parameters.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskKey {
+    /// Index of the class in the graph.
+    pub class: ClassId,
+    /// The instance parameters.
+    pub params: Params,
+}
+
+impl TaskKey {
+    /// Construct a key.
+    pub fn new(class: ClassId, params: Params) -> Self {
+        TaskKey { class, params }
+    }
+}
+
+impl fmt::Debug for TaskKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "T{}({},{},{},{})",
+            self.class, self.params[0], self.params[1], self.params[2], self.params[3]
+        )
+    }
+}
+
+/// Data travelling along one flow edge: a logical byte count (always
+/// present, used by the communication cost model) and optionally the actual
+/// values (present when the run executes task bodies).
+#[derive(Clone, Default)]
+pub struct FlowData {
+    /// Bytes this flow occupies on the wire.
+    pub bytes: usize,
+    /// The payload, when the simulation carries real data.
+    pub data: Option<Arc<Vec<f64>>>,
+}
+
+impl FlowData {
+    /// A size-only flow (performance simulation).
+    pub fn sized(bytes: usize) -> Self {
+        FlowData { bytes, data: None }
+    }
+
+    /// A flow carrying real values; the wire size is `8 × len`.
+    pub fn values(v: Vec<f64>) -> Self {
+        FlowData {
+            bytes: v.len() * std::mem::size_of::<f64>(),
+            data: Some(Arc::new(v)),
+        }
+    }
+
+    /// Borrow the payload values; panics if this is a size-only flow.
+    pub fn expect_values(&self) -> &[f64] {
+        self.data
+            .as_deref()
+            .map(Vec::as_slice)
+            .expect("flow carries no payload (performance-only run?)")
+    }
+}
+
+impl fmt::Debug for FlowData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FlowData({}B{})",
+            self.bytes,
+            if self.data.is_some() { ", +data" } else { "" }
+        )
+    }
+}
+
+/// One consumer of one of a task's outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutputDep {
+    /// Which of the producer's output flows feeds this consumer.
+    pub flow: usize,
+    /// The consuming task.
+    pub consumer: TaskKey,
+    /// Which input slot of the consumer receives the flow.
+    pub slot: usize,
+}
+
+/// A family of tasks sharing structure; the application implements this.
+pub trait TaskClass: Send + Sync {
+    /// Human-readable class name (used in traces and errors).
+    fn name(&self) -> &str;
+
+    /// The node that executes task `p` (owner-computes placement).
+    fn node_of(&self, p: Params) -> NodeId;
+
+    /// Number of dataflow inputs task `p` waits for before it may fire.
+    /// Must equal the number of `OutputDep`s across all predecessors that
+    /// name this task as consumer ([`crate::validate`] checks this).
+    fn activation_count(&self, p: Params) -> usize;
+
+    /// Total number of input slots of task `p` (≥ `activation_count`;
+    /// extra slots stay empty and may be used by the body for defaults).
+    fn num_input_slots(&self, p: Params) -> usize {
+        self.activation_count(p)
+    }
+
+    /// Number of output flows task `p` produces.
+    fn num_output_flows(&self, p: Params) -> usize;
+
+    /// Consumers of task `p`'s outputs.
+    fn outputs(&self, p: Params) -> Vec<OutputDep>;
+
+    /// The task body: consume inputs, produce one `FlowData` per output
+    /// flow (indexed by flow id). Called only when the run executes bodies;
+    /// performance-only runs use [`TaskClass::output_bytes`] instead.
+    fn execute(&self, p: Params, inputs: &mut [Option<FlowData>]) -> Vec<FlowData>;
+
+    /// Wire size of output flow `flow` of task `p`, for performance-only
+    /// runs where `execute` is skipped.
+    fn output_bytes(&self, p: Params, flow: usize) -> usize;
+
+    /// Service time of task `p` on one worker core, in seconds (used by the
+    /// simulated executor; the real executor measures instead).
+    fn cost(&self, p: Params) -> f64;
+
+    /// Trace kind tag (e.g. interior vs boundary task); defaults to the
+    /// class id assigned at registration via [`TaskGraph::add_class`].
+    fn kind(&self, p: Params) -> u32 {
+        let _ = p;
+        u32::MAX // replaced by class id when MAX
+    }
+
+    /// Scheduling priority (higher runs first under
+    /// [`crate::sim_exec::SchedulerPolicy::Priority`]). PaRSEC codes
+    /// typically raise the priority of tasks whose outputs feed remote
+    /// consumers, so communication starts as early as possible.
+    fn priority(&self, p: Params) -> i32 {
+        let _ = p;
+        0
+    }
+}
+
+/// A registry of task classes forming one dataflow program.
+pub struct TaskGraph {
+    classes: Vec<Arc<dyn TaskClass>>,
+}
+
+impl TaskGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        TaskGraph {
+            classes: Vec::new(),
+        }
+    }
+
+    /// Register a class, returning its id (referenced by [`TaskKey`]s).
+    pub fn add_class(&mut self, class: Arc<dyn TaskClass>) -> ClassId {
+        assert!(
+            self.classes.len() < ClassId::MAX as usize,
+            "too many task classes"
+        );
+        self.classes.push(class);
+        (self.classes.len() - 1) as ClassId
+    }
+
+    /// Look up a class.
+    pub fn class(&self, id: ClassId) -> &dyn TaskClass {
+        self.classes
+            .get(id as usize)
+            .unwrap_or_else(|| panic!("unknown task class {id}"))
+            .as_ref()
+    }
+
+    /// Number of registered classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Trace kind of a task: the class's own kind, or the class id.
+    pub fn kind_of(&self, key: TaskKey) -> u32 {
+        let k = self.class(key.class).kind(key.params);
+        if k == u32::MAX {
+            key.class as u32
+        } else {
+            k
+        }
+    }
+}
+
+impl Default for TaskGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A full program instance: the graph plus its entry tasks and size.
+pub struct Program {
+    /// The class registry.
+    pub graph: Arc<TaskGraph>,
+    /// Tasks with `activation_count == 0`; the runtime seeds these.
+    pub roots: Vec<TaskKey>,
+    /// Exact total number of tasks that will execute (termination is
+    /// detected by counting completions).
+    pub total_tasks: u64,
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// A tiny configurable class for runtime unit tests: an explicit DAG
+    /// over params[0] as the task index.
+    pub struct ExplicitDag {
+        pub name: String,
+        /// edges[i] = list of (consumer index, consumer slot)
+        pub edges: HashMap<i32, Vec<(i32, usize)>>,
+        /// indegree of each task
+        pub indeg: HashMap<i32, usize>,
+        /// node placement
+        pub node: HashMap<i32, NodeId>,
+        /// per-task cost seconds
+        pub cost: f64,
+        /// bytes per output flow
+        pub bytes: usize,
+    }
+
+    impl TaskClass for ExplicitDag {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn node_of(&self, p: Params) -> NodeId {
+            *self.node.get(&p[0]).unwrap_or(&0)
+        }
+        fn activation_count(&self, p: Params) -> usize {
+            *self.indeg.get(&p[0]).unwrap_or(&0)
+        }
+        fn num_output_flows(&self, p: Params) -> usize {
+            self.edges.get(&p[0]).map_or(0, Vec::len)
+        }
+        fn outputs(&self, p: Params) -> Vec<OutputDep> {
+            self.edges
+                .get(&p[0])
+                .map(|v| {
+                    v.iter()
+                        .enumerate()
+                        .map(|(flow, &(c, slot))| OutputDep {
+                            flow,
+                            consumer: TaskKey::new(0, [c, 0, 0, 0]),
+                            slot,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default()
+        }
+        fn execute(&self, p: Params, _inputs: &mut [Option<FlowData>]) -> Vec<FlowData> {
+            (0..self.num_output_flows(p))
+                .map(|_| FlowData::values(vec![p[0] as f64]))
+                .collect()
+        }
+        fn output_bytes(&self, _p: Params, _flow: usize) -> usize {
+            self.bytes
+        }
+        fn cost(&self, _p: Params) -> f64 {
+            self.cost
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_data_values_sets_bytes() {
+        let f = FlowData::values(vec![1.0, 2.0, 3.0]);
+        assert_eq!(f.bytes, 24);
+        assert_eq!(f.expect_values(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no payload")]
+    fn sized_flow_has_no_values() {
+        FlowData::sized(100).expect_values();
+    }
+
+    #[test]
+    fn task_key_debug_is_compact() {
+        let k = TaskKey::new(2, [1, 2, 3, 0]);
+        assert_eq!(format!("{k:?}"), "T2(1,2,3,0)");
+    }
+
+    #[test]
+    fn graph_registers_classes_in_order() {
+        use testutil::ExplicitDag;
+        let mut g = TaskGraph::new();
+        let c0 = g.add_class(Arc::new(ExplicitDag {
+            name: "a".into(),
+            edges: Default::default(),
+            indeg: Default::default(),
+            node: Default::default(),
+            cost: 0.0,
+            bytes: 0,
+        }));
+        let c1 = g.add_class(Arc::new(ExplicitDag {
+            name: "b".into(),
+            edges: Default::default(),
+            indeg: Default::default(),
+            node: Default::default(),
+            cost: 0.0,
+            bytes: 0,
+        }));
+        assert_eq!((c0, c1), (0, 1));
+        assert_eq!(g.class(0).name(), "a");
+        assert_eq!(g.class(1).name(), "b");
+        assert_eq!(g.num_classes(), 2);
+    }
+
+    #[test]
+    fn default_kind_is_class_id() {
+        use testutil::ExplicitDag;
+        let mut g = TaskGraph::new();
+        g.add_class(Arc::new(ExplicitDag {
+            name: "a".into(),
+            edges: Default::default(),
+            indeg: Default::default(),
+            node: Default::default(),
+            cost: 0.0,
+            bytes: 0,
+        }));
+        assert_eq!(g.kind_of(TaskKey::new(0, [5, 0, 0, 0])), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown task class")]
+    fn unknown_class_panics() {
+        TaskGraph::new().class(3);
+    }
+}

@@ -1,0 +1,306 @@
+//! Whole-graph consistency checking.
+//!
+//! The PTG style keeps producer→consumer edges in the producer's
+//! `outputs()` and the expected in-degree in the consumer's
+//! `activation_count()`; nothing forces the two to agree. For production
+//! runs the runtime trusts the class (as PaRSEC trusts a JDF), but tests
+//! and examples call [`validate_program`] to enumerate the whole unfolded
+//! DAG from the roots and cross-check every declaration.
+
+use crate::task::{Program, TaskKey};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A violated graph invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A task's declared activation count differs from the number of flows
+    /// actually targeting it.
+    IndegreeMismatch {
+        /// The inconsistent task.
+        task: String,
+        /// What `activation_count` declares.
+        declared: usize,
+        /// How many producer flows target the task.
+        actual: usize,
+    },
+    /// Two producers (or one producer twice) feed the same input slot.
+    SlotCollision {
+        /// The consuming task.
+        task: String,
+        /// The contended slot.
+        slot: usize,
+    },
+    /// An `OutputDep` names a slot outside the consumer's declared range.
+    SlotOutOfRange {
+        /// The consuming task.
+        task: String,
+        /// The referenced slot.
+        slot: usize,
+        /// The consumer's `num_input_slots`.
+        slots: usize,
+    },
+    /// An `OutputDep` names a flow index outside the producer's declared
+    /// `num_output_flows`.
+    FlowOutOfRange {
+        /// The producing task.
+        task: String,
+        /// The referenced flow.
+        flow: usize,
+        /// The producer's `num_output_flows`.
+        flows: usize,
+    },
+    /// The number of reachable tasks differs from `Program::total_tasks`.
+    TotalMismatch {
+        /// What the program declares.
+        declared: u64,
+        /// How many tasks are reachable from the roots.
+        reachable: u64,
+    },
+    /// A task is reachable but can never fire (declared in-degree exceeds
+    /// incoming flows — subsumed by `IndegreeMismatch`, kept for clarity
+    /// when the mismatch would deadlock the run).
+    Unfireable {
+        /// The doomed task.
+        task: String,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::IndegreeMismatch {
+                task,
+                declared,
+                actual,
+            } => write!(
+                f,
+                "{task}: declares {declared} inputs but {actual} flows target it"
+            ),
+            GraphError::SlotCollision { task, slot } => {
+                write!(f, "{task}: input slot {slot} fed by multiple flows")
+            }
+            GraphError::SlotOutOfRange { task, slot, slots } => {
+                write!(f, "{task}: slot {slot} out of range (has {slots})")
+            }
+            GraphError::FlowOutOfRange { task, flow, flows } => {
+                write!(f, "{task}: flow {flow} out of range (has {flows})")
+            }
+            GraphError::TotalMismatch {
+                declared,
+                reachable,
+            } => write!(
+                f,
+                "program declares {declared} tasks but {reachable} are reachable"
+            ),
+            GraphError::Unfireable { task } => {
+                write!(f, "{task}: will never receive all declared inputs")
+            }
+        }
+    }
+}
+
+/// Enumerate the full DAG from the roots and verify every invariant.
+/// Returns all violations found (empty = consistent).
+///
+/// Cost is proportional to the full task count — use on test-sized
+/// programs, not production problem sizes.
+pub fn validate_program(program: &Program) -> Vec<GraphError> {
+    let graph = &program.graph;
+    let mut errors = Vec::new();
+    let mut seen: HashSet<TaskKey> = HashSet::new();
+    let mut incoming: HashMap<TaskKey, HashMap<usize, usize>> = HashMap::new(); // task -> slot -> count
+    let mut queue: VecDeque<TaskKey> = VecDeque::new();
+
+    for &root in &program.roots {
+        if seen.insert(root) {
+            queue.push_back(root);
+        }
+    }
+
+    while let Some(key) = queue.pop_front() {
+        let class = graph.class(key.class);
+        let flows = class.num_output_flows(key.params);
+        for dep in class.outputs(key.params) {
+            if dep.flow >= flows {
+                errors.push(GraphError::FlowOutOfRange {
+                    task: format!("{key:?}"),
+                    flow: dep.flow,
+                    flows,
+                });
+            }
+            let cclass = graph.class(dep.consumer.class);
+            let slots = cclass.num_input_slots(dep.consumer.params);
+            if dep.slot >= slots {
+                errors.push(GraphError::SlotOutOfRange {
+                    task: format!("{:?}", dep.consumer),
+                    slot: dep.slot,
+                    slots,
+                });
+            }
+            *incoming
+                .entry(dep.consumer)
+                .or_default()
+                .entry(dep.slot)
+                .or_default() += 1;
+            if seen.insert(dep.consumer) {
+                queue.push_back(dep.consumer);
+            }
+        }
+    }
+
+    for &key in &seen {
+        let class = graph.class(key.class);
+        let declared = class.activation_count(key.params);
+        let slots = incoming.get(&key);
+        let actual: usize = slots.map_or(0, |m| m.values().sum());
+        if declared != actual {
+            errors.push(GraphError::IndegreeMismatch {
+                task: format!("{key:?}"),
+                declared,
+                actual,
+            });
+            if declared > actual {
+                errors.push(GraphError::Unfireable {
+                    task: format!("{key:?}"),
+                });
+            }
+        }
+        if let Some(m) = slots {
+            for (&slot, &count) in m {
+                if count > 1 {
+                    errors.push(GraphError::SlotCollision {
+                        task: format!("{key:?}"),
+                        slot,
+                    });
+                }
+            }
+        }
+    }
+
+    let reachable = seen.len() as u64;
+    if reachable != program.total_tasks {
+        errors.push(GraphError::TotalMismatch {
+            declared: program.total_tasks,
+            reachable,
+        });
+    }
+
+    errors
+}
+
+/// Panic with a readable report if the program is inconsistent; tests and
+/// examples call this before running.
+pub fn assert_valid(program: &Program) {
+    let errors = validate_program(program);
+    if !errors.is_empty() {
+        let report: Vec<String> = errors.iter().take(20).map(|e| e.to_string()).collect();
+        panic!(
+            "task graph is inconsistent ({} errors):\n  {}",
+            errors.len(),
+            report.join("\n  ")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::testutil::ExplicitDag;
+    use crate::task::{TaskGraph, TaskKey};
+    use std::collections::HashMap as Map;
+    use std::sync::Arc;
+
+    fn program(
+        edges: &[(i32, i32, usize)],
+        indeg: &[(i32, usize)],
+        roots: &[i32],
+        total: u64,
+    ) -> Program {
+        let mut edge_map: Map<i32, Vec<(i32, usize)>> = Map::new();
+        for &(from, to, slot) in edges {
+            edge_map.entry(from).or_default().push((to, slot));
+        }
+        let mut g = TaskGraph::new();
+        g.add_class(Arc::new(ExplicitDag {
+            name: "t".into(),
+            edges: edge_map,
+            indeg: indeg.iter().copied().collect(),
+            node: Map::new(),
+            cost: 0.0,
+            bytes: 8,
+        }));
+        Program {
+            graph: Arc::new(g),
+            roots: roots
+                .iter()
+                .map(|&i| TaskKey::new(0, [i, 0, 0, 0]))
+                .collect(),
+            total_tasks: total,
+        }
+    }
+
+    #[test]
+    fn consistent_diamond_validates() {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let p = program(
+            &[(0, 1, 0), (0, 2, 0), (1, 3, 0), (2, 3, 1)],
+            &[(1, 1), (2, 1), (3, 2)],
+            &[0],
+            4,
+        );
+        assert!(validate_program(&p).is_empty());
+        assert_valid(&p);
+    }
+
+    #[test]
+    fn detects_indegree_mismatch() {
+        let p = program(&[(0, 1, 0)], &[(1, 2)], &[0], 2);
+        let errs = validate_program(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, GraphError::IndegreeMismatch { declared: 2, actual: 1, .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, GraphError::Unfireable { .. })));
+    }
+
+    #[test]
+    fn detects_slot_collision() {
+        // both edges from 0 land in slot 0 of task 1
+        let p = program(&[(0, 1, 0), (0, 1, 0)], &[(1, 2)], &[0], 2);
+        let errs = validate_program(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, GraphError::SlotCollision { slot: 0, .. })));
+    }
+
+    #[test]
+    fn detects_slot_out_of_range() {
+        // task 1 declares indegree 1 => 1 slot, edge targets slot 3
+        let p = program(&[(0, 1, 3)], &[(1, 1)], &[0], 2);
+        let errs = validate_program(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, GraphError::SlotOutOfRange { slot: 3, slots: 1, .. })));
+    }
+
+    #[test]
+    fn detects_total_mismatch() {
+        let p = program(&[(0, 1, 0)], &[(1, 1)], &[0], 5);
+        let errs = validate_program(&p);
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            GraphError::TotalMismatch {
+                declared: 5,
+                reachable: 2
+            }
+        )));
+    }
+
+    #[test]
+    #[should_panic(expected = "task graph is inconsistent")]
+    fn assert_valid_panics_on_bad_graph() {
+        let p = program(&[(0, 1, 0)], &[(1, 3)], &[0], 2);
+        assert_valid(&p);
+    }
+}

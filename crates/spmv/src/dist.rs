@@ -1,0 +1,189 @@
+//! The distributed SpMV: PETSc's default row-block partition, emulated.
+//!
+//! PETSc "by default will partition the sparse matrix by rows with each
+//! process having a block of matrix rows" (Section IV-A) and runs one MPI
+//! rank per core. For the row-ordered 5-point matrix a rank's off-block
+//! column accesses are exactly one grid row above and one below its block
+//! — the `VecScatter` ghost exchange. This module runs the partitioned
+//! iteration rank by rank against explicit ghost buffers, *proving* the
+//! communication pattern (any access outside block ± one grid row panics)
+//! while producing the true numerical result.
+
+use crate::csr::Csr;
+use crate::laplacian::{initial_vector, stencil_matrix};
+use ca_stencil::Problem;
+use serde::Serialize;
+
+/// The contiguous row range of one rank. Rows here are *matrix* rows
+/// (grid points); blocks are aligned to whole grid rows, as PETSc's
+/// `DMDACreate2d`-style decomposition produces for a 1D split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct RankRange {
+    /// First matrix row owned.
+    pub start: usize,
+    /// One past the last matrix row owned.
+    pub end: usize,
+}
+
+impl RankRange {
+    /// Number of owned rows.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the rank owns nothing (more ranks than grid rows).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Split `n` grid rows (each of `n` points) over `ranks` ranks as evenly
+/// as whole grid rows allow.
+pub fn partition(n: usize, ranks: usize) -> Vec<RankRange> {
+    assert!(ranks >= 1, "need at least one rank");
+    let base = n / ranks;
+    let extra = n % ranks;
+    let mut start_row = 0usize;
+    (0..ranks)
+        .map(|r| {
+            let rows = base + usize::from(r < extra);
+            let rr = RankRange {
+                start: start_row * n,
+                end: (start_row + rows) * n,
+            };
+            start_row += rows;
+            rr
+        })
+        .collect()
+}
+
+/// Per-iteration communication of one rank: messages exchanged and bytes
+/// moved (both directions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ExchangeStats {
+    /// Ghost messages received per iteration (0–2: the rows above/below).
+    pub recv_messages: u64,
+    /// Ghost bytes received per iteration.
+    pub recv_bytes: u64,
+}
+
+/// Run `iterations` Jacobi sweeps with the matrix partitioned over
+/// `ranks` ranks, checking the ghost-access invariant. Returns the final
+/// vector and the per-rank exchange statistics.
+pub fn run_distributed(
+    problem: &Problem,
+    ranks: usize,
+    iterations: u32,
+) -> (Vec<f64>, Vec<ExchangeStats>) {
+    let n = problem.n;
+    let (a, b) = stencil_matrix(problem);
+    let parts = partition(n, ranks);
+    let mut stats = vec![ExchangeStats::default(); ranks];
+
+    let mut x = initial_vector(problem);
+    let mut y = vec![0.0; x.len()];
+    for _ in 0..iterations {
+        for (rank, part) in parts.iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            // ghost region: one grid row above and below the block
+            let ghost_lo = part.start.saturating_sub(n);
+            let ghost_hi = (part.end + n).min(n * n);
+            if part.start > 0 {
+                stats[rank].recv_messages += 1;
+                stats[rank].recv_bytes += (n * 8) as u64;
+            }
+            if part.end < n * n {
+                stats[rank].recv_messages += 1;
+                stats[rank].recv_bytes += (n * 8) as u64;
+            }
+            spmv_rows(&a, &x, &b, &mut y, part, ghost_lo, ghost_hi);
+        }
+        std::mem::swap(&mut x, &mut y);
+    }
+    (x, stats)
+}
+
+/// Apply rows `[part.start, part.end)` of `y = A·x + b`, panicking if any
+/// column access leaves `[ghost_lo, ghost_hi)` — the halo invariant.
+fn spmv_rows(
+    a: &Csr,
+    x: &[f64],
+    b: &[f64],
+    y: &mut [f64],
+    part: &RankRange,
+    ghost_lo: usize,
+    ghost_hi: usize,
+) {
+    for r in part.start..part.end {
+        let (lo, hi) = (a.row_ptr[r] as usize, a.row_ptr[r + 1] as usize);
+        let mut acc = 0.0;
+        for k in lo..hi {
+            let c = a.col_idx[k] as usize;
+            assert!(
+                c >= ghost_lo && c < ghost_hi,
+                "row {r} accesses column {c} outside its ghost region [{ghost_lo},{ghost_hi})"
+            );
+            acc += a.values[k] * x[c];
+        }
+        y[r] = acc + b[r];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_stencil::{jacobi_reference, max_abs_diff};
+
+    #[test]
+    fn partition_is_balanced_and_covers() {
+        let parts = partition(10, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], RankRange { start: 0, end: 40 });
+        assert_eq!(parts[1], RankRange { start: 40, end: 70 });
+        assert_eq!(parts[2], RankRange { start: 70, end: 100 });
+    }
+
+    #[test]
+    fn more_ranks_than_rows_leaves_empty_ranks() {
+        let parts = partition(2, 5);
+        let total: usize = parts.iter().map(RankRange::len).sum();
+        assert_eq!(total, 4);
+        assert!(parts.iter().any(RankRange::is_empty));
+    }
+
+    #[test]
+    fn distributed_matches_reference() {
+        let p = Problem::scrambled(12, 4);
+        for ranks in [1, 3, 4, 12] {
+            let (x, _) = run_distributed(&p, ranks, 6);
+            let want = jacobi_reference(&p, 6);
+            assert!(
+                max_abs_diff(&x, &want) < 1e-13,
+                "ranks = {ranks} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn distributed_runs_are_rank_count_invariant() {
+        let p = Problem::scrambled(8, 8);
+        let (x1, _) = run_distributed(&p, 1, 5);
+        let (x4, _) = run_distributed(&p, 4, 5);
+        // same serial accumulation order per row => bitwise equal
+        assert_eq!(x1, x4);
+    }
+
+    #[test]
+    fn exchange_stats_match_halo_structure() {
+        let p = Problem::laplace(8);
+        let (_, stats) = run_distributed(&p, 4, 3);
+        // edge ranks exchange one ghost row per iteration, middles two
+        assert_eq!(stats[0].recv_messages, 3);
+        assert_eq!(stats[1].recv_messages, 6);
+        assert_eq!(stats[2].recv_messages, 6);
+        assert_eq!(stats[3].recv_messages, 3);
+        assert_eq!(stats[1].recv_bytes, 6 * 8 * 8);
+    }
+}

@@ -1,0 +1,100 @@
+//! Assembling the 5-point stencil as a sparse matrix — the PETSc
+//! formulation (paper Section IV-A): "we simply expand the 2D compute grid
+//! points into 1D solution vector, and the corresponding 5 points stencil
+//! update expresses as a sparse matrix".
+//!
+//! Grid point `(i, j)` becomes vector entry `i·n + j`; one Jacobi sweep is
+//! `x' = A·x + b`, where `b` carries the static Dirichlet boundary
+//! contributions.
+
+use crate::csr::Csr;
+use ca_stencil::Problem;
+
+/// Build the update matrix and boundary vector for one Jacobi sweep of
+/// `problem`.
+pub fn stencil_matrix(problem: &Problem) -> (Csr, Vec<f64>) {
+    let n = problem.n;
+    let ni = n as i64;
+    let mut b = vec![0.0; n * n];
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(5 * n * n);
+    for i in 0..ni {
+        for j in 0..ni {
+            let p = (i * ni + j) as usize;
+            // variable-coefficient operators simply change the values per
+            // row; the matrix structure is unchanged
+            let w = problem.op.weights_at(i, j);
+            // neighbours in ascending column order: N, W, C, E, S
+            let entries = [
+                (i - 1, j, w.north),
+                (i, j - 1, w.west),
+                (i, j, w.center),
+                (i, j + 1, w.east),
+                (i + 1, j, w.south),
+            ];
+            for (r, c, weight) in entries {
+                if r >= 0 && c >= 0 && r < ni && c < ni {
+                    triplets.push((p, (r * ni + c) as usize, weight));
+                } else {
+                    b[p] += weight * (problem.bc)(r, c);
+                }
+            }
+        }
+    }
+    (Csr::from_sorted_triplets(n * n, n * n, triplets), b)
+}
+
+/// The initial solution vector: the problem's iterate-0 interior, flattened
+/// row-major.
+pub fn initial_vector(problem: &Problem) -> Vec<f64> {
+    let n = problem.n as i64;
+    let mut x = Vec::with_capacity((n * n) as usize);
+    for i in 0..n {
+        for j in 0..n {
+            x.push((problem.init)(i, j));
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_stencil::{jacobi_reference, max_abs_diff};
+
+    #[test]
+    fn matrix_has_five_point_structure() {
+        let p = Problem::laplace(6);
+        let (a, _) = stencil_matrix(&p);
+        assert_eq!(a.rows, 36);
+        // interior rows hold 5 nonzeros, corner rows 3, edge rows 4 — but
+        // zero-weight entries are still stored (PETSc stores the pattern),
+        // so count via structure: interior point (2,2) = row 14
+        let r = 14usize;
+        let nnz = (a.row_ptr[r + 1] - a.row_ptr[r]) as usize;
+        assert_eq!(nnz, 5);
+        // corner (0,0): two neighbours fall outside
+        let nnz0 = (a.row_ptr[1] - a.row_ptr[0]) as usize;
+        assert_eq!(nnz0, 3);
+    }
+
+    #[test]
+    fn one_sweep_matches_stencil_reference() {
+        let p = Problem::scrambled(8, 21);
+        let (a, b) = stencil_matrix(&p);
+        let x = initial_vector(&p);
+        let mut y = vec![0.0; x.len()];
+        a.spmv_add(&x, &b, &mut y);
+        let want = jacobi_reference(&p, 1);
+        // accumulation order differs from the stencil kernel, so agreement
+        // is to rounding, not bitwise
+        assert!(max_abs_diff(&y, &want) < 1e-14);
+    }
+
+    #[test]
+    fn boundary_vector_zero_for_zero_bc() {
+        let mut p = Problem::scrambled(6, 3);
+        p.bc = std::sync::Arc::new(|_, _| 0.0);
+        let (_, b) = stencil_matrix(&p);
+        assert!(b.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,117 @@
+//! Performance model of the PETSc baseline on the paper's machines.
+//!
+//! PETSc's Jacobi-by-SpMV is bulk-synchronous per iteration: every rank
+//! applies its row block, then the `VecScatter` exchanges one grid row with
+//! each adjacent rank. One MPI rank runs per core (Section V), so the
+//! per-rank bandwidth share is `node bandwidth / cores`. The iteration time
+//! is the compute time plus the unoverlapped part of the ghost exchange —
+//! PETSc posts its scatters early, so only the latency-and-wire tail of
+//! the two `8n`-byte row messages lands on the critical path.
+
+use ca_stencil::StencilConfig;
+use machine::{MachineProfile, SpmvCostModel};
+use netsim::NetworkModel;
+use serde::Serialize;
+
+/// Predicted timing of one PETSc-style run.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PetscPrediction {
+    /// Time per Jacobi iteration, seconds.
+    pub iteration_time: f64,
+    /// Whole-run time, seconds.
+    pub total_time: f64,
+    /// Rate in GFLOP/s (9 flops per grid point per iteration, the same
+    /// accounting as the stencil versions).
+    pub gflops: f64,
+}
+
+/// The analytic model.
+#[derive(Debug, Clone)]
+pub struct PetscModel {
+    /// The machine.
+    pub profile: MachineProfile,
+    /// Kernel cost model.
+    pub cost: SpmvCostModel,
+    /// Network model for the ghost exchange.
+    pub net: NetworkModel,
+}
+
+impl PetscModel {
+    /// Build for a machine profile.
+    pub fn new(profile: &MachineProfile) -> Self {
+        PetscModel {
+            profile: profile.clone(),
+            cost: SpmvCostModel::for_profile(profile),
+            net: NetworkModel::from_profile(profile),
+        }
+    }
+
+    /// Time of one iteration on an `n × n` grid over `nodes` nodes.
+    pub fn iteration_time(&self, n: usize, nodes: u32) -> f64 {
+        let ranks = (nodes * self.profile.cores_per_node) as usize;
+        // rows per rank (the busiest rank rounds up)
+        let rows = (n * n).div_ceil(ranks.max(1));
+        let compute = self.cost.local_spmv_time(rows);
+        // Each interior rank exchanges one full grid row (8n bytes) with
+        // each adjacent rank. The 1D row partition makes these messages
+        // much larger than the 2D tile strips — the surface-to-volume
+        // penalty the paper attributes to the flattened formulation.
+        let comm = 2.0 * self.net.transfer_time(8 * n);
+        compute + comm
+    }
+
+    /// Predict a whole run.
+    pub fn predict(&self, cfg: &StencilConfig, nodes: u32) -> PetscPrediction {
+        let iteration_time = self.iteration_time(cfg.problem.n, nodes);
+        let total_time = iteration_time * cfg.iterations as f64;
+        PetscPrediction {
+            iteration_time,
+            total_time,
+            gflops: cfg.gflops(total_time),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_stencil::Problem;
+    use netsim::ProcessGrid;
+
+    fn cfg(n: usize) -> StencilConfig {
+        StencilConfig::new(Problem::laplace(n), 288, 100, ProcessGrid::new(1, 1))
+    }
+
+    #[test]
+    fn single_node_rate_near_half_of_parsec() {
+        // Figure 7's observation: tiled PaRSEC ≈ 2 × PETSc.
+        let m = PetscModel::new(&MachineProfile::nacl());
+        let pred = m.predict(&cfg(23_040), 1);
+        let parsec = machine::StencilCostModel::for_profile(&MachineProfile::nacl())
+            .node_gflops_single(23_040, 288);
+        let ratio = parsec / pred.gflops;
+        assert!((1.7..=2.4).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn scales_almost_linearly_when_compute_bound() {
+        let m = PetscModel::new(&MachineProfile::nacl());
+        let t1 = m.predict(&cfg(23_040), 1).total_time;
+        let t16 = m.predict(&cfg(23_040), 16).total_time;
+        let speedup = t1 / t16;
+        assert!(
+            (13.0..=16.0).contains(&speedup),
+            "16-node speedup = {speedup}"
+        );
+    }
+
+    #[test]
+    fn comm_tail_grows_with_node_count() {
+        // per-iteration communication time is constant, so its share grows
+        let m = PetscModel::new(&MachineProfile::nacl());
+        let i1 = m.iteration_time(23_040, 1);
+        let i64n = m.iteration_time(23_040, 64);
+        assert!(i64n < i1 / 40.0, "i1 = {i1}, i64 = {i64n}");
+        assert!(i64n > i1 / 64.0, "communication tail should bite");
+    }
+}

@@ -1,0 +1,48 @@
+//! The runtime's generic communication-avoiding framework (the paper's
+//! proposed future work) driving a workload the stencil crates know
+//! nothing about: a 9-point cellular kernel. The user supplies only the
+//! shape — tiles, placement, costs, whether diagonals are read — and
+//! sweeps the step size; the runtime generates and schedules the
+//! redundant tasks.
+//!
+//! ```text
+//! cargo run --release -p examples-app --bin generic_halo
+//! ```
+
+use machine::MachineProfile;
+use runtime::{build_halo_program, run_simulated, HaloSpec, SimConfig};
+
+fn main() {
+    let profile = MachineProfile::nacl();
+    println!("generic CA framework: 16x16 tiles of a 9-point kernel over 4 nodes");
+    println!("{:>6} {:>12} {:>14} {:>14}", "s", "time (ms)", "remote msgs", "avg msg KB");
+    for steps in [1usize, 2, 5, 10, 20] {
+        let spec = HaloSpec {
+            tiles_x: 16,
+            tiles_y: 16,
+            iterations: 60,
+            steps,
+            node_of: HaloSpec::block_placement(16, 16, 2, 2),
+            task_cost: 60e-6, // a fast, tuned kernel: communication matters
+            redundant_cell_cost: 0.4e-9,
+            tile_edge: 256,
+            cell_bytes: 8,
+            corners_every_iteration: true, // 9-point: diagonals read each step
+        };
+        let report = run_simulated(
+            &build_halo_program(spec),
+            SimConfig::new(profile.clone(), 4),
+        );
+        println!(
+            "{:>6} {:>12.2} {:>14} {:>14.1}",
+            steps,
+            report.makespan * 1e3,
+            report.remote_messages,
+            report.remote_bytes as f64 / report.remote_messages.max(1) as f64 / 1024.0,
+        );
+    }
+    println!("\nlarger steps trade redundant work for fewer, bigger messages;");
+    println!("the optimum is interior — the runtime found it without any");
+    println!("stencil-specific code (compare crates/core, which hand-writes");
+    println!("the same dataflow for the paper's 5-point Jacobi).");
+}

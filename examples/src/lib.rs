@@ -1,0 +1,42 @@
+//! Shared helpers for the example binaries.
+
+use ca_stencil::Problem;
+use std::sync::Arc;
+
+/// A heat-plate problem: the north edge held at `hot` degrees, the other
+/// three edges at zero, interior starting cold. Jacobi iteration relaxes
+/// towards the steady-state temperature field.
+pub fn heat_plate(n: usize, hot: f64) -> Problem {
+    let mut p = Problem::laplace(n);
+    let ni = n as i64;
+    p.init = Arc::new(|_, _| 0.0);
+    p.bc = Arc::new(move |r, c| {
+        if r < 0 && c >= 0 && c < ni {
+            hot
+        } else {
+            0.0
+        }
+    });
+    p
+}
+
+/// Mean of a row of an `n × n` field.
+pub fn row_mean(field: &[f64], n: usize, row: usize) -> f64 {
+    field[row * n..(row + 1) * n].iter().sum::<f64>() / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_stencil::jacobi_reference;
+
+    #[test]
+    fn heat_plate_warms_from_the_north() {
+        let p = heat_plate(16, 100.0);
+        let f = jacobi_reference(&p, 200);
+        let top = row_mean(&f, 16, 0);
+        let bottom = row_mean(&f, 16, 15);
+        assert!(top > 50.0, "top = {top}");
+        assert!(bottom < top / 4.0, "bottom = {bottom}");
+    }
+}

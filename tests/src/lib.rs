@@ -1,0 +1,17 @@
+//! Cross-crate integration test crate. The tests live in `tests/tests/`;
+//! this library only hosts shared helpers.
+
+use ca_stencil::{Problem, StencilConfig};
+use netsim::ProcessGrid;
+
+/// A scrambled-field configuration for equivalence testing.
+pub fn scrambled_config(
+    n: usize,
+    tile: usize,
+    iters: u32,
+    grid: ProcessGrid,
+    steps: usize,
+    seed: u64,
+) -> StencilConfig {
+    StencilConfig::new(Problem::scrambled(n, seed), tile, iters, grid).with_steps(steps)
+}

@@ -1,0 +1,110 @@
+//! The end-to-end correctness story: every execution path — sequential
+//! reference, SpMV baseline, base dataflow, CA dataflow, on both executors
+//! — computes the same field.
+
+use ca_stencil::{build_base, build_ca, jacobi_reference, max_abs_diff};
+use integration::scrambled_config;
+use machine::MachineProfile;
+use netsim::ProcessGrid;
+use runtime::{run_shared_memory, run_simulated, SimConfig};
+use spmv::run_distributed;
+
+#[test]
+fn all_five_paths_agree() {
+    let cfg = scrambled_config(24, 4, 8, ProcessGrid::new(2, 2), 3, 99);
+    let reference = jacobi_reference(&cfg.problem, 8);
+
+    // SpMV baseline (rounding-level agreement: different accumulation order)
+    let (spmv_field, _) = run_distributed(&cfg.problem, 6, 8);
+    assert!(max_abs_diff(&spmv_field, &reference) < 1e-13);
+
+    // base, real executor
+    let b = build_base(&cfg, true);
+    run_shared_memory(&b.program, 3);
+    assert_eq!(max_abs_diff(&b.store.unwrap().gather(), &reference), 0.0);
+
+    // base, simulated executor
+    let b = build_base(&cfg, true);
+    run_simulated(
+        &b.program,
+        SimConfig::new(MachineProfile::nacl(), 4).with_bodies(),
+    );
+    assert_eq!(max_abs_diff(&b.store.unwrap().gather(), &reference), 0.0);
+
+    // CA, real executor
+    let c = build_ca(&cfg, true);
+    run_shared_memory(&c.program, 3);
+    assert_eq!(max_abs_diff(&c.store.unwrap().gather(), &reference), 0.0);
+
+    // CA, simulated executor
+    let c = build_ca(&cfg, true);
+    run_simulated(
+        &c.program,
+        SimConfig::new(MachineProfile::nacl(), 4).with_bodies(),
+    );
+    assert_eq!(max_abs_diff(&c.store.unwrap().gather(), &reference), 0.0);
+}
+
+#[test]
+fn scheduler_policies_do_not_change_numerics() {
+    use runtime::SchedulerPolicy;
+    let cfg = scrambled_config(16, 4, 6, ProcessGrid::new(2, 2), 2, 5);
+    let reference = jacobi_reference(&cfg.problem, 6);
+    for policy in [
+        SchedulerPolicy::Fifo,
+        SchedulerPolicy::Lifo,
+        SchedulerPolicy::Priority,
+    ] {
+        let c = build_ca(&cfg, true);
+        run_simulated(
+            &c.program,
+            SimConfig::new(MachineProfile::nacl(), 4)
+                .with_bodies()
+                .with_scheduler(policy),
+        );
+        assert_eq!(
+            max_abs_diff(&c.store.unwrap().gather(), &reference),
+            0.0,
+            "{policy:?}"
+        );
+    }
+}
+
+#[test]
+fn node_count_does_not_change_numerics() {
+    for (grid, nodes) in [
+        (ProcessGrid::new(1, 1), 1u32),
+        (ProcessGrid::new(2, 2), 4),
+        (ProcessGrid::new(4, 4), 16),
+    ] {
+        let cfg = scrambled_config(32, 4, 5, grid, 2, 31);
+        let reference = jacobi_reference(&cfg.problem, 5);
+        let c = build_ca(&cfg, true);
+        run_simulated(
+            &c.program,
+            SimConfig::new(MachineProfile::nacl(), nodes).with_bodies(),
+        );
+        assert_eq!(
+            max_abs_diff(&c.store.unwrap().gather(), &reference),
+            0.0,
+            "{nodes} nodes"
+        );
+    }
+}
+
+#[test]
+fn machine_profile_does_not_change_numerics() {
+    // cost models change timing, never values
+    for profile in [
+        MachineProfile::nacl(),
+        MachineProfile::stampede2(),
+        MachineProfile::slow_network(),
+    ] {
+        let cfg = scrambled_config(16, 4, 7, ProcessGrid::new(2, 2), 3, 8)
+            .with_profile(profile.clone());
+        let reference = jacobi_reference(&cfg.problem, 7);
+        let c = build_ca(&cfg, true);
+        run_simulated(&c.program, SimConfig::new(profile, 4).with_bodies());
+        assert_eq!(max_abs_diff(&c.store.unwrap().gather(), &reference), 0.0);
+    }
+}

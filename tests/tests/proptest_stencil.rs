@@ -1,0 +1,92 @@
+//! Property tests over the whole stack: for arbitrary geometry, step size
+//! and iteration count, the CA dataflow over the simulated cluster equals
+//! the sequential reference bit for bit, and the analytic message
+//! prediction matches the simulator's counters.
+
+use ca_stencil::metrics::{predict_base, predict_ca};
+use ca_stencil::{
+    build_base, build_ca, jacobi_reference, max_abs_diff, Problem, StencilConfig,
+};
+use machine::MachineProfile;
+use netsim::ProcessGrid;
+use proptest::prelude::*;
+use runtime::{assert_valid, run_simulated, SimConfig};
+
+/// Random but well-formed configurations: tiles divide the grid, tile
+/// counts divide the node grid, steps ≤ tile.
+fn configs() -> impl Strategy<Value = (StencilConfig, u32)> {
+    (
+        2usize..=4,           // tiles per node per dimension
+        1u32..=2,             // node grid side
+        2usize..=5,           // tile size
+        1usize..=4,           // steps (clamped to tile below)
+        1u32..=9,             // iterations
+        0u64..1000,           // seed
+    )
+        .prop_map(|(tpn, side, tile, steps, iters, seed)| {
+            let tiles = tpn * side as usize;
+            let n = tiles * tile;
+            let grid = ProcessGrid::new(side, side);
+            let cfg = StencilConfig::new(Problem::scrambled(n, seed), tile, iters, grid)
+                .with_steps(steps.min(tile));
+            (cfg, side * side)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ca_equals_reference_bitwise((cfg, nodes) in configs()) {
+        let build = build_ca(&cfg, true);
+        assert_valid(&build.program);
+        run_simulated(
+            &build.program,
+            SimConfig::new(MachineProfile::nacl(), nodes).with_bodies(),
+        );
+        let got = build.store.unwrap().gather();
+        let want = jacobi_reference(&cfg.problem, cfg.iterations);
+        prop_assert_eq!(max_abs_diff(&got, &want), 0.0);
+    }
+
+    #[test]
+    fn base_equals_reference_bitwise((cfg, nodes) in configs()) {
+        let build = build_base(&cfg, true);
+        assert_valid(&build.program);
+        run_simulated(
+            &build.program,
+            SimConfig::new(MachineProfile::nacl(), nodes).with_bodies(),
+        );
+        let got = build.store.unwrap().gather();
+        let want = jacobi_reference(&cfg.problem, cfg.iterations);
+        prop_assert_eq!(max_abs_diff(&got, &want), 0.0);
+    }
+
+    #[test]
+    fn message_predictions_match_simulator((cfg, nodes) in configs()) {
+        let geo = cfg.geometry();
+        let base = run_simulated(
+            &build_base(&cfg, false).program,
+            SimConfig::new(MachineProfile::nacl(), nodes),
+        );
+        let pb = predict_base(&geo, cfg.iterations);
+        prop_assert_eq!(base.remote_messages, pb.messages);
+        prop_assert_eq!(base.remote_bytes, pb.bytes);
+
+        let ca = run_simulated(
+            &build_ca(&cfg, false).program,
+            SimConfig::new(MachineProfile::nacl(), nodes),
+        );
+        let pc = predict_ca(&geo, cfg.iterations, cfg.steps);
+        prop_assert_eq!(ca.remote_messages, pc.messages);
+        prop_assert_eq!(ca.remote_bytes, pc.bytes);
+    }
+
+    #[test]
+    fn spmv_matches_reference((cfg, _) in configs()) {
+        let (x, _) = spmv::run_distributed(&cfg.problem, 4, cfg.iterations);
+        let want = jacobi_reference(&cfg.problem, cfg.iterations);
+        let diff = max_abs_diff(&x, &want);
+        prop_assert!(diff < 1e-12, "diff = {diff}");
+    }
+}
