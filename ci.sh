@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 CI for the workspace: build, tests, formatting, lints.
+# fmt/clippy are skipped with a warning when the toolchain component is
+# not installed (offline/minimal environments); build and tests always
+# gate.
+set -uo pipefail
+
+cd "$(dirname "$0")"
+failed=0
+
+step() {
+    echo
+    echo "==> $*"
+    if ! "$@"; then
+        echo "FAILED: $*"
+        failed=1
+    fi
+}
+
+step cargo build --workspace --release
+step cargo test --workspace -q
+
+if cargo fmt --version >/dev/null 2>&1; then
+    step cargo fmt --all -- --check
+else
+    echo "WARNING: rustfmt not installed; skipping cargo fmt --check"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    step cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "WARNING: clippy not installed; skipping cargo clippy"
+fi
+
+if [ "$failed" -ne 0 ]; then
+    echo
+    echo "CI failed"
+    exit 1
+fi
+echo
+echo "CI passed"

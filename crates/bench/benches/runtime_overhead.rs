@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use machine::MachineProfile;
-use runtime::{run_shared_memory, run_simulated, DtdBuilder, SimConfig};
+use runtime::{run, DtdBuilder, RunConfig};
 
 fn chain_program(len: usize) -> runtime::Program {
     let mut b = DtdBuilder::new();
@@ -34,7 +34,7 @@ fn bench_real_executor(c: &mut Criterion) {
             |b, &tasks| {
                 b.iter(|| {
                     let p = wide_program(tasks);
-                    run_shared_memory(&p, 4)
+                    run(&p, &RunConfig::shared_memory(4))
                 });
             },
         );
@@ -49,7 +49,7 @@ fn bench_sim_executor(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("chain", tasks), &tasks, |b, &tasks| {
             b.iter(|| {
                 let p = chain_program(tasks);
-                run_simulated(&p, SimConfig::new(MachineProfile::nacl(), 1))
+                run(&p, &RunConfig::simulated(MachineProfile::nacl(), 1))
             });
         });
     }

@@ -7,7 +7,7 @@ use ca_stencil::{build_base, build_ca, Problem, StencilConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use machine::MachineProfile;
 use netsim::ProcessGrid;
-use runtime::{run_simulated, SimConfig};
+use runtime::{run, RunConfig};
 
 fn bench_fig5(c: &mut Criterion) {
     c.bench_function("fig5_netpipe_sweep", |b| b.iter(exp_fig5::run));
@@ -34,9 +34,9 @@ fn bench_versions(c: &mut Criterion, group_name: &str, ratio: f64) {
         group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
             let cfg = small_cfg(ratio, 5);
             b.iter(|| {
-                run_simulated(
+                run(
                     &build(&cfg, false).program,
-                    SimConfig::new(MachineProfile::nacl(), 4),
+                    &RunConfig::simulated(MachineProfile::nacl(), 4),
                 )
             });
         });

@@ -24,4 +24,5 @@ fn main() {
         "exascale projection: memory bandwidth x f, network fixed, ratio 1.0",
         &bench::exp_ablations::exascale_projection(iters),
     );
+    bench::report::write_metrics("ablations");
 }

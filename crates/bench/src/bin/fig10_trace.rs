@@ -1,18 +1,27 @@
 //! Regenerate Figure 10: one node's execution trace for base and CA.
-//! Writes full Gantt rows to `fig10_<version>.gantt` in the current
-//! directory; prints the occupancy/median digest.
+//! Writes, per version, full Gantt rows to `fig10_<version>.gantt` and
+//! the whole-cluster span trace as Chrome `trace_event` JSON to
+//! `fig10_<version>.trace.json` (load it in Perfetto or
+//! `chrome://tracing`); prints the occupancy/median digest and drops the
+//! run's `obs` metrics as JSON lines.
 
 use std::io::Write;
 
 fn main() {
-    let fig = bench::exp_fig10::run(5);
-    bench::exp_fig10::print(&fig);
-    for side in &fig.sides {
-        let path = format!("fig10_{}.gantt", side.version.to_lowercase());
+    let r = bench::exp_fig10::run(5);
+    bench::exp_fig10::print(&r.fig);
+    for (i, side) in r.fig.sides.iter().enumerate() {
+        let version = side.version.to_lowercase();
+        let path = format!("fig10_{version}.gantt");
         let mut f = std::fs::File::create(&path).expect("create gantt file");
         for row in &side.gantt {
             writeln!(f, "{row}").expect("write gantt row");
         }
         println!("wrote {} rows to {path}", side.gantt.len());
+
+        let chrome = format!("fig10_{version}.trace.json");
+        std::fs::write(&chrome, r.chrome_json(i)).expect("write chrome trace");
+        println!("wrote {} spans to {chrome}", r.traces[i].len());
     }
+    bench::report::write_metrics("fig10");
 }

@@ -4,4 +4,17 @@ fn main() {
     let series = bench::exp_fig5::run();
     bench::exp_fig5::print(&series);
     bench::report::write_json(bench::report::json_path("fig5"), &series);
+    for s in &series {
+        for p in &s.points {
+            bench::report::record_scalars(
+                &format!("fig5/{}/{}B", s.system, p.bytes),
+                &[
+                    ("msg_bytes", p.bytes as u64),
+                    ("bandwidth_bits", p.bandwidth_bits as u64),
+                    ("one_way_ns", (p.one_way_time * 1e9) as u64),
+                ],
+            );
+        }
+    }
+    bench::report::write_metrics("fig5");
 }

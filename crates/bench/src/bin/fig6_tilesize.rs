@@ -7,7 +7,11 @@ fn main() {
         .map_or(4, |c| c.get())
         .saturating_sub(1)
         .max(1);
-    let (n, iters) = if bench::fast_mode() { (512, 4) } else { (2048, 10) };
+    let (n, iters) = if bench::fast_mode() {
+        (512, 4)
+    } else {
+        (2048, 10)
+    };
     series.push(bench::exp_fig6::run_real(
         n,
         &[32, 64, 128, 256, 512],
@@ -15,4 +19,5 @@ fn main() {
         threads,
     ));
     bench::exp_fig6::print(&series);
+    bench::report::write_metrics("fig6");
 }

@@ -4,4 +4,5 @@ fn main() {
     let series = bench::exp_fig7::run_all();
     bench::exp_fig7::print(&series);
     bench::report::write_json(bench::report::json_path("fig7"), &series);
+    bench::report::write_metrics("fig7");
 }

@@ -9,4 +9,5 @@ fn main() {
         bench::exp_fig8::best_improvement(&panels, "Stampede2"),
     );
     bench::report::write_json(bench::report::json_path("fig8"), &panels);
+    bench::report::write_metrics("fig8");
 }

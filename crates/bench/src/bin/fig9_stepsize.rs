@@ -4,4 +4,5 @@ fn main() {
     let panels = bench::exp_fig9::run_all();
     bench::exp_fig9::print(&panels);
     bench::report::write_json(bench::report::json_path("fig9"), &panels);
+    bench::report::write_metrics("fig9");
 }

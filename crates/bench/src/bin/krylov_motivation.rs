@@ -4,9 +4,27 @@ use machine::MachineProfile;
 
 fn main() {
     for profile in [MachineProfile::nacl(), MachineProfile::stampede2()] {
-        let n = if profile.name == "Stampede2" { 55_296 } else { 23_040 };
+        let n = if profile.name == "Stampede2" {
+            55_296
+        } else {
+            23_040
+        };
         let (solve, rows) = bench::exp_krylov::run(&profile, n);
         bench::exp_krylov::print(&profile, n, &solve, &rows);
         println!();
+        bench::report::record_scalars(
+            &format!("krylov/{}/cg", profile.name),
+            &[("cg_iterations", u64::from(solve.iterations))],
+        );
+        for r in &rows {
+            bench::report::record_scalars(
+                &format!("krylov/{}/{}n", profile.name, r.nodes),
+                &[
+                    ("standard_iter_ns", (r.standard * 1e9) as u64),
+                    ("pipelined_iter_ns", (r.pipelined * 1e9) as u64),
+                ],
+            );
+        }
     }
+    bench::report::write_metrics("krylov");
 }

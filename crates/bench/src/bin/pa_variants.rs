@@ -11,4 +11,5 @@ fn main() {
         }
     }
     bench::exp_pa_variants::print(&panels);
+    bench::report::write_metrics("pa_variants");
 }

@@ -4,7 +4,7 @@
 use ca_stencil::{build_base, build_ca, Problem, StencilConfig};
 use machine::MachineProfile;
 use netsim::ProcessGrid;
-use runtime::{run_simulated, SimConfig};
+use runtime::{run, RunConfig};
 
 fn main() {
     let iters = 20;
@@ -23,14 +23,17 @@ fn main() {
                 .with_steps(15)
                 .with_ratio(ratio)
                 .with_profile(profile.clone());
-                let base = run_simulated(
+                let base = run(
                     &build_base(&cfg, false).program,
-                    SimConfig::new(profile.clone(), nodes),
+                    &RunConfig::simulated(profile.clone(), nodes),
                 );
-                let ca = run_simulated(
+                let ca = run(
                     &build_ca(&cfg, false).program,
-                    SimConfig::new(profile.clone(), nodes),
+                    &RunConfig::simulated(profile.clone(), nodes),
                 );
+                let label = format!("probe/{}/{}n/r{:.1}", profile.name, nodes, ratio);
+                bench::report::record(&format!("{label}/base"), &base);
+                bench::report::record(&format!("{label}/ca"), &ca);
                 println!(
                     "{} nodes={nodes} ratio={ratio:.1}: base {:.1} GF, ca {:.1} GF, ca/base = {:.3} (occ {:.2} vs {:.2})",
                     profile.name,
@@ -43,4 +46,5 @@ fn main() {
             }
         }
     }
+    bench::report::write_metrics("probe");
 }

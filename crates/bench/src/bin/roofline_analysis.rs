@@ -3,4 +3,15 @@
 fn main() {
     let rows = bench::exp_roofline::run();
     bench::exp_roofline::print(&rows);
+    for r in &rows {
+        bench::report::record_scalars(
+            &format!("roofline/{}", r.system),
+            &[
+                ("mem_bw_mb_s", (r.mem_bw_gb * 1e3) as u64),
+                ("plateau_mflops", (r.plateau * 1e3) as u64),
+                ("window_high_mflops", (r.window_high * 1e3) as u64),
+            ],
+        );
+    }
+    bench::report::write_metrics("roofline");
 }

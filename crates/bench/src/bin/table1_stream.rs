@@ -12,4 +12,17 @@ fn main() {
         p.mem_bw_node / 1e9,
         p.mem_bw_core / 1e9
     );
+    for (label, res) in [("core", &t.local_core), ("node", &t.local_node)] {
+        bench::report::record_scalars(
+            &format!("table1/localhost/{label}"),
+            &[
+                ("threads", res.threads as u64),
+                ("copy_mb_s", res.mb_per_s[0] as u64),
+                ("scale_mb_s", res.mb_per_s[1] as u64),
+                ("add_mb_s", res.mb_per_s[2] as u64),
+                ("triad_mb_s", res.mb_per_s[3] as u64),
+            ],
+        );
+    }
+    bench::report::write_metrics("table1");
 }

@@ -18,7 +18,7 @@ use crate::paper_workload;
 use ca_stencil::{build_base, build_ca, Problem, StencilConfig};
 use machine::MachineProfile;
 use netsim::ProcessGrid;
-use runtime::{run_simulated, SchedulerPolicy, SimConfig};
+use runtime::{run, RunConfig, SchedulerPolicy};
 use serde::Serialize;
 
 /// Result of one base-vs-CA pair under some configuration.
@@ -41,21 +41,22 @@ impl PairResult {
 
 fn paper_cfg(profile: &MachineProfile, nodes: u32, ratio: f64, iters: u32) -> StencilConfig {
     let (n, tile) = paper_workload(profile);
-    StencilConfig::new(
-        Problem::laplace(n),
-        tile,
-        iters,
-        ProcessGrid::square(nodes),
-    )
-    .with_steps(15)
-    .with_ratio(ratio)
-    .with_profile(profile.clone())
+    StencilConfig::new(Problem::laplace(n), tile, iters, ProcessGrid::square(nodes))
+        .with_steps(15)
+        .with_ratio(ratio)
+        .with_profile(profile.clone())
 }
 
-fn pair(cfg: &StencilConfig, sim: &SimConfig, label: String) -> PairResult {
-    let base = run_simulated(&build_base(cfg, false).program, sim.clone()).makespan;
-    let ca = run_simulated(&build_ca(cfg, false).program, sim.clone()).makespan;
-    PairResult { label, base, ca }
+fn pair(cfg: &StencilConfig, sim: &RunConfig, label: String) -> PairResult {
+    let base = run(&build_base(cfg, false).program, sim);
+    let ca = run(&build_ca(cfg, false).program, sim);
+    crate::report::record(&format!("{label}/base"), &base);
+    crate::report::record(&format!("{label}/ca"), &ca);
+    PairResult {
+        label,
+        base: base.makespan,
+        ca: ca.makespan,
+    }
 }
 
 /// Scheduler-policy ablation at the communication-sensitive ratio 0.4.
@@ -67,12 +68,12 @@ pub fn scheduler_ablation(iters: u32) -> Vec<PairResult> {
         SchedulerPolicy::Lifo,
         SchedulerPolicy::Priority,
     ]
-        .into_iter()
-        .map(|policy| {
-            let sim = SimConfig::new(profile.clone(), 16).with_scheduler(policy);
-            pair(&cfg, &sim, format!("{policy:?}"))
-        })
-        .collect()
+    .into_iter()
+    .map(|policy| {
+        let sim = RunConfig::simulated(profile.clone(), 16).with_policy(policy);
+        pair(&cfg, &sim, format!("{policy:?}"))
+    })
+    .collect()
 }
 
 /// Communication-engine-count ablation: with more engines the per-message
@@ -83,8 +84,7 @@ pub fn comm_engine_ablation(iters: u32) -> Vec<PairResult> {
     [1usize, 2, 4]
         .into_iter()
         .map(|engines| {
-            let mut sim = SimConfig::new(profile.clone(), 16);
-            sim.comm_engines = engines;
+            let sim = RunConfig::simulated(profile.clone(), 16).with_comm_engines(engines);
             pair(&cfg, &sim, format!("{engines} comm engine(s)"))
         })
         .collect()
@@ -100,7 +100,7 @@ pub fn rendezvous_ablation(iters: u32) -> Vec<PairResult> {
             let mut profile = MachineProfile::nacl();
             profile.rendezvous_threshold = threshold;
             let cfg = paper_cfg(&profile, 16, 0.4, iters);
-            let sim = SimConfig::new(profile, 16);
+            let sim = RunConfig::simulated(profile, 16);
             pair(&cfg, &sim, format!("rendezvous @ {} KB", threshold / 1024))
         })
         .collect()
@@ -115,7 +115,7 @@ pub fn msg_cost_ablation(iters: u32) -> Vec<PairResult> {
             let mut profile = MachineProfile::nacl();
             profile.runtime_msg_cost = cost;
             let cfg = paper_cfg(&profile, 16, 0.4, iters);
-            let sim = SimConfig::new(profile, 16);
+            let sim = RunConfig::simulated(profile, 16);
             pair(&cfg, &sim, format!("msg cost {:.0} us", cost * 1e6))
         })
         .collect()
@@ -131,7 +131,7 @@ pub fn exascale_projection(iters: u32) -> Vec<PairResult> {
             profile.mem_bw_node *= factor;
             profile.mem_bw_core *= factor;
             let cfg = paper_cfg(&profile, 16, 1.0, iters);
-            let sim = SimConfig::new(profile, 16);
+            let sim = RunConfig::simulated(profile, 16);
             pair(&cfg, &sim, format!("memory x{factor:.1}"))
         })
         .collect()

@@ -4,10 +4,12 @@
 //! copies) yet the run is faster overall.
 
 use crate::{iterations, paper_workload};
-use ca_stencil::{build_base, build_ca, Problem, StencilConfig, KIND_BOUNDARY, KIND_INTERIOR};
+use ca_stencil::{
+    build_base, build_ca, kind_names, Problem, StencilConfig, KIND_BOUNDARY, KIND_INTERIOR,
+};
 use machine::MachineProfile;
 use netsim::ProcessGrid;
-use runtime::{profiling, run_simulated, SimConfig};
+use runtime::{profiling, RunConfig};
 use serde::Serialize;
 
 /// Digest of one version's trace.
@@ -41,9 +43,28 @@ pub struct Fig10 {
     pub sides: Vec<Fig10Side>,
 }
 
+/// The figure plus the full span traces (one per side, in `sides`
+/// order) — kept outside [`Fig10`] so the figure itself stays
+/// JSON-serializable while the traces go to Chrome `trace_event` export.
+#[derive(Debug, Clone)]
+pub struct Fig10Run {
+    /// The serializable figure.
+    pub fig: Fig10,
+    /// Whole-cluster traces, parallel to `fig.sides`.
+    pub traces: Vec<obs::Trace>,
+}
+
+impl Fig10Run {
+    /// Render side `i`'s trace as Chrome `trace_event` JSON (loadable in
+    /// Perfetto / `chrome://tracing`).
+    pub fn chrome_json(&self, i: usize) -> String {
+        obs::chrome::to_chrome_json(&self.traces[i])
+    }
+}
+
 /// Run the experiment. `node` picks which rank to profile (the paper shows
 /// one node of the 16).
-pub fn run(node: u32) -> Fig10 {
+pub fn run(node: u32) -> Fig10Run {
     let profile = MachineProfile::nacl();
     let (n, tile) = paper_workload(&profile);
     let nodes = 16u32;
@@ -59,16 +80,20 @@ pub fn run(node: u32) -> Fig10 {
 
     let lanes = profile.compute_threads();
     let mut sides = Vec::new();
+    let mut traces = Vec::new();
     for (version, program) in [
         ("base", build_base(&cfg, false).program),
         ("CA", build_ca(&cfg, false).program),
     ] {
-        let report = run_simulated(
+        let report = runtime::run(
             &program,
-            SimConfig::new(profile.clone(), nodes).with_trace(),
+            &RunConfig::simulated(profile.clone(), nodes)
+                .with_trace()
+                .with_kind_names(kind_names()),
         );
+        crate::report::record(&format!("fig10/{version}"), &report);
         let trace = report.trace.expect("trace requested");
-        let horizon = trace.horizon();
+        let horizon = trace.horizon_ns();
         let prof = profiling::profile_node(&trace, node, lanes, horizon);
         let median_of = |kind: u32| {
             prof.kinds
@@ -85,11 +110,11 @@ pub fn run(node: u32) -> Fig10 {
             gantt: profiling::gantt_rows(&trace, node),
             ascii: profiling::ascii_gantt(&trace, node, lanes, horizon, 100),
         });
+        traces.push(trace);
     }
-    Fig10 {
-        node,
-        lanes,
-        sides,
+    Fig10Run {
+        fig: Fig10 { node, lanes, sides },
+        traces,
     }
 }
 
@@ -143,7 +168,7 @@ mod tests {
     #[test]
     fn ca_has_higher_occupancy_and_is_faster() {
         std::env::set_var("REPRO_FAST", "1");
-        let fig = run(5);
+        let fig = run(5).fig;
         let base = &fig.sides[0];
         let ca = &fig.sides[1];
         assert!(ca.occupancy > base.occupancy, "{ca:?} vs {base:?}");

@@ -13,7 +13,7 @@
 use ca_stencil::{build_base, Problem, StencilConfig};
 use machine::{MachineProfile, StencilCostModel};
 use netsim::ProcessGrid;
-use runtime::run_shared_memory;
+use runtime::{run, RunConfig};
 use serde::Serialize;
 
 /// One point of a tile-size sweep.
@@ -80,10 +80,11 @@ pub fn run_real(n: usize, tiles: &[usize], iterations: u32, threads: usize) -> F
                 ProcessGrid::new(1, 1),
             );
             let build = build_base(&cfg, true);
-            let report = run_shared_memory(&build.program, threads);
+            let report = run(&build.program, &RunConfig::shared_memory(threads));
+            crate::report::record(&format!("real/tile{tile}"), &report);
             TilePoint {
                 tile,
-                gflops: cfg.gflops(report.wall_time),
+                gflops: cfg.gflops(report.makespan),
             }
         })
         .collect();

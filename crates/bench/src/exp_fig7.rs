@@ -8,7 +8,7 @@ use crate::{iterations, paper_workload};
 use ca_stencil::{build_base, build_ca, Problem, StencilConfig};
 use machine::MachineProfile;
 use netsim::ProcessGrid;
-use runtime::{run_simulated, SimConfig};
+use runtime::RunConfig;
 use serde::Serialize;
 use spmv::PetscModel;
 
@@ -57,27 +57,25 @@ pub fn run(profile: &MachineProfile) -> Fig7Series {
     let (n, tile) = paper_workload(profile);
     let base1 = {
         let cfg = config(profile, 1);
-        run_simulated(
+        let r = runtime::run(
             &build_base(&cfg, false).program,
-            SimConfig::new(profile.clone(), 1),
-        )
-        .makespan
+            &RunConfig::simulated(profile.clone(), 1),
+        );
+        crate::report::record(&format!("{}/1n/base", profile.name), &r);
+        r.makespan
     };
     let petsc_model = PetscModel::new(profile);
     let rows = [4u32, 16, 64]
         .iter()
         .map(|&nodes| {
             let cfg = config(profile, nodes);
-            let base = run_simulated(
-                &build_base(&cfg, false).program,
-                SimConfig::new(profile.clone(), nodes),
-            )
-            .makespan;
-            let ca = run_simulated(
-                &build_ca(&cfg, false).program,
-                SimConfig::new(profile.clone(), nodes),
-            )
-            .makespan;
+            let sim = RunConfig::simulated(profile.clone(), nodes);
+            let base_run = runtime::run(&build_base(&cfg, false).program, &sim);
+            let ca_run = runtime::run(&build_ca(&cfg, false).program, &sim);
+            crate::report::record(&format!("{}/{}n/base", profile.name, nodes), &base_run);
+            crate::report::record(&format!("{}/{}n/ca", profile.name, nodes), &ca_run);
+            let base = base_run.makespan;
+            let ca = ca_run.makespan;
             let petsc = petsc_model.predict(&cfg, nodes).total_time;
             Fig7Row {
                 nodes,
@@ -153,7 +151,13 @@ mod tests {
             assert!((1.5..=3.0).contains(&ratio), "nodes {}: {ratio}", r.nodes);
             // base ≈ CA at full kernel (paper: "almost indistinguishable")
             let gap = (r.base - r.ca).abs() / r.base;
-            assert!(gap < 0.12, "nodes {}: base {} vs ca {}", r.nodes, r.base, r.ca);
+            assert!(
+                gap < 0.12,
+                "nodes {}: base {} vs ca {}",
+                r.nodes,
+                r.base,
+                r.ca
+            );
         }
     }
 }

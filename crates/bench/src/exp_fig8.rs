@@ -13,7 +13,7 @@ use crate::{iterations, paper_workload};
 use ca_stencil::{build_base, build_ca, Problem, StencilConfig};
 use machine::MachineProfile;
 use netsim::ProcessGrid;
-use runtime::{run_simulated, SimConfig};
+use runtime::{run, RunConfig};
 use serde::Serialize;
 
 /// One (ratio) measurement.
@@ -54,14 +54,12 @@ fn run_pair(profile: &MachineProfile, nodes: u32, ratio: f64) -> (f64, f64) {
     .with_steps(STEPS)
     .with_ratio(ratio)
     .with_profile(profile.clone());
-    let base = run_simulated(
-        &build_base(&cfg, false).program,
-        SimConfig::new(profile.clone(), nodes),
-    );
-    let ca = run_simulated(
-        &build_ca(&cfg, false).program,
-        SimConfig::new(profile.clone(), nodes),
-    );
+    let sim = RunConfig::simulated(profile.clone(), nodes);
+    let base = run(&build_base(&cfg, false).program, &sim);
+    let ca = run(&build_ca(&cfg, false).program, &sim);
+    let label = format!("{}/{}n/r{:.1}", profile.name, nodes, ratio);
+    crate::report::record(&format!("{label}/base"), &base);
+    crate::report::record(&format!("{label}/ca"), &ca);
     (cfg.gflops(base.makespan), cfg.gflops(ca.makespan))
 }
 

@@ -9,7 +9,7 @@ use crate::{iterations, paper_workload};
 use ca_stencil::{build_ca, Problem, StencilConfig};
 use machine::MachineProfile;
 use netsim::ProcessGrid;
-use runtime::{run_simulated, SimConfig};
+use runtime::{run, RunConfig};
 use serde::Serialize;
 
 /// One (step size, ratio) measurement.
@@ -52,9 +52,13 @@ pub fn run_panel(profile: &MachineProfile, nodes: u32, ratios: &[f64]) -> Fig9Pa
             .with_steps(steps)
             .with_ratio(ratio)
             .with_profile(profile.clone());
-            let report = run_simulated(
+            let report = run(
                 &build_ca(&cfg, false).program,
-                SimConfig::new(profile.clone(), nodes),
+                &RunConfig::simulated(profile.clone(), nodes),
+            );
+            crate::report::record(
+                &format!("{}/{}n/s{}/r{:.1}", profile.name, nodes, steps, ratio),
+                &report,
             );
             points.push(Fig9Point {
                 steps,

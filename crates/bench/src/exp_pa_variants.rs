@@ -8,7 +8,7 @@ use crate::{iterations, paper_workload};
 use ca_stencil::{build_base, build_ca, build_pa2, Problem, StencilConfig};
 use machine::MachineProfile;
 use netsim::ProcessGrid;
-use runtime::{run_simulated, SimConfig};
+use runtime::{run, RunConfig};
 use serde::Serialize;
 
 /// One (ratio) comparison row.
@@ -54,12 +54,19 @@ pub fn run_panel(profile: &MachineProfile, nodes: u32, ratios: &[f64]) -> PaPane
             .with_steps(steps)
             .with_ratio(ratio)
             .with_profile(profile.clone());
-            let sim = SimConfig::new(profile.clone(), nodes);
+            let sim = RunConfig::simulated(profile.clone(), nodes);
+            let label = format!("{}/{}n/r{:.1}", profile.name, nodes, ratio);
+            let base = run(&build_base(&cfg, false).program, &sim);
+            let pa1 = run(&build_ca(&cfg, false).program, &sim);
+            let pa2 = run(&build_pa2(&cfg, false).program, &sim);
+            crate::report::record(&format!("{label}/base"), &base);
+            crate::report::record(&format!("{label}/pa1"), &pa1);
+            crate::report::record(&format!("{label}/pa2"), &pa2);
             PaPoint {
                 ratio,
-                base: run_simulated(&build_base(&cfg, false).program, sim.clone()).makespan,
-                pa1: run_simulated(&build_ca(&cfg, false).program, sim.clone()).makespan,
-                pa2: run_simulated(&build_pa2(&cfg, false).program, sim).makespan,
+                base: base.makespan,
+                pa1: pa1.makespan,
+                pa2: pa2.makespan,
             }
         })
         .collect();
@@ -73,7 +80,10 @@ pub fn run_panel(profile: &MachineProfile, nodes: u32, ratios: &[f64]) -> PaPane
 
 /// Print panels.
 pub fn print(panels: &[PaPanel]) {
-    println!("PA1 vs PA2 (s = {}; same remote traffic, different work/overlap)", panels[0].steps);
+    println!(
+        "PA1 vs PA2 (s = {}; same remote traffic, different work/overlap)",
+        panels[0].steps
+    );
     for p in panels {
         println!("-- {} / {} nodes", p.system, p.nodes);
         println!(

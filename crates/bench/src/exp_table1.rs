@@ -13,7 +13,11 @@ pub const PAPER_TABLE1: [(&str, &str, [f64; 4]); 4] = [
     ("NaCL", "1-core", [9814.2, 10080.3, 10289.3, 10271.6]),
     ("NaCL", "1-node", [40091.3, 26335.8, 28992.0, 28547.2]),
     ("Stampede2", "1-core", [10632.6, 10772.0, 13427.1, 13440.0]),
-    ("Stampede2", "1-node", [176701.1, 178718.7, 192560.3, 193216.3]),
+    (
+        "Stampede2",
+        "1-node",
+        [176701.1, 178718.7, 192560.3, 193216.3],
+    ),
 ];
 
 /// Results of the local STREAM measurement.

@@ -25,12 +25,12 @@
 pub mod exp_ablations;
 pub mod exp_fig10;
 pub mod exp_fig5;
-pub mod exp_krylov;
-pub mod exp_pa_variants;
 pub mod exp_fig6;
 pub mod exp_fig7;
 pub mod exp_fig8;
 pub mod exp_fig9;
+pub mod exp_krylov;
+pub mod exp_pa_variants;
 pub mod exp_roofline;
 pub mod exp_table1;
 pub mod report;
@@ -57,7 +57,7 @@ pub fn iterations() -> u32 {
 
 /// True when `REPRO_FAST=1` is set.
 pub fn fast_mode() -> bool {
-    std::env::var("REPRO_FAST").map_or(false, |v| v == "1")
+    std::env::var("REPRO_FAST").is_ok_and(|v| v == "1")
 }
 
 #[cfg(test)]
@@ -66,7 +66,10 @@ mod tests {
 
     #[test]
     fn paper_workloads_divide_by_tiles() {
-        for p in [machine::MachineProfile::nacl(), machine::MachineProfile::stampede2()] {
+        for p in [
+            machine::MachineProfile::nacl(),
+            machine::MachineProfile::stampede2(),
+        ] {
             let (n, tile) = paper_workload(&p);
             assert_eq!(n % tile, 0);
             // and distribute over all of the paper's node grids

@@ -1,7 +1,15 @@
 //! Result export: every experiment binary can drop its data as JSON next
-//! to the human-readable table, for downstream plotting.
+//! to the human-readable table, for downstream plotting, and every run's
+//! `obs` metric snapshot as JSON-lines for diffing across runs.
+//!
+//! The JSONL side works like a default metric registry: experiment
+//! modules call [`record`] (or [`record_scalars`]) as they execute, and
+//! the figure binary flushes everything with [`write_metrics`] at the
+//! end. The log is thread-local — each binary is single-threaded at the
+//! harness level, so one log per process is exactly one log per figure.
 
 use serde::Serialize;
+use std::cell::RefCell;
 use std::path::Path;
 
 /// Serialize `data` as pretty JSON into `path`. Panics on I/O failure —
@@ -9,14 +17,57 @@ use std::path::Path;
 pub fn write_json<T: Serialize>(path: impl AsRef<Path>, data: &T) {
     let path = path.as_ref();
     let json = serde_json::to_string_pretty(data).expect("experiment data serializes");
-    std::fs::write(path, json)
-        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
 }
 
 /// Standard location for a figure's JSON dump: `<name>.json` in the
 /// current directory (the harness is run from `results/`).
 pub fn json_path(name: &str) -> String {
     format!("{name}.json")
+}
+
+/// Standard location for a figure's JSON-lines metric dump.
+pub fn jsonl_path(name: &str) -> String {
+    format!("{name}.metrics.jsonl")
+}
+
+thread_local! {
+    static METRICS_LOG: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// Append one executor run's `obs` snapshot (and trace digest, when the
+/// run captured one) to the pending metric log under the label `run`.
+pub fn record(run: &str, report: &runtime::RunReport) {
+    let text = obs::jsonl::render(run, &report.metrics, report.trace.as_ref());
+    METRICS_LOG.with(|log| log.borrow_mut().push_str(&text));
+}
+
+/// Append scalar results from an experiment that does not go through an
+/// executor (roofline analysis, STREAM, NetPIPE): each `(name, value)`
+/// becomes an `obs` counter under the label `run`.
+pub fn record_scalars(run: &str, values: &[(&str, u64)]) {
+    let metrics = obs::Metrics::new();
+    for (name, value) in values {
+        metrics.counter(name).add(*value);
+    }
+    let text = obs::jsonl::render(run, &metrics.snapshot(), None);
+    METRICS_LOG.with(|log| log.borrow_mut().push_str(&text));
+}
+
+/// Take the accumulated metric log, leaving it empty.
+pub fn drain_metrics() -> String {
+    METRICS_LOG.with(|log| std::mem::take(&mut *log.borrow_mut()))
+}
+
+/// Flush the accumulated metric log to `<name>.metrics.jsonl` and return
+/// the path. Writes an empty file if nothing was recorded, so a figure's
+/// metric artifact always exists.
+pub fn write_metrics(name: &str) -> String {
+    let path = jsonl_path(name);
+    let text = drain_metrics();
+    std::fs::write(&path, text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote metrics to {path}");
+    path
 }
 
 #[cfg(test)]
@@ -27,8 +78,7 @@ mod tests {
     fn writes_valid_json() {
         let dir = std::env::temp_dir().join("bench_report_test.json");
         write_json(&dir, &vec![1, 2, 3]);
-        let back: Vec<i32> =
-            serde_json::from_str(&std::fs::read_to_string(&dir).unwrap()).unwrap();
+        let back: Vec<i32> = serde_json::from_str(&std::fs::read_to_string(&dir).unwrap()).unwrap();
         assert_eq!(back, vec![1, 2, 3]);
         let _ = std::fs::remove_file(&dir);
     }
@@ -36,5 +86,36 @@ mod tests {
     #[test]
     fn json_path_format() {
         assert_eq!(json_path("fig7"), "fig7.json");
+        assert_eq!(jsonl_path("fig7"), "fig7.metrics.jsonl");
+    }
+
+    #[test]
+    fn metric_log_accumulates_and_drains() {
+        drain_metrics(); // isolate from other tests on this thread
+        record_scalars("unit", &[("alpha", 3), ("beta", 5)]);
+        record_scalars("unit2", &[("alpha", 1)]);
+        let text = drain_metrics();
+        let runs = obs::jsonl::parse(&text).expect("log parses");
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].0, "unit");
+        assert_eq!(runs[0].1.counter("alpha"), 3);
+        assert_eq!(runs[0].1.counter("beta"), 5);
+        assert_eq!(runs[1].1.counter("alpha"), 1);
+        assert!(drain_metrics().is_empty(), "drain leaves the log empty");
+    }
+
+    #[test]
+    fn executor_runs_land_in_the_log() {
+        use runtime::{run, DtdBuilder, RunConfig};
+        drain_metrics();
+        let mut b = DtdBuilder::new();
+        let root = b.insert(0, 0.0, &[]);
+        b.insert(0, 0.0, &[root]);
+        let r = run(&b.build(), &RunConfig::shared_memory(2));
+        record("dtd", &r);
+        let text = drain_metrics();
+        let runs = obs::jsonl::parse(&text).expect("log parses");
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].1.counter(obs::names::TASKS_EXECUTED), 2);
     }
 }

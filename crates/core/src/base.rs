@@ -125,9 +125,7 @@ impl TaskClass for BaseStencil {
             .into_iter()
             .map(|(of, _, _)| match of {
                 OutFlow::SelfFlow => FlowData::values(Vec::new()),
-                OutFlow::Strip { side, depth } => {
-                    FlowData::values(buf.extract_strip(side, depth))
-                }
+                OutFlow::Strip { side, depth } => FlowData::values(buf.extract_strip(side, depth)),
                 OutFlow::Block { .. } => unreachable!("base scheme has no corner flows"),
             })
             .collect()
@@ -143,7 +141,8 @@ impl TaskClass for BaseStencil {
             // iterate-0 emission: strip copies only
             self.model.ghost_copy_time(4 * self.geo.tile)
         } else {
-            self.model.task_time(self.geo.tile, self.geo.tile, self.ratio)
+            self.model
+                .task_time(self.geo.tile, self.geo.tile, self.ratio)
         }
     }
 
@@ -229,7 +228,7 @@ mod tests {
     use crate::problem::Problem;
     use crate::reference::{jacobi_reference, max_abs_diff};
     use netsim::ProcessGrid;
-    use runtime::{assert_valid, run_shared_memory, run_simulated, SimConfig};
+    use runtime::{assert_valid, run, RunConfig};
 
     fn cfg(n: usize, tile: usize, iters: u32, grid: ProcessGrid) -> StencilConfig {
         StencilConfig::new(Problem::scrambled(n, 77), tile, iters, grid)
@@ -249,7 +248,7 @@ mod tests {
     fn real_executor_matches_reference_bitwise() {
         let c = cfg(12, 4, 5, ProcessGrid::new(1, 1));
         let b = build_base(&c, true);
-        run_shared_memory(&b.program, 4);
+        run(&b.program, &RunConfig::shared_memory(4));
         let got = b.store.unwrap().gather();
         let want = jacobi_reference(&c.problem, 5);
         assert_eq!(max_abs_diff(&got, &want), 0.0);
@@ -259,9 +258,9 @@ mod tests {
     fn simulated_executor_matches_reference_bitwise() {
         let c = cfg(16, 4, 4, ProcessGrid::new(2, 2));
         let b = build_base(&c, true);
-        let r = run_simulated(
+        let r = run(
             &b.program,
-            SimConfig::new(machine::MachineProfile::nacl(), 4).with_bodies(),
+            &RunConfig::simulated(machine::MachineProfile::nacl(), 4).with_bodies(),
         );
         assert_eq!(r.tasks_executed, 16 * 5);
         let got = b.store.unwrap().gather();
@@ -278,20 +277,26 @@ mod tests {
         let iters = 3;
         let c = cfg(16, 4, iters, ProcessGrid::new(2, 2));
         let b = build_base(&c, false);
-        let r = run_simulated(&b.program, SimConfig::new(machine::MachineProfile::nacl(), 4));
+        let r = run(
+            &b.program,
+            &RunConfig::simulated(machine::MachineProfile::nacl(), 4),
+        );
         let per_iter = 4 * 2 * 2;
-        assert_eq!(r.remote_messages, (per_iter * iters) as u64);
+        assert_eq!(r.remote_messages(), (per_iter * iters) as u64);
         // each strip is tile × 8 bytes
-        assert_eq!(r.remote_bytes, r.remote_messages * (4 * 8));
+        assert_eq!(r.remote_bytes(), r.remote_messages() * (4 * 8));
     }
 
     #[test]
     fn single_node_run_has_no_messages() {
         let c = cfg(12, 4, 3, ProcessGrid::new(1, 1));
         let b = build_base(&c, false);
-        let r = run_simulated(&b.program, SimConfig::new(machine::MachineProfile::nacl(), 1));
-        assert_eq!(r.remote_messages, 0);
-        assert!(r.local_flows > 0);
+        let r = run(
+            &b.program,
+            &RunConfig::simulated(machine::MachineProfile::nacl(), 1),
+        );
+        assert_eq!(r.remote_messages(), 0);
+        assert!(r.local_flows().unwrap() > 0);
     }
 
     #[test]

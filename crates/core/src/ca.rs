@@ -67,7 +67,7 @@ impl CaStencil {
     /// exchange when `t` is a multiple of `s` (consumers at `t + 1` have
     /// phase 0).
     fn feeds_exchange(&self, t: u32) -> bool {
-        t as usize % self.steps == 0
+        (t as usize).is_multiple_of(self.steps)
     }
 
     /// Update-region extents of a boundary tile at iteration `t`:
@@ -231,9 +231,7 @@ impl TaskClass for CaStencil {
             .into_iter()
             .map(|(of, _, _)| match of {
                 OutFlow::SelfFlow => FlowData::values(Vec::new()),
-                OutFlow::Strip { side, depth } => {
-                    FlowData::values(buf.extract_strip(side, depth))
-                }
+                OutFlow::Strip { side, depth } => FlowData::values(buf.extract_strip(side, depth)),
                 OutFlow::Block { corner, depth } => {
                     FlowData::values(buf.extract_corner(corner, depth))
                 }
@@ -400,15 +398,9 @@ mod tests {
     use crate::reference::{jacobi_reference, max_abs_diff};
     use machine::MachineProfile;
     use netsim::ProcessGrid;
-    use runtime::{assert_valid, run_shared_memory, run_simulated, SimConfig};
+    use runtime::{assert_valid, run, RunConfig};
 
-    fn cfg(
-        n: usize,
-        tile: usize,
-        iters: u32,
-        grid: ProcessGrid,
-        steps: usize,
-    ) -> StencilConfig {
+    fn cfg(n: usize, tile: usize, iters: u32, grid: ProcessGrid, steps: usize) -> StencilConfig {
         StencilConfig::new(Problem::scrambled(n, 123), tile, iters, grid).with_steps(steps)
     }
 
@@ -433,9 +425,9 @@ mod tests {
         for steps in [1, 2, 3] {
             let c = cfg(16, 4, 7, ProcessGrid::new(2, 2), steps);
             let b = build_ca(&c, true);
-            run_simulated(
+            run(
                 &b.program,
-                SimConfig::new(MachineProfile::nacl(), 4).with_bodies(),
+                &RunConfig::simulated(MachineProfile::nacl(), 4).with_bodies(),
             );
             let got = b.store.unwrap().gather();
             let want = jacobi_reference(&c.problem, 7);
@@ -451,7 +443,7 @@ mod tests {
     fn real_executor_matches_reference_bitwise() {
         let c = cfg(16, 4, 6, ProcessGrid::new(2, 2), 3);
         let b = build_ca(&c, true);
-        run_shared_memory(&b.program, 4);
+        run(&b.program, &RunConfig::shared_memory(4));
         let got = b.store.unwrap().gather();
         let want = jacobi_reference(&c.problem, 6);
         assert_eq!(max_abs_diff(&got, &want), 0.0);
@@ -461,14 +453,14 @@ mod tests {
     fn ca_matches_base_bitwise() {
         let c = cfg(24, 4, 9, ProcessGrid::new(2, 2), 4);
         let ca = build_ca(&c, true);
-        run_simulated(
+        run(
             &ca.program,
-            SimConfig::new(MachineProfile::nacl(), 4).with_bodies(),
+            &RunConfig::simulated(MachineProfile::nacl(), 4).with_bodies(),
         );
         let base = build_base(&c, true);
-        run_simulated(
+        run(
             &base.program,
-            SimConfig::new(MachineProfile::nacl(), 4).with_bodies(),
+            &RunConfig::simulated(MachineProfile::nacl(), 4).with_bodies(),
         );
         assert_eq!(
             max_abs_diff(&ca.store.unwrap().gather(), &base.store.unwrap().gather()),
@@ -483,23 +475,23 @@ mod tests {
         // small corner blocks cost extra messages. s = 6 gives > 2×.
         let iters = 12;
         let c = cfg(48, 8, iters, ProcessGrid::new(2, 2), 6);
-        let ca = run_simulated(
+        let ca = run(
             &build_ca(&c, false).program,
-            SimConfig::new(MachineProfile::nacl(), 4),
+            &RunConfig::simulated(MachineProfile::nacl(), 4),
         );
-        let base = run_simulated(
+        let base = run(
             &build_base(&c, false).program,
-            SimConfig::new(MachineProfile::nacl(), 4),
+            &RunConfig::simulated(MachineProfile::nacl(), 4),
         );
         assert!(
-            ca.remote_messages < base.remote_messages / 2,
+            ca.remote_messages() < base.remote_messages() / 2,
             "CA {} vs base {}",
-            ca.remote_messages,
-            base.remote_messages
+            ca.remote_messages(),
+            base.remote_messages()
         );
         // but CA messages are bigger: average bytes per message grows
-        let ca_avg = ca.remote_bytes as f64 / ca.remote_messages as f64;
-        let base_avg = base.remote_bytes as f64 / base.remote_messages as f64;
+        let ca_avg = ca.remote_bytes() as f64 / ca.remote_messages() as f64;
+        let base_avg = base.remote_bytes() as f64 / base.remote_messages() as f64;
         assert!(ca_avg > base_avg, "CA avg {ca_avg} vs base avg {base_avg}");
     }
 
@@ -508,9 +500,9 @@ mod tests {
         // With s = 4 and 12 iterations, exchanges are fed by producers at
         // t = 0, 4, 8: 3 rounds of remote strip+corner messages.
         let c = cfg(32, 4, 12, ProcessGrid::new(2, 2), 4);
-        let ca = run_simulated(
+        let ca = run(
             &build_ca(&c, false).program,
-            SimConfig::new(MachineProfile::nacl(), 4),
+            &RunConfig::simulated(MachineProfile::nacl(), 4),
         );
         // Remote side pairs: 4 block edges × 4 tile pairs × 2 directions.
         // Remote corner flows: around the centre cross of the 2×2 node
@@ -537,7 +529,7 @@ mod tests {
                 }
             }
         }
-        assert_eq!(ca.remote_messages, 3 * (strips + corners));
+        assert_eq!(ca.remote_messages(), 3 * (strips + corners));
     }
 
     #[test]
@@ -566,14 +558,11 @@ mod tests {
     fn steps_equal_tile_is_valid_and_correct() {
         let c = cfg(16, 4, 6, ProcessGrid::new(2, 2), 4);
         let b = build_ca(&c, true);
-        run_simulated(
+        run(
             &b.program,
-            SimConfig::new(MachineProfile::nacl(), 4).with_bodies(),
+            &RunConfig::simulated(MachineProfile::nacl(), 4).with_bodies(),
         );
         let got = b.store.unwrap().gather();
-        assert_eq!(
-            max_abs_diff(&got, &jacobi_reference(&c.problem, 6)),
-            0.0
-        );
+        assert_eq!(max_abs_diff(&got, &jacobi_reference(&c.problem, 6)), 0.0);
     }
 }

@@ -106,7 +106,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 1")]
     fn zero_steps_rejected() {
-        let _ = StencilConfig::new(Problem::laplace(8), 4, 1, ProcessGrid::new(1, 1))
-            .with_steps(0);
+        let _ = StencilConfig::new(Problem::laplace(8), 4, 1, ProcessGrid::new(1, 1)).with_steps(0);
     }
 }

@@ -79,7 +79,7 @@ mod tests {
     use crate::problem::Problem;
     use machine::MachineProfile;
     use netsim::ProcessGrid;
-    use runtime::{assert_valid, run_simulated, SimConfig};
+    use runtime::{assert_valid, run, RunConfig};
 
     fn cfg() -> StencilConfig {
         StencilConfig::new(Problem::laplace(32), 4, 6, ProcessGrid::new(2, 2))
@@ -93,11 +93,11 @@ mod tests {
     #[test]
     fn dtd_and_ptg_send_the_same_messages() {
         let c = cfg();
-        let sim = SimConfig::new(MachineProfile::nacl(), 4);
-        let ptg = run_simulated(&build_base(&c, false).program, sim.clone());
-        let dtd = run_simulated(&build_base_dtd(&c), sim);
-        assert_eq!(ptg.remote_messages, dtd.remote_messages);
-        assert_eq!(ptg.remote_bytes, dtd.remote_bytes);
+        let sim = RunConfig::simulated(MachineProfile::nacl(), 4);
+        let ptg = run(&build_base(&c, false).program, &sim);
+        let dtd = run(&build_base_dtd(&c), &sim);
+        assert_eq!(ptg.remote_messages(), dtd.remote_messages());
+        assert_eq!(ptg.remote_bytes(), dtd.remote_bytes());
         assert_eq!(ptg.tasks_executed, dtd.tasks_executed);
     }
 
@@ -106,9 +106,9 @@ mod tests {
         // identical task costs and dependencies => virtually identical
         // schedules (byte accounting differs only on local self-flows)
         let c = cfg();
-        let sim = SimConfig::new(MachineProfile::nacl(), 4);
-        let ptg = run_simulated(&build_base(&c, false).program, sim.clone()).makespan;
-        let dtd = run_simulated(&build_base_dtd(&c), sim).makespan;
+        let sim = RunConfig::simulated(MachineProfile::nacl(), 4);
+        let ptg = run(&build_base(&c, false).program, &sim).makespan;
+        let dtd = run(&build_base_dtd(&c), &sim).makespan;
         let gap = (ptg - dtd).abs() / ptg;
         assert!(gap < 0.05, "PTG {ptg} vs DTD {dtd}");
     }

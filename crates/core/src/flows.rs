@@ -21,6 +21,18 @@ pub const KIND_BOUNDARY: u32 = 1;
 /// Trace kind of the iterate-0 emission tasks.
 pub const KIND_INIT: u32 = 2;
 
+/// Human-readable names of the stencil trace kinds, in the shape
+/// `runtime::RunConfig::with_kind_names` expects — register these so
+/// exported traces label spans "interior"/"boundary"/"init" instead of
+/// raw kind tags.
+pub fn kind_names() -> Vec<(u32, String)> {
+    vec![
+        (KIND_INTERIOR, "interior".to_string()),
+        (KIND_BOUNDARY, "boundary".to_string()),
+        (KIND_INIT, "init".to_string()),
+    ]
+}
+
 /// Input slot receiving the strip that fills the ghost region on `side`.
 pub fn slot_of_side(side: Side) -> usize {
     1 + side as usize

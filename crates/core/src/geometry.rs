@@ -126,17 +126,17 @@ impl StencilGeometry {
     pub fn new(n: usize, tile: usize, grid: ProcessGrid) -> Self {
         assert!(tile > 0 && n > 0, "grid and tile sizes must be positive");
         assert!(
-            n % tile == 0,
+            n.is_multiple_of(tile),
             "tile size {tile} does not divide problem size {n}"
         );
         let tiles = n / tile;
         assert!(
-            tiles % grid.q as usize == 0,
+            tiles.is_multiple_of(grid.q as usize),
             "{tiles} tile columns do not distribute over {} node columns",
             grid.q
         );
         assert!(
-            tiles % grid.p as usize == 0,
+            tiles.is_multiple_of(grid.p as usize),
             "{tiles} tile rows do not distribute over {} node rows",
             grid.p
         );

@@ -25,16 +25,22 @@
 //! update expression is evaluated in the same order everywhere, so even
 //! floating-point rounding agrees; the test suites assert exact equality.
 //!
+//! Configuration follows the workspace-wide builder convention:
+//! [`StencilConfig::new`] fixes the required dimensions, chainable
+//! `with_*` methods (`with_steps`, `with_ratio`, `with_profile`) set
+//! everything optional — the same shape as `runtime::RunConfig`
+//! (`with_policy`, `with_bodies`, `with_trace`) in the example below.
+//!
 //! ```
 //! use ca_stencil::{build_base, Problem, StencilConfig};
 //! use netsim::ProcessGrid;
-//! use runtime::{run_simulated, SimConfig};
+//! use runtime::{run, RunConfig};
 //!
 //! let cfg = StencilConfig::new(Problem::laplace(16), 4, 3, ProcessGrid::new(2, 2));
 //! let build = build_base(&cfg, true);
-//! let report = run_simulated(
+//! let report = run(
 //!     &build.program,
-//!     SimConfig::new(machine::MachineProfile::nacl(), 4).with_bodies(),
+//!     &RunConfig::simulated(machine::MachineProfile::nacl(), 4).with_bodies(),
 //! );
 //! assert_eq!(report.tasks_executed, 16 * 4); // 16 tiles × (3 iters + init)
 //! ```
@@ -55,11 +61,11 @@ pub mod tile;
 
 pub use base::{build_base, build_base_on};
 pub use ca::{build_ca, build_ca_on};
-pub use dtd_front::build_base_dtd;
-pub use pa2::build_pa2;
 pub use config::{StencilBuild, StencilConfig};
-pub use flows::{KIND_BOUNDARY, KIND_INIT, KIND_INTERIOR};
+pub use dtd_front::build_base_dtd;
+pub use flows::{kind_names, KIND_BOUNDARY, KIND_INIT, KIND_INTERIOR};
 pub use geometry::{Corner, Side, StencilGeometry};
+pub use pa2::build_pa2;
 pub use problem::{CoefFn, Operator, Problem, ValueFn};
 pub use reference::{jacobi_reference, laplace_residual, max_abs_diff};
 pub use solver::{JacobiSolver, Scheme, SolveReport};

@@ -100,19 +100,19 @@ mod tests {
     use crate::problem::Problem;
     use machine::MachineProfile;
     use netsim::ProcessGrid;
-    use runtime::{run_simulated, SimConfig};
+    use runtime::{run, RunConfig};
 
     #[test]
     fn base_prediction_matches_simulator() {
         let cfg = StencilConfig::new(Problem::laplace(32), 4, 6, ProcessGrid::new(2, 2));
         let geo = cfg.geometry();
         let pred = predict_base(&geo, 6);
-        let r = run_simulated(
+        let r = run(
             &build_base(&cfg, false).program,
-            SimConfig::new(MachineProfile::nacl(), 4),
+            &RunConfig::simulated(MachineProfile::nacl(), 4),
         );
-        assert_eq!(r.remote_messages, pred.messages);
-        assert_eq!(r.remote_bytes, pred.bytes);
+        assert_eq!(r.remote_messages(), pred.messages);
+        assert_eq!(r.remote_bytes(), pred.bytes);
     }
 
     #[test]
@@ -122,12 +122,12 @@ mod tests {
                 .with_steps(steps);
             let geo = cfg.geometry();
             let pred = predict_ca(&geo, 11, steps);
-            let r = run_simulated(
+            let r = run(
                 &build_ca(&cfg, false).program,
-                SimConfig::new(MachineProfile::nacl(), 4),
+                &RunConfig::simulated(MachineProfile::nacl(), 4),
             );
-            assert_eq!(r.remote_messages, pred.messages, "steps = {steps}");
-            assert_eq!(r.remote_bytes, pred.bytes, "steps = {steps}");
+            assert_eq!(r.remote_messages(), pred.messages, "steps = {steps}");
+            assert_eq!(r.remote_bytes(), pred.bytes, "steps = {steps}");
         }
     }
 

@@ -68,7 +68,7 @@ impl Pa2Stencil {
     }
 
     fn feeds_exchange(&self, t: u32) -> bool {
-        t as usize % self.steps == 0
+        (t as usize).is_multiple_of(self.steps)
     }
 
     /// Cells of tile `(tx, ty)` deferred at phase `k`: the bands of width
@@ -76,11 +76,15 @@ impl Pa2Stencil {
     fn deferred_cells(&self, tx: usize, ty: usize, k: usize) -> usize {
         let tile = self.geo.tile;
         let band = |side| {
-            self.geo
+            if self
+                .geo
                 .neighbor(tx, ty, side)
                 .is_some_and(|(nx, ny)| self.is_remote(tx, ty, nx, ny))
-                .then_some(k)
-                .unwrap_or(0)
+            {
+                k
+            } else {
+                0
+            }
         };
         let w = band(Side::West);
         let e = band(Side::East);
@@ -337,16 +341,11 @@ mod tests {
     use crate::problem::Problem;
     use machine::MachineProfile;
     use netsim::ProcessGrid;
-    use runtime::{assert_valid, run_simulated, SimConfig};
+    use runtime::{assert_valid, run, RunConfig};
 
     fn cfg(n: usize, tile: usize, iters: u32, steps: usize) -> StencilConfig {
-        StencilConfig::new(
-            Problem::laplace(n),
-            tile,
-            iters,
-            ProcessGrid::new(2, 2),
-        )
-        .with_steps(steps)
+        StencilConfig::new(Problem::laplace(n), tile, iters, ProcessGrid::new(2, 2))
+            .with_steps(steps)
     }
 
     #[test]
@@ -360,16 +359,16 @@ mod tests {
     #[test]
     fn remote_traffic_identical_to_pa1() {
         let c = cfg(64, 8, 12, 4);
-        let pa1 = run_simulated(
+        let pa1 = run(
             &build_ca(&c, false).program,
-            SimConfig::new(MachineProfile::nacl(), 4),
+            &RunConfig::simulated(MachineProfile::nacl(), 4),
         );
-        let pa2 = run_simulated(
+        let pa2 = run(
             &build_pa2(&c, false).program,
-            SimConfig::new(MachineProfile::nacl(), 4),
+            &RunConfig::simulated(MachineProfile::nacl(), 4),
         );
-        assert_eq!(pa1.remote_messages, pa2.remote_messages);
-        assert_eq!(pa1.remote_bytes, pa2.remote_bytes);
+        assert_eq!(pa1.remote_messages(), pa2.remote_messages());
+        assert_eq!(pa1.remote_bytes(), pa2.remote_bytes());
     }
 
     #[test]
@@ -377,19 +376,19 @@ mod tests {
         // total busy time = Σ occupancy × lanes × makespan per node
         let c = cfg(64, 8, 12, 4);
         let lanes = MachineProfile::nacl().compute_threads() as f64;
-        let work = |r: &runtime::SimRunReport| -> f64 {
+        let work = |r: &runtime::RunReport| -> f64 {
             r.node_occupancy
                 .iter()
                 .map(|o| o * lanes * r.makespan)
                 .sum()
         };
-        let pa1 = run_simulated(
+        let pa1 = run(
             &build_ca(&c, false).program,
-            SimConfig::new(MachineProfile::nacl(), 4),
+            &RunConfig::simulated(MachineProfile::nacl(), 4),
         );
-        let pa2 = run_simulated(
+        let pa2 = run(
             &build_pa2(&c, false).program,
-            SimConfig::new(MachineProfile::nacl(), 4),
+            &RunConfig::simulated(MachineProfile::nacl(), 4),
         );
         assert!(
             work(&pa2) < work(&pa1),

@@ -123,8 +123,7 @@ impl Problem {
         let coef = move |r: i64, c: i64| {
             // smooth positive fields in (0.1, 0.3) for each direction
             let f = |phase: f64| {
-                0.2 + 0.1
-                    * ((r as f64 * 0.37 + c as f64 * 0.23 + phase + seed as f64).sin() * 0.5)
+                0.2 + 0.1 * ((r as f64 * 0.37 + c as f64 * 0.23 + phase + seed as f64).sin() * 0.5)
             };
             let (wn, ws, ww, we) = (f(0.0), f(1.3), f(2.6), f(3.9));
             Weights {

@@ -15,7 +15,7 @@ use crate::ca::build_ca_on;
 use crate::config::StencilConfig;
 use crate::reference::max_abs_diff;
 use crate::store::TileStore;
-use runtime::run_shared_memory;
+use runtime::{run, RunConfig};
 use serde::Serialize;
 use std::sync::Arc;
 
@@ -73,12 +73,17 @@ impl JacobiSolver {
     /// or `max_iters` iterations have run. Returns the final field and the
     /// report.
     pub fn solve(&self, tol: f64, max_iters: u32) -> (Vec<f64>, SolveReport) {
-        assert!(self.check_every >= 1, "need at least one iteration per chunk");
+        assert!(
+            self.check_every >= 1,
+            "need at least one iteration per chunk"
+        );
         assert!(tol >= 0.0, "tolerance must be non-negative");
         let geo = self.cfg.geometry();
         let steps = self.cfg.steps;
-        let store = Arc::new(TileStore::new(&self.cfg.problem, geo.clone(), |tx, ty| {
-            match self.scheme {
+        let store = Arc::new(TileStore::new(
+            &self.cfg.problem,
+            geo.clone(),
+            |tx, ty| match self.scheme {
                 Scheme::Base => 1,
                 Scheme::Ca => {
                     if geo.is_node_boundary(tx, ty) {
@@ -87,8 +92,8 @@ impl JacobiSolver {
                         1
                     }
                 }
-            }
-        }));
+            },
+        ));
 
         let mut report = SolveReport {
             iterations_run: 0,
@@ -105,14 +110,16 @@ impl JacobiSolver {
                 Scheme::Base => build_base_on(&cfg, Arc::clone(&store)),
                 Scheme::Ca => build_ca_on(&cfg, Arc::clone(&store)),
             };
-            let run = run_shared_memory(&build.program, self.threads);
-            report.wall_time += run.wall_time;
+            let r = run(&build.program, &RunConfig::shared_memory(self.threads));
+            report.wall_time += r.makespan;
             report.iterations_run += chunk;
 
             let new_field = store.gather();
             let change = max_abs_diff(&new_field, &field);
             field = new_field;
-            report.residual_history.push((report.iterations_run, change));
+            report
+                .residual_history
+                .push((report.iterations_run, change));
             if change <= tol {
                 report.converged = true;
                 break;

@@ -96,7 +96,7 @@ mod tests {
         let geo = StencilGeometry::new(8, 4, ProcessGrid::new(1, 1));
         let store = TileStore::new(&p, geo, |_, _| 2);
         let buf = store.lock(1, 0); // tile origin (row 0, col 4)
-        // interior cell
+                                    // interior cell
         assert_eq!(buf.get(2, 2), p.value_at(2, 6));
         // in-domain ghost cell (left neighbour's data)
         assert_eq!(buf.get(0, -1), p.value_at(0, 3));
@@ -132,6 +132,6 @@ mod tests {
         let p = Problem::laplace(8);
         let geo = StencilGeometry::new(8, 4, ProcessGrid::new(1, 1));
         let store = TileStore::new(&p, geo, |_, _| 1);
-        let _ = store.lock(5, 5);
+        drop(store.lock(5, 5));
     }
 }

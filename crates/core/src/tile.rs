@@ -183,7 +183,7 @@ impl TileBuf {
     pub fn jacobi_step(&mut self, w: &Weights, ext: Extents) {
         let g = self.ghost;
         assert!(
-            ext.north + 1 <= g && ext.south + 1 <= g && ext.west + 1 <= g && ext.east + 1 <= g,
+            ext.north < g && ext.south < g && ext.west < g && ext.east < g,
             "extents {ext:?} exceed ghost width {g}"
         );
         let t = self.tile as i64;
@@ -218,7 +218,7 @@ impl TileBuf {
     {
         let g = self.ghost;
         assert!(
-            ext.north + 1 <= g && ext.south + 1 <= g && ext.west + 1 <= g && ext.east + 1 <= g,
+            ext.north < g && ext.south < g && ext.west < g && ext.east < g,
             "extents {ext:?} exceed ghost width {g}"
         );
         let t = self.tile as i64;
@@ -363,7 +363,7 @@ mod tests {
         let w = Weights::skewed();
         b.jacobi_step(&w, Extents::ZERO);
         // point (0,0): center 0, north -10, south 10, west -1, east 1
-        let expected = 0.05 * 0.0 + 0.3 * (-10.0) + 0.2 * 10.0 + 0.25 * (-1.0) + 0.2 * 1.0;
+        let expected = 0.05 * 0.0 + 0.3 * (-10.0) + 0.2 * 10.0 - 0.25 * 1.0 + 0.2 * 1.0;
         assert!((b.get(0, 0) - expected).abs() < 1e-15);
         // ghost cells keep their static values after the swap
         assert_eq!(b.get(-1, 0), -10.0);

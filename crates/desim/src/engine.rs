@@ -241,7 +241,11 @@ mod tests {
         fn handle(&mut self, now: VirtualTime, ev: Ev, sched: &mut Scheduler<Ev>) {
             match ev {
                 Ev::Tag(t) => self.log.push((now.as_nanos(), t)),
-                Ev::Chain { tag, next_in, count } => {
+                Ev::Chain {
+                    tag,
+                    next_in,
+                    count,
+                } => {
                     self.log.push((now.as_nanos(), tag));
                     if count > 0 {
                         sched.schedule_in(

@@ -219,6 +219,6 @@ mod tests {
         let buckets: Vec<(u64, u64)> = h.buckets().collect();
         // 0 and 1 land in bucket 0; 2,3 in bucket 2; 4..7 in bucket 4; 8 in 8; 1024 in 1024
         assert_eq!(buckets, vec![(0, 2), (2, 2), (4, 2), (8, 1), (1024, 1)]);
-        assert!((h.mean() - (0 + 1 + 2 + 3 + 4 + 7 + 8 + 1024) as f64 / 8.0).abs() < 1e-12);
+        assert!((h.mean() - (1 + 2 + 3 + 4 + 7 + 8 + 1024) as f64 / 8.0).abs() < 1e-12);
     }
 }

@@ -236,7 +236,10 @@ mod tests {
     fn from_secs_f64_rounds() {
         assert_eq!(VirtualDuration::from_secs_f64(1e-9).as_nanos(), 1);
         assert_eq!(VirtualDuration::from_secs_f64(1.5e-9).as_nanos(), 2);
-        assert_eq!(VirtualDuration::from_secs_f64(2.0).as_nanos(), 2_000_000_000);
+        assert_eq!(
+            VirtualDuration::from_secs_f64(2.0).as_nanos(),
+            2_000_000_000
+        );
     }
 
     #[test]

@@ -90,7 +90,7 @@ impl TraceBuffer {
         let durations: Vec<f64> = self
             .spans
             .iter()
-            .filter(|s| s.kind == kind && node.map_or(true, |n| s.node == n))
+            .filter(|s| s.kind == kind && node.is_none_or(|n| s.node == n))
             .map(|s| s.duration().as_secs_f64())
             .collect();
         Summary::of(&durations)

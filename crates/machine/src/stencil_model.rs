@@ -88,8 +88,7 @@ impl StencilCostModel {
     /// kernel whose cache behaviour is that of an `mb × nb` tile. Used both
     /// for the tile proper and for the CA scheme's redundant halo regions.
     pub fn region_time(&self, points: f64, mb: usize, nb: usize) -> f64 {
-        points * (self.bytes_per_point(mb, nb) + self.coef_bytes_per_point)
-            / self.per_thread_bw()
+        points * (self.bytes_per_point(mb, nb) + self.coef_bytes_per_point) / self.per_thread_bw()
     }
 
     /// Service time (seconds) of one tile-update task: updating the

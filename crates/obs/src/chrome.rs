@@ -1,0 +1,222 @@
+//! Chrome `trace_event` export/import: render a [`Trace`] as JSON that
+//! Perfetto and `chrome://tracing` load directly, and parse such JSON
+//! back into a [`Trace`] for round-trip tests and offline analysis.
+//!
+//! Each span becomes one complete event (`"ph":"X"`): `pid` is the node,
+//! `tid` the lane, `ts`/`dur` are microseconds as the format requires,
+//! and the exact nanosecond interval rides along in `args` so parsing
+//! back is lossless.
+
+use crate::{SpanRecord, Trace};
+use serde::{Number, Value};
+use std::collections::BTreeMap;
+
+/// Render the trace as a Chrome trace JSON object.
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let events: Vec<Value> = trace.spans.iter().map(|s| event(trace, s)).collect();
+    let kinds: Vec<(String, Value)> = trace
+        .kinds
+        .iter()
+        .map(|(k, name)| (k.to_string(), Value::Str(name.clone())))
+        .collect();
+    let doc = Value::Object(vec![
+        ("traceEvents".into(), Value::Array(events)),
+        ("displayTimeUnit".into(), Value::Str("ns".into())),
+        ("kinds".into(), Value::Object(kinds)),
+        ("droppedSpans".into(), Value::Num(Number::U(trace.dropped))),
+    ]);
+    serde_json::to_string(&doc).expect("chrome trace serialization")
+}
+
+fn event(trace: &Trace, s: &SpanRecord) -> Value {
+    let name = trace
+        .kinds
+        .get(&s.kind)
+        .cloned()
+        .unwrap_or_else(|| format!("kind{}", s.kind));
+    let cat = if s.kind == crate::KIND_COMM {
+        "comm"
+    } else {
+        "task"
+    };
+    Value::Object(vec![
+        ("name".into(), Value::Str(name)),
+        ("cat".into(), Value::Str(cat.into())),
+        ("ph".into(), Value::Str("X".into())),
+        ("ts".into(), Value::Num(Number::F(s.start_ns as f64 / 1e3))),
+        (
+            "dur".into(),
+            Value::Num(Number::F(s.duration_ns() as f64 / 1e3)),
+        ),
+        ("pid".into(), Value::Num(Number::U(s.node as u64))),
+        ("tid".into(), Value::Num(Number::U(s.lane as u64))),
+        (
+            "args".into(),
+            Value::Object(vec![
+                ("kind".into(), Value::Num(Number::U(s.kind as u64))),
+                ("start_ns".into(), Value::Num(Number::U(s.start_ns))),
+                ("end_ns".into(), Value::Num(Number::U(s.end_ns))),
+            ]),
+        ),
+    ])
+}
+
+/// Parse error for [`from_chrome_json`].
+#[derive(Debug)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "chrome trace parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse Chrome trace JSON (as produced by [`to_chrome_json`], or the
+/// bare `[...]` event-array form) back into a [`Trace`].
+pub fn from_chrome_json(text: &str) -> Result<Trace, ParseError> {
+    let doc: Value = serde_json::from_str(text).map_err(|e| ParseError(e.to_string()))?;
+    let (events, kinds, dropped) = match &doc {
+        Value::Array(events) => (events.as_slice(), BTreeMap::new(), 0),
+        Value::Object(_) => {
+            let events = doc
+                .field("traceEvents")
+                .as_array()
+                .ok_or_else(|| ParseError("missing traceEvents array".into()))?;
+            let mut kinds = BTreeMap::new();
+            if let Some(pairs) = doc.field("kinds").as_object() {
+                for (k, v) in pairs {
+                    let kind = k
+                        .parse::<u32>()
+                        .map_err(|_| ParseError(format!("bad kind tag `{k}`")))?;
+                    let name = v
+                        .as_str()
+                        .ok_or_else(|| ParseError(format!("kind `{k}` name not a string")))?;
+                    kinds.insert(kind, name.to_string());
+                }
+            }
+            let dropped = doc.field("droppedSpans").as_u64().unwrap_or(0);
+            (events, kinds, dropped)
+        }
+        _ => return Err(ParseError("expected object or array at top level".into())),
+    };
+
+    let mut spans = Vec::new();
+    for ev in events {
+        if ev.field("ph").as_str() != Some("X") {
+            continue; // metadata or instant events: not spans
+        }
+        spans.push(parse_event(ev)?);
+    }
+    spans.sort_by_key(|s| (s.start_ns, s.node, s.lane, s.end_ns));
+    Ok(Trace {
+        spans,
+        kinds,
+        dropped,
+    })
+}
+
+fn parse_event(ev: &Value) -> Result<SpanRecord, ParseError> {
+    let uint = |v: &Value, what: &str| {
+        v.as_u64()
+            .ok_or_else(|| ParseError(format!("event {what} is not an unsigned integer")))
+    };
+    let node = uint(ev.field("pid"), "pid")? as u32;
+    let lane = uint(ev.field("tid"), "tid")? as u32;
+    let args = ev.field("args");
+    let (kind, start_ns, end_ns) = if args.field("start_ns").as_u64().is_some() {
+        (
+            uint(args.field("kind"), "args.kind")? as u32,
+            uint(args.field("start_ns"), "args.start_ns")?,
+            uint(args.field("end_ns"), "args.end_ns")?,
+        )
+    } else {
+        // Foreign trace: reconstruct from the microsecond ts/dur fields.
+        let ts = ev
+            .field("ts")
+            .as_f64()
+            .ok_or_else(|| ParseError("event ts missing".into()))?;
+        let dur = ev.field("dur").as_f64().unwrap_or(0.0);
+        let start = (ts * 1e3).round() as u64;
+        (0, start, start + (dur * 1e3).round() as u64)
+    };
+    if end_ns < start_ns {
+        return Err(ParseError(format!(
+            "span on node {node} lane {lane} ends before it starts"
+        )));
+    }
+    Ok(SpanRecord {
+        node,
+        lane,
+        kind,
+        start_ns,
+        end_ns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn sample_trace() -> Trace {
+        let rec = Recorder::new();
+        rec.register_kind(0, "interior");
+        rec.register_kind(1, "boundary");
+        rec.register_kind(crate::KIND_COMM, "comm");
+        let l = rec.local();
+        l.task(0, 0, 0, 0, 1_000);
+        l.task(0, 1, 1, 500, 2_500);
+        l.comm(1, 4, 100, 900);
+        l.task(1, 0, 0, u64::MAX / 2, u64::MAX / 2 + 10); // big ns values survive
+        rec.drain()
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let t = sample_trace();
+        let text = to_chrome_json(&t);
+        let back = from_chrome_json(&text).unwrap();
+        assert_eq!(back.spans, t.spans);
+        assert_eq!(back.kinds, t.kinds);
+        assert_eq!(back.dropped, t.dropped);
+    }
+
+    #[test]
+    fn output_is_chrome_shaped() {
+        let text = to_chrome_json(&sample_trace());
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        let events = doc.field("traceEvents").as_array().unwrap();
+        assert_eq!(events.len(), 4);
+        for ev in events {
+            assert_eq!(ev.field("ph").as_str(), Some("X"));
+            assert!(ev.field("ts").as_f64().is_some());
+            assert!(ev.field("pid").as_u64().is_some());
+            assert!(ev.field("tid").as_u64().is_some());
+        }
+        // named via the kind table, categorized by task vs comm
+        assert!(text.contains("\"interior\""));
+        assert!(text.contains("\"cat\":\"comm\""));
+    }
+
+    #[test]
+    fn parses_bare_event_array_with_ts_dur() {
+        let text = r#"[
+            {"name":"x","ph":"X","ts":1.5,"dur":2.0,"pid":0,"tid":3},
+            {"name":"meta","ph":"M","pid":0,"tid":0}
+        ]"#;
+        let t = from_chrome_json(text).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.spans[0].start_ns, 1_500);
+        assert_eq!(t.spans[0].end_ns, 3_500);
+        assert_eq!(t.spans[0].lane, 3);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_chrome_json("42").is_err());
+        assert!(from_chrome_json("{\"noTraceEvents\":[]}").is_err());
+        assert!(from_chrome_json("not json").is_err());
+    }
+}

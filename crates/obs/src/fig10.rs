@@ -1,0 +1,175 @@
+//! Figure-10 occupancy analysis: per-node busy fractions and per-kind
+//! kernel-time statistics computed from a drained [`Trace`] — the digest
+//! behind the paper's Gantt/occupancy figure, shared by all executors.
+
+use crate::Trace;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Statistics of one span kind on one node.
+#[derive(Debug, Clone, Serialize)]
+pub struct KindStat {
+    /// Trace kind tag.
+    pub kind: u32,
+    /// Registered kind name, or `kindN` when unregistered.
+    pub name: String,
+    /// Number of spans of this kind.
+    pub count: usize,
+    /// Total busy nanoseconds of this kind.
+    pub total_ns: u64,
+    /// Mean span duration, nanoseconds.
+    pub mean_ns: f64,
+    /// Median span duration, nanoseconds.
+    pub median_ns: f64,
+}
+
+/// One node's occupancy digest.
+#[derive(Debug, Clone, Serialize)]
+pub struct NodeOccupancy {
+    /// Node rank.
+    pub node: u32,
+    /// Worker lanes counted toward occupancy.
+    pub lanes: u32,
+    /// Busy nanoseconds summed over worker lanes.
+    pub busy_ns: u64,
+    /// Analysis horizon, nanoseconds.
+    pub horizon_ns: u64,
+    /// Busy fraction in `[0, 1]`: `busy / (lanes × horizon)`.
+    pub occupancy: f64,
+    /// Per-kind statistics over all of the node's spans (comm included),
+    /// ordered by kind tag.
+    pub kinds: Vec<KindStat>,
+}
+
+/// Analyze one node over `lanes` worker lanes up to `horizon_ns`.
+/// Spans on lanes `>= lanes` (the comm lane) count toward per-kind
+/// statistics but not toward occupancy, matching the paper's definition
+/// of CPU occupancy.
+pub fn analyze_node(trace: &Trace, node: u32, lanes: u32, horizon_ns: u64) -> NodeOccupancy {
+    let mut by_kind: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    let mut busy_ns = 0u64;
+    for s in trace.node_spans(node) {
+        by_kind.entry(s.kind).or_default().push(s.duration_ns());
+        if s.lane < lanes {
+            busy_ns += s.duration_ns();
+        }
+    }
+    let kinds = by_kind
+        .into_iter()
+        .map(|(kind, mut durations)| {
+            durations.sort_unstable();
+            let count = durations.len();
+            let total_ns: u64 = durations.iter().sum();
+            let median_ns = if count % 2 == 1 {
+                durations[count / 2] as f64
+            } else {
+                (durations[count / 2 - 1] + durations[count / 2]) as f64 / 2.0
+            };
+            KindStat {
+                kind,
+                name: trace
+                    .kinds
+                    .get(&kind)
+                    .cloned()
+                    .unwrap_or_else(|| format!("kind{kind}")),
+                count,
+                total_ns,
+                mean_ns: total_ns as f64 / count as f64,
+                median_ns,
+            }
+        })
+        .collect();
+    let denom = horizon_ns as f64 * lanes as f64;
+    NodeOccupancy {
+        node,
+        lanes,
+        busy_ns,
+        horizon_ns,
+        occupancy: if denom == 0.0 {
+            0.0
+        } else {
+            busy_ns as f64 / denom
+        },
+        kinds,
+    }
+}
+
+/// Analyze every node appearing in the trace over its own horizon.
+pub fn analyze(trace: &Trace, lanes: u32) -> Vec<NodeOccupancy> {
+    let horizon = trace.horizon_ns();
+    trace
+        .nodes()
+        .into_iter()
+        .map(|node| analyze_node(trace, node, lanes, horizon))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Recorder, KIND_COMM};
+
+    fn sample() -> Trace {
+        let rec = Recorder::new();
+        rec.register_kind(0, "interior");
+        rec.register_kind(1, "boundary");
+        rec.register_kind(KIND_COMM, "comm");
+        let l = rec.local();
+        // node 0: lane 0 busy [0, 10ms) kind 0, lane 1 busy [0, 5ms) kind 1
+        l.task(0, 0, 0, 0, 10_000_000);
+        l.task(0, 1, 1, 0, 5_000_000);
+        // node 0 comm lane: excluded from occupancy, present in kinds
+        l.comm(0, 2, 2_000_000, 8_000_000);
+        // node 1: one short interior task
+        l.task(1, 0, 0, 0, 1_000_000);
+        rec.drain()
+    }
+
+    #[test]
+    fn occupancy_excludes_comm_lane() {
+        let p = analyze_node(&sample(), 0, 2, 10_000_000);
+        assert!((p.occupancy - 0.75).abs() < 1e-12, "occ = {}", p.occupancy);
+        assert_eq!(p.busy_ns, 15_000_000);
+        assert_eq!(p.kinds.len(), 3);
+        assert_eq!(p.kinds[2].kind, KIND_COMM);
+        assert_eq!(p.kinds[2].name, "comm");
+    }
+
+    #[test]
+    fn kind_stats_are_named_and_summed() {
+        let p = analyze_node(&sample(), 0, 2, 10_000_000);
+        assert_eq!(p.kinds[0].name, "interior");
+        assert_eq!(p.kinds[0].count, 1);
+        assert_eq!(p.kinds[0].total_ns, 10_000_000);
+        assert!((p.kinds[0].median_ns - 10_000_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analyze_covers_all_nodes_over_shared_horizon() {
+        let all = analyze(&sample(), 2);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].node, 0);
+        assert_eq!(all[1].node, 1);
+        assert_eq!(all[1].horizon_ns, 10_000_000);
+        assert!(all[1].occupancy < all[0].occupancy);
+    }
+
+    #[test]
+    fn median_of_even_count_interpolates() {
+        let rec = Recorder::new();
+        let l = rec.local();
+        l.task(0, 0, 5, 0, 10);
+        l.task(0, 0, 5, 20, 50);
+        let p = analyze_node(&rec.drain(), 0, 1, 50);
+        assert_eq!(p.kinds[0].count, 2);
+        assert!((p.kinds[0].median_ns - 20.0).abs() < 1e-12);
+        assert!((p.kinds[0].mean_ns - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_horizon_zero_occupancy() {
+        let p = analyze_node(&Trace::default(), 0, 4, 0);
+        assert_eq!(p.occupancy, 0.0);
+        assert!(p.kinds.is_empty());
+    }
+}

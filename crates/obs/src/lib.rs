@@ -1,0 +1,37 @@
+//! Shared observability layer for every executor in the workspace.
+//!
+//! The three executors (shared-memory threads, simulated multi-process,
+//! and the discrete-event simulator) previously each had their own ad-hoc
+//! notion of what happened during a run. This crate gives them one:
+//!
+//! * [`Recorder`] — a low-overhead span recorder with per-thread ring
+//!   buffers. Producers stamp spans with `u64` nanosecond timestamps from
+//!   whatever clock they live on — [`WallClock`] for the real executors,
+//!   virtual time for the simulator — so analysis code downstream cannot
+//!   tell the difference.
+//! * [`Metrics`] — a registry of named atomic counters and gauges
+//!   (messages sent, bytes moved, redundant communication-avoiding flops,
+//!   queue depths, …) snapshotted at the end of a run.
+//! * Exporters — [`chrome`] renders a drained [`Trace`] as Chrome
+//!   `trace_event` JSON (loadable in Perfetto / `chrome://tracing`) and
+//!   parses it back; [`jsonl`] renders metric snapshots as JSON-lines for
+//!   the bench harness; [`fig10`] computes the paper's Figure 10
+//!   occupancy digest from the same spans.
+//!
+//! The crate is dependency-free apart from the (vendored) serde stack and
+//! knows nothing about task graphs or executors; the `runtime` crate owns
+//! the wiring.
+
+mod metrics;
+mod recorder;
+
+pub mod chrome;
+pub mod fig10;
+pub mod jsonl;
+
+pub use metrics::{names, Counter, Gauge, GaugeValue, Metrics, MetricsSnapshot};
+pub use recorder::{LocalRecorder, Recorder, SpanRecord, Trace, WallClock};
+
+/// Span kind tag for communication activity, matching the simulator's
+/// convention (task-class kinds are small integers; 1000 is the comm lane).
+pub const KIND_COMM: u32 = 1000;

@@ -1,0 +1,254 @@
+//! Counter/gauge registry: named atomic instruments shared across the
+//! threads of a run, snapshotted once at the end.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Canonical instrument names, so the three executors and the bench
+/// harness agree on spelling.
+pub mod names {
+    /// Counter: tasks executed to completion.
+    pub const TASKS_EXECUTED: &str = "tasks_executed";
+    /// Counter: messages sent between nodes.
+    pub const MESSAGES_SENT: &str = "messages_sent";
+    /// Counter: payload bytes sent between nodes.
+    pub const BYTES_SENT: &str = "bytes_sent";
+    /// Counter: redundant flops performed by communication-avoiding tasks.
+    pub const REDUNDANT_FLOPS: &str = "redundant_flops";
+    /// Counter: tasks executed by a worker other than the one that
+    /// activated them (work stealing / shared-queue migration).
+    pub const STEALS: &str = "steals";
+    /// Counter: task activations delivered through the pending table.
+    pub const ACTIVATIONS: &str = "activations";
+    /// Gauge: ready-queue depth (its max is the high-water mark).
+    pub const QUEUE_DEPTH: &str = "queue_depth";
+}
+
+/// A monotonically increasing atomic counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct GaugeInner {
+    current: AtomicI64,
+    max: AtomicI64,
+}
+
+/// An atomic gauge tracking a current value and its high-water mark.
+#[derive(Clone)]
+pub struct Gauge(Arc<GaugeInner>);
+
+impl Gauge {
+    /// Move the gauge by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        let now = self.0.current.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.0.max.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Set the gauge to `value`.
+    pub fn set(&self, value: i64) {
+        self.0.current.store(value, Ordering::Relaxed);
+        self.0.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.current.load(Ordering::Relaxed)
+    }
+
+    /// Highest value ever set or reached.
+    pub fn max(&self) -> i64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+}
+
+/// Snapshot of one gauge: current value and high-water mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeValue {
+    /// Value at snapshot time.
+    pub current: i64,
+    /// Highest value reached during the run.
+    pub max: i64,
+}
+
+/// Immutable snapshot of every instrument in a [`Metrics`] registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → (current, max).
+    pub gauges: BTreeMap<String, GaugeValue>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter, zero when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// High-water mark of a gauge, zero when absent.
+    pub fn gauge_max(&self, name: &str) -> i64 {
+        self.gauges.get(name).map(|g| g.max).unwrap_or(0)
+    }
+}
+
+struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+}
+
+/// A registry of named instruments. Clone it freely — all clones share
+/// the same instruments, and `counter`/`gauge` return cheap handles that
+/// threads keep and bump without touching the registry again.
+#[derive(Clone)]
+pub struct Metrics {
+    registry: Arc<Registry>,
+}
+
+impl Metrics {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Metrics {
+            registry: Arc::new(Registry {
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(name.to_string())
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.registry
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                Gauge(Arc::new(GaugeInner {
+                    current: AtomicI64::new(0),
+                    max: AtomicI64::new(0),
+                }))
+            })
+            .clone()
+    }
+
+    /// Snapshot every instrument registered so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .registry
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .registry
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, g)| {
+                (
+                    name.clone(),
+                    GaugeValue {
+                        current: g.get(),
+                        max: g.max(),
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot { counters, gauges }
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_clones() {
+        let m = Metrics::new();
+        let a = m.counter(names::MESSAGES_SENT);
+        let b = m.clone().counter(names::MESSAGES_SENT);
+        a.inc();
+        b.add(4);
+        assert_eq!(m.snapshot().counter(names::MESSAGES_SENT), 5);
+        assert_eq!(m.snapshot().counter("never_touched"), 0);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water_mark() {
+        let m = Metrics::new();
+        let g = m.gauge(names::QUEUE_DEPTH);
+        g.add(3);
+        g.add(4);
+        g.add(-6);
+        let snap = m.snapshot();
+        assert_eq!(snap.gauges[names::QUEUE_DEPTH].current, 1);
+        assert_eq!(snap.gauge_max(names::QUEUE_DEPTH), 7);
+    }
+
+    #[test]
+    fn concurrent_bumps_are_not_lost() {
+        let m = Metrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = m.counter("hits");
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot().counter("hits"), 80_000);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let m = Metrics::new();
+        m.counter(names::BYTES_SENT).add(u64::MAX - 7);
+        m.gauge(names::QUEUE_DEPTH).set(-3);
+        let snap = m.snapshot();
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counter(names::BYTES_SENT), u64::MAX - 7);
+    }
+}

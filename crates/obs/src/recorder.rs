@@ -1,0 +1,475 @@
+//! Span recording: per-thread ring buffers of timestamped activity spans,
+//! drained into an analyzable [`Trace`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One recorded activity: a half-open interval `[start_ns, end_ns)` of
+/// `kind` running on `lane` of `node`. Timestamps are nanoseconds on
+/// whichever clock the producer used (wall or virtual); analysis is
+/// clock-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Node rank the activity ran on.
+    pub node: u32,
+    /// Execution lane within the node (worker index, or the comm lane).
+    pub lane: u32,
+    /// Activity class: a task-class kind, or [`crate::KIND_COMM`].
+    pub kind: u32,
+    /// Inclusive start, nanoseconds.
+    pub start_ns: u64,
+    /// Exclusive end, nanoseconds.
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    /// Span length in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// Wall-clock nanosecond source anchored at construction, so wall-clock
+/// executors produce the same "nanoseconds since run start" timeline the
+/// simulator produces natively.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// Anchor the clock now.
+    pub fn start() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since the anchor.
+    pub fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::start()
+    }
+}
+
+/// Bounded span buffer: keeps the most recent `capacity` spans, counting
+/// evictions so truncation is visible in the drained trace.
+struct Ring {
+    spans: VecDeque<SpanRecord>,
+    capacity: usize,
+}
+
+impl Ring {
+    fn push(&mut self, span: SpanRecord) -> bool {
+        let evicted = self.spans.len() == self.capacity;
+        if evicted {
+            self.spans.pop_front();
+        }
+        self.spans.push_back(span);
+        evicted
+    }
+}
+
+struct Shared {
+    buffers: Mutex<Vec<Arc<Mutex<Ring>>>>,
+    kinds: Mutex<BTreeMap<u32, String>>,
+    dropped: AtomicU64,
+    capacity: usize,
+    enabled: bool,
+}
+
+/// Span recorder shared by all threads of a run. Clone it freely; all
+/// clones feed the same drain.
+///
+/// Each recording thread obtains its own [`LocalRecorder`] via
+/// [`Recorder::local`], writing into a private ring buffer — the only
+/// cross-thread contention is at registration and drain time.
+#[derive(Clone)]
+pub struct Recorder {
+    shared: Arc<Shared>,
+}
+
+impl Recorder {
+    /// Default per-thread capacity: one million spans (~24 MB/thread at
+    /// most), far above any workload in this workspace.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// Recorder with the default per-thread ring capacity.
+    pub fn new() -> Self {
+        Recorder::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Recorder whose per-thread rings keep at most `capacity` spans.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Recorder {
+            shared: Arc::new(Shared {
+                buffers: Mutex::new(Vec::new()),
+                kinds: Mutex::new(BTreeMap::new()),
+                dropped: AtomicU64::new(0),
+                capacity: capacity.max(1),
+                enabled: true,
+            }),
+        }
+    }
+
+    /// Recorder that discards everything — for runs with tracing off, so
+    /// call sites need no conditionals.
+    pub fn disabled() -> Self {
+        Recorder {
+            shared: Arc::new(Shared {
+                buffers: Mutex::new(Vec::new()),
+                kinds: Mutex::new(BTreeMap::new()),
+                dropped: AtomicU64::new(0),
+                capacity: 1,
+                enabled: false,
+            }),
+        }
+    }
+
+    /// Whether spans are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.enabled
+    }
+
+    /// Obtain a per-thread recording handle.
+    pub fn local(&self) -> LocalRecorder {
+        if !self.shared.enabled {
+            return LocalRecorder {
+                shared: Arc::clone(&self.shared),
+                ring: None,
+            };
+        }
+        let ring = Arc::new(Mutex::new(Ring {
+            spans: VecDeque::new(),
+            capacity: self.shared.capacity,
+        }));
+        self.shared
+            .buffers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Arc::clone(&ring));
+        LocalRecorder {
+            shared: Arc::clone(&self.shared),
+            ring: Some(ring),
+        }
+    }
+
+    /// Associate a human-readable name with a kind tag (idempotent).
+    pub fn register_kind(&self, kind: u32, name: &str) {
+        self.shared
+            .kinds
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(kind)
+            .or_insert_with(|| name.to_string());
+    }
+
+    /// Collect every span recorded so far into a [`Trace`], sorted by
+    /// start time (ties by node, lane). Buffers are left intact, so
+    /// draining twice yields the same spans.
+    pub fn drain(&self) -> Trace {
+        let mut spans = Vec::new();
+        for ring in self
+            .shared
+            .buffers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            spans.extend(
+                ring.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .spans
+                    .iter()
+                    .copied(),
+            );
+        }
+        spans.sort_by_key(|s| (s.start_ns, s.node, s.lane, s.end_ns));
+        Trace {
+            spans,
+            kinds: self
+                .shared
+                .kinds
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone(),
+            dropped: self.shared.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+/// Per-thread handle writing spans into a private ring buffer.
+pub struct LocalRecorder {
+    shared: Arc<Shared>,
+    ring: Option<Arc<Mutex<Ring>>>,
+}
+
+impl LocalRecorder {
+    /// Record one span. No-op on a disabled recorder; `end_ns` must not
+    /// precede `start_ns`.
+    pub fn record(&self, span: SpanRecord) {
+        debug_assert!(span.end_ns >= span.start_ns, "span ends before it starts");
+        if let Some(ring) = &self.ring {
+            if ring.lock().unwrap_or_else(|e| e.into_inner()).push(span) {
+                self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Record a task-execution span.
+    pub fn task(&self, node: u32, lane: u32, kind: u32, start_ns: u64, end_ns: u64) {
+        self.record(SpanRecord {
+            node,
+            lane,
+            kind,
+            start_ns,
+            end_ns,
+        });
+    }
+
+    /// Record a communication span on `node`'s comm lane.
+    pub fn comm(&self, node: u32, lane: u32, start_ns: u64, end_ns: u64) {
+        self.record(SpanRecord {
+            node,
+            lane,
+            kind: crate::KIND_COMM,
+            start_ns,
+            end_ns,
+        });
+    }
+}
+
+/// A drained, immutable trace: every span of a run plus the kind-name
+/// table, ready for export or analysis.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// All spans, sorted by start time.
+    pub spans: Vec<SpanRecord>,
+    /// Kind tag → human-readable name, for exporters.
+    pub kinds: BTreeMap<u32, String>,
+    /// Spans evicted from full ring buffers (0 means the trace is complete).
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Number of spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans on one node.
+    pub fn node_spans(&self, node: u32) -> impl Iterator<Item = &SpanRecord> + '_ {
+        self.spans.iter().filter(move |s| s.node == node)
+    }
+
+    /// Sorted list of node ranks appearing in the trace.
+    pub fn nodes(&self) -> Vec<u32> {
+        let mut nodes: Vec<u32> = self.spans.iter().map(|s| s.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Latest end time over all spans; zero when empty.
+    pub fn horizon_ns(&self) -> u64 {
+        self.spans.iter().map(|s| s.end_ns).max().unwrap_or(0)
+    }
+
+    /// Span count per kind tag.
+    pub fn count_by_kind(&self) -> BTreeMap<u32, usize> {
+        let mut counts = BTreeMap::new();
+        for s in &self.spans {
+            *counts.entry(s.kind).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Task spans only (everything that is not communication).
+    pub fn task_spans(&self) -> impl Iterator<Item = &SpanRecord> + '_ {
+        self.spans.iter().filter(|s| s.kind != crate::KIND_COMM)
+    }
+
+    /// Busy fraction of `lanes` worker lanes on `node` over
+    /// `[0, horizon_ns]` — the paper's "CPU occupancy". Lanes at or above
+    /// `lanes` (e.g. the comm lane) are excluded.
+    pub fn occupancy(&self, node: u32, lanes: u32, horizon_ns: u64) -> f64 {
+        let denom = horizon_ns as f64 * lanes as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        let busy: u64 = self
+            .node_spans(node)
+            .filter(|s| s.lane < lanes)
+            .map(|s| s.duration_ns())
+            .sum();
+        busy as f64 / denom
+    }
+
+    /// Idle gaps between consecutive spans on one `(node, lane)` pair over
+    /// `[0, horizon_ns]`, as `(start_ns, end_ns)` intervals.
+    pub fn idle_gaps(&self, node: u32, lane: u32, horizon_ns: u64) -> Vec<(u64, u64)> {
+        let mut spans: Vec<&SpanRecord> =
+            self.node_spans(node).filter(|s| s.lane == lane).collect();
+        spans.sort_by_key(|s| s.start_ns);
+        let mut gaps = Vec::new();
+        let mut cursor = 0u64;
+        for s in spans {
+            if s.start_ns > cursor {
+                gaps.push((cursor, s.start_ns));
+            }
+            cursor = cursor.max(s.end_ns);
+        }
+        if horizon_ns > cursor {
+            gaps.push((cursor, horizon_ns));
+        }
+        gaps
+    }
+
+    /// Merge another trace's spans and kind names into this one.
+    pub fn absorb(&mut self, other: Trace) {
+        self.spans.extend(other.spans);
+        self.spans
+            .sort_by_key(|s| (s.start_ns, s.node, s.lane, s.end_ns));
+        for (k, v) in other.kinds {
+            self.kinds.entry(k).or_insert(v);
+        }
+        self.dropped += other.dropped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(node: u32, lane: u32, kind: u32, start: u64, end: u64) -> SpanRecord {
+        SpanRecord {
+            node,
+            lane,
+            kind,
+            start_ns: start,
+            end_ns: end,
+        }
+    }
+
+    #[test]
+    fn record_and_drain_sorted() {
+        let rec = Recorder::new();
+        let a = rec.local();
+        let b = rec.local();
+        a.task(0, 0, 1, 50, 60);
+        b.task(0, 1, 1, 0, 10);
+        a.task(1, 0, 2, 20, 40);
+        let t = rec.drain();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.spans[0].start_ns, 0);
+        assert_eq!(t.spans[2].start_ns, 50);
+        assert_eq!(t.dropped, 0);
+    }
+
+    #[test]
+    fn disabled_recorder_keeps_nothing() {
+        let rec = Recorder::disabled();
+        let l = rec.local();
+        l.task(0, 0, 0, 0, 1);
+        l.comm(0, 4, 0, 1);
+        assert!(rec.drain().is_empty());
+        assert!(!rec.is_enabled());
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let rec = Recorder::with_capacity(4);
+        let l = rec.local();
+        for i in 0..10u64 {
+            l.task(0, 0, 0, i, i + 1);
+        }
+        let t = rec.drain();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped, 6);
+        // the survivors are the most recent four
+        assert_eq!(t.spans[0].start_ns, 6);
+    }
+
+    #[test]
+    fn threads_record_concurrently() {
+        let rec = Recorder::new();
+        std::thread::scope(|s| {
+            for node in 0..4u32 {
+                let local = rec.local();
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        local.task(node, 0, 1, i * 2, i * 2 + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.drain().len(), 4000);
+    }
+
+    #[test]
+    fn occupancy_matches_trace_buffer_semantics() {
+        let mut t = Trace::default();
+        t.spans.push(span(0, 0, 0, 0, 60));
+        t.spans.push(span(0, 1, 0, 10, 30));
+        t.spans.push(span(0, 7, 0, 0, 100)); // ignored: lane >= lanes
+        let occ = t.occupancy(0, 2, 100);
+        assert!((occ - 0.4).abs() < 1e-12, "occ = {occ}");
+        assert_eq!(t.occupancy(3, 2, 100), 0.0);
+        assert_eq!(t.occupancy(0, 2, 0), 0.0);
+    }
+
+    #[test]
+    fn idle_gaps_cover_complement() {
+        let mut t = Trace::default();
+        t.spans.push(span(0, 0, 0, 10, 20));
+        t.spans.push(span(0, 0, 0, 40, 50));
+        let gaps = t.idle_gaps(0, 0, 100);
+        assert_eq!(gaps, vec![(0, 10), (20, 40), (50, 100)]);
+        let busy: u64 = t.node_spans(0).map(|s| s.duration_ns()).sum();
+        let idle: u64 = gaps.iter().map(|(a, b)| b - a).sum();
+        assert_eq!(busy + idle, 100);
+    }
+
+    #[test]
+    fn kind_registry_and_counts() {
+        let rec = Recorder::new();
+        rec.register_kind(0, "interior");
+        rec.register_kind(crate::KIND_COMM, "comm");
+        rec.register_kind(0, "renamed-too-late"); // idempotent: first wins
+        let l = rec.local();
+        l.task(0, 0, 0, 0, 1);
+        l.comm(0, 2, 1, 2);
+        let t = rec.drain();
+        assert_eq!(t.kinds.get(&0).map(String::as_str), Some("interior"));
+        assert_eq!(t.count_by_kind().get(&crate::KIND_COMM), Some(&1));
+        assert_eq!(t.task_spans().count(), 1);
+        assert_eq!(t.nodes(), vec![0]);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let clock = WallClock::start();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+}

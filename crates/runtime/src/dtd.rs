@@ -163,7 +163,7 @@ impl TaskClass for DtdClass {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sim_exec::{run_simulated, SimConfig};
+    use crate::exec::{run, RunConfig};
     use crate::validate::assert_valid;
     use machine::MachineProfile;
 
@@ -176,7 +176,7 @@ mod tests {
         let _s = b.insert(0, 1e-3, &[l, r]);
         let p = b.build();
         assert_valid(&p);
-        let report = run_simulated(&p, SimConfig::new(MachineProfile::nacl(), 1));
+        let report = run(&p, &RunConfig::simulated(MachineProfile::nacl(), 1));
         assert_eq!(report.tasks_executed, 4);
         // critical path: 3 tasks of 1 ms
         assert!((report.makespan - 3e-3).abs() < 1e-8);
@@ -188,9 +188,9 @@ mod tests {
         let a = b.insert_full(0, 1e-3, 7, 4096, &[]);
         let _c = b.insert(1, 1e-3, &[a]);
         let p = b.build();
-        let report = run_simulated(&p, SimConfig::new(MachineProfile::nacl(), 2));
-        assert_eq!(report.remote_messages, 1);
-        assert_eq!(report.remote_bytes, 4096);
+        let report = run(&p, &RunConfig::simulated(MachineProfile::nacl(), 2));
+        assert_eq!(report.counter(obs::names::MESSAGES_SENT), 1);
+        assert_eq!(report.counter(obs::names::BYTES_SENT), 4096);
     }
 
     #[test]
@@ -214,8 +214,12 @@ mod tests {
         let _sink = b.insert(0, 1e-4, &mids);
         let p = b.build();
         assert_valid(&p);
-        let report = run_simulated(&p, SimConfig::new(MachineProfile::nacl(), 1));
+        let report = run(&p, &RunConfig::simulated(MachineProfile::nacl(), 1));
         // 44 tasks of 1 ms over 11 lanes = 4 ms, plus the endpoints.
-        assert!((report.makespan - 4.2e-3).abs() < 1e-6, "{}", report.makespan);
+        assert!(
+            (report.makespan - 4.2e-3).abs() < 1e-6,
+            "{}",
+            report.makespan
+        );
     }
 }

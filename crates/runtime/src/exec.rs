@@ -1,0 +1,455 @@
+//! The single entry point into every executor: build a [`RunConfig`],
+//! call [`run`], get back one [`RunReport`] — whichever engine actually
+//! carried the tasks.
+//!
+//! # The builder pattern
+//!
+//! Configuration follows the same builder style as
+//! `ca_stencil::StencilConfig`: a constructor fixes the required
+//! parameters, `with_*` methods refine the rest, and every method
+//! consumes and returns the config so calls chain:
+//!
+//! ```ignore
+//! let report = runtime::run(
+//!     &program,
+//!     &RunConfig::simulated(MachineProfile::nacl(), 4)
+//!         .with_policy(SchedulerPolicy::Priority)
+//!         .with_trace(),
+//! );
+//! ```
+//!
+//! All three engines feed the same observability layer (the `obs` crate):
+//! every run records task/communication spans into a low-overhead
+//! per-thread ring recorder and counts runtime events in a metric
+//! registry, so a [`RunReport`] always carries per-node occupancy and a
+//! [`MetricsSnapshot`], and — when [`RunConfig::with_trace`] is set — the
+//! full span [`Trace`] ready for Chrome/Perfetto export via
+//! `obs::chrome::to_chrome_json`.
+
+use crate::sim_exec::SchedulerPolicy;
+use crate::task::Program;
+use machine::MachineProfile;
+use obs::{Metrics, MetricsSnapshot, Recorder, Trace};
+
+/// Which engine executes the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Real threads in one address space, wall-clock time
+    /// (the paper's single-node runs).
+    SharedMemory,
+    /// One thread pool per node plus a comm thread per node, real
+    /// channel-borne messages, wall-clock time.
+    MultiProcess,
+    /// Virtual-time simulation of the whole cluster over a machine
+    /// profile and network model.
+    Simulated,
+}
+
+/// Configuration of one run, valid for every [`ExecMode`].
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The engine to run on.
+    pub mode: ExecMode,
+    /// Worker threads per node (ignored by [`ExecMode::Simulated`], whose
+    /// lane count comes from the machine profile).
+    pub threads: usize,
+    /// Number of nodes; every task's `node_of` must map below this.
+    pub nodes: u32,
+    /// Machine profile (required for [`ExecMode::Simulated`]).
+    pub profile: Option<MachineProfile>,
+    /// Execute task bodies in the simulator (always true on the real
+    /// engines).
+    pub execute_bodies: bool,
+    /// Attach the full span [`Trace`] to the report.
+    pub capture_trace: bool,
+    /// Ready-queue discipline (simulator only; the real engines dispatch
+    /// FIFO through their channels).
+    pub scheduler: SchedulerPolicy,
+    /// Parallel send engines per node (simulator only).
+    pub comm_engines: usize,
+    /// Human-readable names for application span kinds, for exporters.
+    pub kind_names: Vec<(u32, String)>,
+}
+
+impl RunConfig {
+    /// Shared-memory run on `threads` workers (one node, no network).
+    pub fn shared_memory(threads: usize) -> Self {
+        RunConfig {
+            mode: ExecMode::SharedMemory,
+            threads,
+            nodes: 1,
+            profile: None,
+            execute_bodies: true,
+            capture_trace: false,
+            scheduler: SchedulerPolicy::Fifo,
+            comm_engines: 1,
+            kind_names: Vec::new(),
+        }
+    }
+
+    /// Multi-process-semantics run: `nodes` pools of `threads_per_node`
+    /// workers, plus one comm thread per node.
+    pub fn multi_process(nodes: u32, threads_per_node: usize) -> Self {
+        RunConfig {
+            mode: ExecMode::MultiProcess,
+            threads: threads_per_node,
+            nodes,
+            profile: None,
+            execute_bodies: true,
+            capture_trace: false,
+            scheduler: SchedulerPolicy::Fifo,
+            comm_engines: 1,
+            kind_names: Vec::new(),
+        }
+    }
+
+    /// Simulated run of `nodes` nodes of `profile` (the paper's
+    /// configuration: compute lanes plus one dedicated comm engine).
+    pub fn simulated(profile: MachineProfile, nodes: u32) -> Self {
+        RunConfig {
+            mode: ExecMode::Simulated,
+            threads: 0,
+            nodes,
+            profile: Some(profile),
+            execute_bodies: false,
+            capture_trace: false,
+            scheduler: SchedulerPolicy::Fifo,
+            comm_engines: 1,
+            kind_names: Vec::new(),
+        }
+    }
+
+    /// Replace the machine profile.
+    pub fn with_profile(mut self, profile: MachineProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Select the scheduler policy.
+    pub fn with_policy(mut self, policy: SchedulerPolicy) -> Self {
+        self.scheduler = policy;
+        self
+    }
+
+    /// Execute task bodies (verifies numerics in the simulator).
+    pub fn with_bodies(mut self) -> Self {
+        self.execute_bodies = true;
+        self
+    }
+
+    /// Attach the full span trace to the report.
+    pub fn with_trace(mut self) -> Self {
+        self.capture_trace = true;
+        self
+    }
+
+    /// Use `n` parallel send engines per node.
+    pub fn with_comm_engines(mut self, n: usize) -> Self {
+        self.comm_engines = n;
+        self
+    }
+
+    /// Name application span kinds for trace exporters (the comm kind is
+    /// named automatically).
+    pub fn with_kind_names<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = (u32, S)>,
+        S: Into<String>,
+    {
+        self.kind_names
+            .extend(names.into_iter().map(|(k, s)| (k, s.into())));
+        self
+    }
+
+    /// Build the run's recorder with the configured kind names registered.
+    pub(crate) fn recorder(&self) -> Recorder {
+        let rec = Recorder::new();
+        rec.register_kind(obs::KIND_COMM, "comm");
+        for (kind, name) in &self.kind_names {
+            rec.register_kind(*kind, name);
+        }
+        rec
+    }
+}
+
+/// Mode-specific extension of a [`RunReport`].
+#[derive(Debug, Clone)]
+pub enum ModeExt {
+    /// Shared-memory extras.
+    SharedMemory {
+        /// Total flows delivered between tasks.
+        flows_delivered: u64,
+    },
+    /// Multi-process extras.
+    MultiProcess {
+        /// Flows that crossed between nodes (through the comm threads).
+        cross_node_flows: u64,
+    },
+    /// Simulator extras.
+    Simulated {
+        /// Messages that crossed the network.
+        remote_messages: u64,
+        /// Bytes that crossed the network.
+        remote_bytes: u64,
+        /// Flows delivered node-locally.
+        local_flows: u64,
+        /// Per-node communication-engine utilization over the makespan.
+        comm_utilization: Vec<f64>,
+    },
+}
+
+/// Outcome of a run, identical in shape for every engine.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The engine that produced this report.
+    pub mode: ExecMode,
+    /// Tasks executed (equals the program's `total_tasks` on success).
+    pub tasks_executed: u64,
+    /// End-to-end time in seconds: wall-clock for the real engines,
+    /// virtual time of the last task completion for the simulator.
+    pub makespan: f64,
+    /// Per-node worker-lane occupancy in `[0, 1]` over the makespan,
+    /// computed from the recorded spans (the paper's "CPU occupancy").
+    pub node_occupancy: Vec<f64>,
+    /// Counter/gauge snapshot (see `obs::names` for the standard keys).
+    pub metrics: MetricsSnapshot,
+    /// Full span trace, when [`RunConfig::with_trace`] was set.
+    pub trace: Option<Trace>,
+    /// Mode-specific extras.
+    pub ext: ModeExt,
+}
+
+impl RunReport {
+    /// Shorthand for a counter from the metric snapshot (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.metrics.counter(name)
+    }
+
+    /// Flows delivered between tasks, when the mode tracks them
+    /// (shared memory only).
+    pub fn flows_delivered(&self) -> Option<u64> {
+        match self.ext {
+            ModeExt::SharedMemory { flows_delivered } => Some(flows_delivered),
+            _ => None,
+        }
+    }
+
+    /// Messages that crossed between nodes: network messages for the
+    /// simulator, comm-thread flows for multi-process, 0 for shared
+    /// memory.
+    pub fn remote_messages(&self) -> u64 {
+        match self.ext {
+            ModeExt::SharedMemory { .. } => 0,
+            ModeExt::MultiProcess { cross_node_flows } => cross_node_flows,
+            ModeExt::Simulated {
+                remote_messages, ..
+            } => remote_messages,
+        }
+    }
+
+    /// Bytes that crossed between nodes (simulator's network bytes; the
+    /// metric counter for the other modes).
+    pub fn remote_bytes(&self) -> u64 {
+        match self.ext {
+            ModeExt::Simulated { remote_bytes, .. } => remote_bytes,
+            _ => self.metrics.counter(obs::names::BYTES_SENT),
+        }
+    }
+
+    /// Flows delivered node-locally (simulator only).
+    pub fn local_flows(&self) -> Option<u64> {
+        match self.ext {
+            ModeExt::Simulated { local_flows, .. } => Some(local_flows),
+            _ => None,
+        }
+    }
+
+    /// Per-node communication-engine utilization over the makespan
+    /// (simulator only; empty for the real engines).
+    pub fn comm_utilization(&self) -> &[f64] {
+        match &self.ext {
+            ModeExt::Simulated {
+                comm_utilization, ..
+            } => comm_utilization,
+            _ => &[],
+        }
+    }
+}
+
+/// Assemble the uniform part of a [`RunReport`] from a finished run's
+/// recorder and metrics. `horizon_ns` is the makespan on the engine's
+/// clock; occupancy counts `lanes` worker lanes per node over it.
+/// One parameter per report ingredient — the three engines each hold
+/// these as locals, so a params struct would only move the arity around.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_report(
+    cfg: &RunConfig,
+    mode: ExecMode,
+    makespan: f64,
+    horizon_ns: u64,
+    lanes: u32,
+    tasks_executed: u64,
+    recorder: &Recorder,
+    metrics: &Metrics,
+    ext: ModeExt,
+) -> RunReport {
+    let trace = recorder.drain();
+    let node_occupancy = (0..cfg.nodes)
+        .map(|n| trace.occupancy(n, lanes, horizon_ns))
+        .collect();
+    RunReport {
+        mode,
+        tasks_executed,
+        makespan,
+        node_occupancy,
+        metrics: metrics.snapshot(),
+        trace: cfg.capture_trace.then_some(trace),
+        ext,
+    }
+}
+
+/// An engine that can execute a [`Program`] under a [`RunConfig`].
+///
+/// The three engines are exposed as unit structs so code can be generic
+/// over "something that runs programs"; most callers just use [`run`].
+pub trait Executor {
+    /// The mode this engine implements.
+    fn mode(&self) -> ExecMode;
+
+    /// Run `program` to completion and report.
+    fn execute(&self, program: &Program, cfg: &RunConfig) -> RunReport;
+}
+
+/// The shared-memory engine (see [`crate::real_exec`]).
+pub struct SharedMemoryExecutor;
+
+impl Executor for SharedMemoryExecutor {
+    fn mode(&self) -> ExecMode {
+        ExecMode::SharedMemory
+    }
+
+    fn execute(&self, program: &Program, cfg: &RunConfig) -> RunReport {
+        crate::real_exec::execute(program, cfg)
+    }
+}
+
+/// The multi-process-semantics engine (see [`crate::mp_exec`]).
+pub struct MultiProcessExecutor;
+
+impl Executor for MultiProcessExecutor {
+    fn mode(&self) -> ExecMode {
+        ExecMode::MultiProcess
+    }
+
+    fn execute(&self, program: &Program, cfg: &RunConfig) -> RunReport {
+        crate::mp_exec::execute(program, cfg)
+    }
+}
+
+/// The virtual-time engine (see [`crate::sim_exec`]).
+pub struct SimulatedExecutor;
+
+impl Executor for SimulatedExecutor {
+    fn mode(&self) -> ExecMode {
+        ExecMode::Simulated
+    }
+
+    fn execute(&self, program: &Program, cfg: &RunConfig) -> RunReport {
+        crate::sim_exec::execute(program, cfg)
+    }
+}
+
+/// Run `program` on the engine selected by `cfg.mode`. The single entry
+/// point every caller should use.
+pub fn run(program: &Program, cfg: &RunConfig) -> RunReport {
+    match cfg.mode {
+        ExecMode::SharedMemory => SharedMemoryExecutor.execute(program, cfg),
+        ExecMode::MultiProcess => MultiProcessExecutor.execute(program, cfg),
+        ExecMode::Simulated => SimulatedExecutor.execute(program, cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtd::DtdBuilder;
+    use obs::names;
+
+    fn diamond(nodes: u32) -> Program {
+        let mut b = DtdBuilder::new();
+        let root = b.insert(0, 1e-5, &[]);
+        let mids: Vec<_> = (0..6).map(|i| b.insert(i % nodes, 1e-5, &[root])).collect();
+        let _sink = b.insert(0, 1e-5, &mids);
+        b.build()
+    }
+
+    #[test]
+    fn all_three_modes_agree_on_task_counts() {
+        let p = diamond(1);
+        for cfg in [
+            RunConfig::shared_memory(2),
+            RunConfig::multi_process(1, 2),
+            RunConfig::simulated(MachineProfile::nacl(), 1),
+        ] {
+            let r = run(&p, &cfg.with_trace());
+            assert_eq!(r.tasks_executed, 8, "{:?}", r.mode);
+            assert_eq!(r.counter(names::TASKS_EXECUTED), 8, "{:?}", r.mode);
+            assert_eq!(r.counter(names::MESSAGES_SENT), 0, "{:?}", r.mode);
+            let trace = r.trace.expect("with_trace attaches the trace");
+            assert_eq!(trace.task_spans().count(), 8, "{:?}", r.mode);
+        }
+    }
+
+    #[test]
+    fn trace_absent_unless_requested() {
+        let r = run(&diamond(1), &RunConfig::shared_memory(2));
+        assert!(r.trace.is_none());
+        assert_eq!(r.node_occupancy.len(), 1);
+        assert!(r.node_occupancy[0] > 0.0);
+    }
+
+    #[test]
+    fn multi_process_counts_cross_node_messages() {
+        let p = diamond(2);
+        let r = run(&p, &RunConfig::multi_process(2, 2));
+        let sent = r.counter(names::MESSAGES_SENT);
+        assert!(sent >= 6, "cross flows: {sent}");
+        assert!(r.counter(names::BYTES_SENT) >= sent);
+        match r.ext {
+            ModeExt::MultiProcess { cross_node_flows } => {
+                assert_eq!(cross_node_flows, sent)
+            }
+            ref other => panic!("wrong ext {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulated_reports_virtual_makespan() {
+        let r = run(
+            &diamond(1),
+            &RunConfig::simulated(MachineProfile::nacl(), 1),
+        );
+        // 1e-5 cost, depth-3 diamond: exactly 3e-5 of virtual time.
+        assert!((r.makespan - 3e-5).abs() < 1e-12, "{}", r.makespan);
+        match r.ext {
+            ModeExt::Simulated {
+                remote_messages, ..
+            } => assert_eq!(remote_messages, 0),
+            ref other => panic!("wrong ext {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kind_names_reach_the_trace() {
+        let cfg = RunConfig::shared_memory(1)
+            .with_kind_names([(0u32, "work")])
+            .with_trace();
+        let r = run(&diamond(1), &cfg);
+        let trace = r.trace.unwrap();
+        assert_eq!(trace.kinds.get(&0).map(String::as_str), Some("work"));
+        assert_eq!(
+            trace.kinds.get(&obs::KIND_COMM).map(String::as_str),
+            Some("comm")
+        );
+    }
+}

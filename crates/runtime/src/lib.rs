@@ -12,22 +12,37 @@
 //!   ([`PendingTable`]);
 //! * [`validate`] — whole-graph consistency checking for tests
 //!   ([`validate::assert_valid`]);
-//! * [`real_exec`] — a shared-memory executor with real threads and real
+//! * [`exec`] — **the single entry point**: [`run`] dispatches a
+//!   [`Program`] to any engine selected by a builder-style [`RunConfig`]
+//!   ([`ExecMode::SharedMemory`], [`ExecMode::MultiProcess`],
+//!   [`ExecMode::Simulated`]) and returns one uniform [`RunReport`]
+//!   carrying occupancy, an `obs` metric snapshot, and optionally the
+//!   full span trace;
+//! * [`real_exec`] — the shared-memory engine: real threads and real
 //!   task bodies (the paper's single-node runs, Figure 6);
-//! * [`mp_exec`] — a multi-process-semantics executor: a thread pool per
+//! * [`mp_exec`] — the multi-process-semantics engine: a thread pool per
 //!   node plus a per-node communication thread, real channel-borne
 //!   messages (stress-tests the distributed logic under true races);
-//! * [`sim_exec`] — a virtual-time executor over [`desim`]/[`netsim`]: a
+//! * [`sim_exec`] — the virtual-time engine over [`desim`]/[`netsim`]: a
 //!   whole cluster per run, one comm thread per node, optional real body
 //!   execution, trace capture (Figures 7–10);
-//! * [`profiling`] — Figure 10-style occupancy/Gantt analysis;
+//! * [`profiling`] — Figure 10-style occupancy/Gantt analysis (a thin
+//!   consumer of `obs::fig10`);
 //! * [`dtd`] — the Dynamic Task Discovery insertion API (PaRSEC's second
 //!   DSL) as an alternative front-end;
 //! * [`halo`] — the paper's future-work feature: a generic
 //!   communication-avoiding halo-exchange framework where the runtime
 //!   generates and schedules the redundant tasks transparently.
+//!
+//! Configuration follows the workspace-wide builder convention (shared
+//! with `ca_stencil::StencilConfig`): a constructor fixes the required
+//! dimensions — [`RunConfig::shared_memory`], [`RunConfig::multi_process`],
+//! [`RunConfig::simulated`] — and chainable `with_*` methods set
+//! everything optional (`with_profile`, `with_policy`, `with_bodies`,
+//! `with_trace`, `with_comm_engines`, `with_kind_names`).
 
 pub mod dtd;
+pub mod exec;
 pub mod halo;
 pub mod mp_exec;
 pub mod pending;
@@ -39,10 +54,17 @@ pub mod task;
 pub mod validate;
 
 pub use dtd::{DtdBuilder, DtdTaskId};
+pub use exec::{
+    run, ExecMode, Executor, ModeExt, MultiProcessExecutor, RunConfig, RunReport,
+    SharedMemoryExecutor, SimulatedExecutor,
+};
 pub use halo::{build_halo_program, HaloSpec};
+#[allow(deprecated)]
 pub use mp_exec::{run_multiprocess, MpRunReport};
 pub use pending::{PendingTable, ReadyTask};
+#[allow(deprecated)]
 pub use real_exec::{run_shared_memory, RealRunReport};
+#[allow(deprecated)]
 pub use sim_exec::{run_simulated, SchedulerPolicy, SimConfig, SimRunReport, KIND_COMM};
 pub use task::{ClassId, FlowData, OutputDep, Params, Program, TaskClass, TaskGraph, TaskKey};
 pub use validate::{assert_valid, validate_program, GraphError};

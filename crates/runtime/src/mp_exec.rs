@@ -10,15 +10,23 @@
 //! (activation counts, slots, CA exchange cadence) is correct under
 //! races, not just under the simulator's deterministic schedule. It
 //! measures wall-clock time but applies no performance model.
+//!
+//! Task executions are recorded as spans (worker index = lane within the
+//! node); the comm thread records its delivery processing on the node's
+//! comm lane (lane = `threads_per_node`), mirroring the simulator's trace
+//! layout.
 
+use crate::exec::{assemble_report, ExecMode, ModeExt, RunConfig, RunReport};
 use crate::pending::{PendingTable, ReadyTask};
 use crate::task::{FlowData, Program, TaskKey};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use obs::{names, LocalRecorder, Metrics, WallClock};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-/// Outcome of a multi-process-semantics run.
+/// Outcome of a multi-process-semantics run (legacy shape; superseded by
+/// [`RunReport`]).
 #[derive(Debug, Clone, Copy)]
 pub struct MpRunReport {
     /// Wall-clock time of the parallel section, seconds.
@@ -57,6 +65,8 @@ struct Cluster<'p> {
     completed: AtomicU64,
     cross_flows: AtomicU64,
     workers_per_node: usize,
+    metrics: Metrics,
+    clock: WallClock,
 }
 
 impl<'p> Cluster<'p> {
@@ -72,10 +82,11 @@ impl<'p> Cluster<'p> {
 
     /// Deliver a flow on its destination node; enqueue the task if ready.
     fn deliver_local(&self, node: usize, consumer: TaskKey, slot: usize, data: FlowData) {
-        let ready = self.nodes[node]
-            .pending
-            .lock()
-            .deliver(&self.program.graph, consumer, slot, data);
+        let ready =
+            self.nodes[node]
+                .pending
+                .lock()
+                .deliver(&self.program.graph, consumer, slot, data);
         if let Some(t) = ready {
             self.nodes[node]
                 .work_tx
@@ -85,9 +96,18 @@ impl<'p> Cluster<'p> {
     }
 
     /// Execute one task on `node`; returns true when it was the last.
-    fn run_task(&self, node: usize, mut ready: ReadyTask) -> bool {
+    fn run_task(
+        &self,
+        node: usize,
+        mut ready: ReadyTask,
+        lane: u32,
+        local: &LocalRecorder,
+    ) -> bool {
         let class = self.program.graph.class(ready.key.class);
+        let kind = self.program.graph.kind_of(ready.key);
+        let start_ns = self.clock.now_ns();
         let outputs = class.execute(ready.key.params, &mut ready.inputs);
+        local.task(node as u32, lane, kind, start_ns, self.clock.now_ns());
         for dep in class.outputs(ready.key.params) {
             let data = outputs
                 .get(dep.flow)
@@ -99,6 +119,10 @@ impl<'p> Cluster<'p> {
             } else {
                 // cross-node: route through the destination's comm thread
                 self.cross_flows.fetch_add(1, Ordering::Relaxed);
+                self.metrics.counter(names::MESSAGES_SENT).inc();
+                self.metrics
+                    .counter(names::BYTES_SENT)
+                    .add(data.bytes as u64);
                 self.nodes[dst]
                     .comm_tx
                     .send(CommItem::Flow {
@@ -109,6 +133,10 @@ impl<'p> Cluster<'p> {
                     .expect("comm channel closed");
             }
         }
+        self.metrics.counter(names::TASKS_EXECUTED).inc();
+        self.metrics
+            .gauge(names::QUEUE_DEPTH)
+            .set(self.nodes[node].work_rx.len() as i64);
         self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.program.total_tasks
     }
 
@@ -123,14 +151,14 @@ impl<'p> Cluster<'p> {
     }
 }
 
-fn worker(cluster: &Cluster<'_>, node: usize) {
+fn worker(cluster: &Cluster<'_>, node: usize, lane: u32, local: &LocalRecorder) {
     let rx = cluster.nodes[node].work_rx.clone();
     let mut idle = 0u32;
     loop {
         match rx.recv_timeout(Duration::from_millis(50)) {
             Ok(WorkItem::Task(t)) => {
                 idle = 0;
-                if cluster.run_task(node, t) {
+                if cluster.run_task(node, t, lane, local) {
                     cluster.shutdown_all();
                 }
             }
@@ -148,15 +176,20 @@ fn worker(cluster: &Cluster<'_>, node: usize) {
     }
 }
 
-fn comm_thread(cluster: &Cluster<'_>, node: usize) {
+fn comm_thread(cluster: &Cluster<'_>, node: usize, local: &LocalRecorder) {
     let rx = cluster.nodes[node].comm_rx.clone();
+    let comm_lane = cluster.workers_per_node as u32;
     loop {
         match rx.recv_timeout(Duration::from_millis(50)) {
             Ok(CommItem::Flow {
                 consumer,
                 slot,
                 data,
-            }) => cluster.deliver_local(node, consumer, slot, data),
+            }) => {
+                let start_ns = cluster.clock.now_ns();
+                cluster.deliver_local(node, consumer, slot, data);
+                local.comm(node as u32, comm_lane, start_ns, cluster.clock.now_ns());
+            }
             Ok(CommItem::Shutdown) | Err(RecvTimeoutError::Disconnected) => return,
             Err(RecvTimeoutError::Timeout) => {
                 if cluster.completed.load(Ordering::Acquire) == cluster.program.total_tasks {
@@ -167,13 +200,17 @@ fn comm_thread(cluster: &Cluster<'_>, node: usize) {
     }
 }
 
-/// Run `program` over `nodes` node-local thread pools of
-/// `threads_per_node` workers each, plus one comm thread per node.
-pub fn run_multiprocess(program: &Program, nodes: u32, threads_per_node: usize) -> MpRunReport {
+/// Run `program` under `cfg` on the multi-process engine (entered through
+/// [`crate::run`]): `cfg.nodes` node-local thread pools of `cfg.threads`
+/// workers each, plus one comm thread per node.
+pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
+    let nodes = cfg.nodes;
+    let threads_per_node = cfg.threads;
     assert!(nodes >= 1, "need at least one node");
     assert!(threads_per_node >= 1, "need at least one worker per node");
     assert!(program.total_tasks > 0, "empty program");
 
+    let recorder = cfg.recorder();
     let node_states: Vec<Node> = (0..nodes)
         .map(|_| {
             let (work_tx, work_rx) = unbounded();
@@ -193,6 +230,8 @@ pub fn run_multiprocess(program: &Program, nodes: u32, threads_per_node: usize) 
         completed: AtomicU64::new(0),
         cross_flows: AtomicU64::new(0),
         workers_per_node: threads_per_node,
+        metrics: Metrics::new(),
+        clock: WallClock::start(),
     };
 
     for &root in &program.roots {
@@ -207,16 +246,19 @@ pub fn run_multiprocess(program: &Program, nodes: u32, threads_per_node: usize) 
     let start = Instant::now();
     crossbeam::thread::scope(|s| {
         for node in 0..nodes as usize {
-            for _ in 0..threads_per_node {
+            for lane in 0..threads_per_node {
                 let cluster = &cluster;
-                s.spawn(move |_| worker(cluster, node));
+                let local = recorder.local();
+                s.spawn(move |_| worker(cluster, node, lane as u32, &local));
             }
             let cluster = &cluster;
-            s.spawn(move |_| comm_thread(cluster, node));
+            let local = recorder.local();
+            s.spawn(move |_| comm_thread(cluster, node, &local));
         }
     })
     .expect("node thread panicked");
     let wall_time = start.elapsed().as_secs_f64();
+    let horizon_ns = cluster.clock.now_ns();
 
     let completed = cluster.completed.load(Ordering::Acquire);
     assert_eq!(
@@ -224,10 +266,41 @@ pub fn run_multiprocess(program: &Program, nodes: u32, threads_per_node: usize) 
         "run finished early: {completed}/{}",
         program.total_tasks
     );
-    MpRunReport {
+    let activations: u64 = cluster
+        .nodes
+        .iter()
+        .map(|n| n.pending.lock().flows_delivered())
+        .sum();
+    cluster.metrics.counter(names::ACTIVATIONS).add(activations);
+
+    assemble_report(
+        cfg,
+        ExecMode::MultiProcess,
         wall_time,
-        tasks_executed: completed,
-        cross_node_flows: cluster.cross_flows.load(Ordering::Relaxed),
+        horizon_ns,
+        threads_per_node as u32,
+        completed,
+        &recorder,
+        &cluster.metrics,
+        ModeExt::MultiProcess {
+            cross_node_flows: cluster.cross_flows.load(Ordering::Relaxed),
+        },
+    )
+}
+
+/// Run `program` over `nodes` node-local thread pools of
+/// `threads_per_node` workers each, plus one comm thread per node.
+#[deprecated(note = "use runtime::run with RunConfig::multi_process")]
+pub fn run_multiprocess(program: &Program, nodes: u32, threads_per_node: usize) -> MpRunReport {
+    let r = execute(program, &RunConfig::multi_process(nodes, threads_per_node));
+    let cross_node_flows = match r.ext {
+        ModeExt::MultiProcess { cross_node_flows } => cross_node_flows,
+        _ => unreachable!("multi-process ext"),
+    };
+    MpRunReport {
+        wall_time: r.makespan,
+        tasks_executed: r.tasks_executed,
+        cross_node_flows,
     }
 }
 
@@ -235,6 +308,14 @@ pub fn run_multiprocess(program: &Program, nodes: u32, threads_per_node: usize) 
 mod tests {
     use super::*;
     use crate::dtd::DtdBuilder;
+    use crate::exec::{run, RunConfig};
+
+    fn cross_flows(r: &RunReport) -> u64 {
+        match r.ext {
+            ModeExt::MultiProcess { cross_node_flows } => cross_node_flows,
+            _ => panic!("wrong ext"),
+        }
+    }
 
     #[test]
     fn cross_node_chain_completes() {
@@ -244,10 +325,11 @@ mod tests {
             prev = b.insert(i % 4, 0.0, &[prev]);
         }
         let p = b.build();
-        let r = run_multiprocess(&p, 4, 2);
+        let r = run(&p, &RunConfig::multi_process(4, 2));
         assert_eq!(r.tasks_executed, 40);
         // node changes 3 out of every 4 hops
-        assert!(r.cross_node_flows >= 29, "{}", r.cross_node_flows);
+        assert!(cross_flows(&r) >= 29, "{}", cross_flows(&r));
+        assert_eq!(r.counter(obs::names::MESSAGES_SENT), cross_flows(&r));
     }
 
     #[test]
@@ -258,9 +340,10 @@ mod tests {
             let _ = b.insert(0, 0.0, &[root]);
         }
         let p = b.build();
-        let r = run_multiprocess(&p, 1, 3);
+        let r = run(&p, &RunConfig::multi_process(1, 3));
         assert_eq!(r.tasks_executed, 11);
-        assert_eq!(r.cross_node_flows, 0);
+        assert_eq!(cross_flows(&r), 0);
+        assert_eq!(r.counter(obs::names::BYTES_SENT), 0);
     }
 
     #[test]
@@ -271,8 +354,39 @@ mod tests {
             let mids: Vec<_> = (0..32).map(|i| b.insert(i % 4, 0.0, &[root])).collect();
             let _sink = b.insert(3, 0.0, &mids);
             let p = b.build();
-            let r = run_multiprocess(&p, 4, 2);
+            let r = run(&p, &RunConfig::multi_process(4, 2));
             assert_eq!(r.tasks_executed, 34);
         }
+    }
+
+    #[test]
+    fn trace_places_tasks_on_their_nodes() {
+        let mut b = DtdBuilder::new();
+        let root = b.insert(0, 0.0, &[]);
+        let mids: Vec<_> = (0..8).map(|i| b.insert(i % 2, 0.0, &[root])).collect();
+        let _sink = b.insert(0, 0.0, &mids);
+        let p = b.build();
+        let r = run(&p, &RunConfig::multi_process(2, 2).with_trace());
+        let trace = r.trace.unwrap();
+        assert_eq!(trace.task_spans().count(), 10);
+        assert_eq!(trace.nodes(), vec![0, 1]);
+        // comm spans live on the comm lane
+        assert!(trace
+            .spans
+            .iter()
+            .filter(|s| s.kind == obs::KIND_COMM)
+            .all(|s| s.lane == 2));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shim_maps_fields() {
+        let mut b = DtdBuilder::new();
+        let root = b.insert(0, 0.0, &[]);
+        let _ = b.insert(1, 0.0, &[root]);
+        let p = b.build();
+        let r = run_multiprocess(&p, 2, 1);
+        assert_eq!(r.tasks_executed, 2);
+        assert_eq!(r.cross_node_flows, 1);
     }
 }

@@ -1,9 +1,14 @@
 //! Post-run trace analysis: the machinery behind the paper's Figure 10
 //! (per-node Gantt data, occupancy, and per-kind kernel-time statistics).
+//!
+//! The numeric digests are computed by `obs::fig10`; this module is a
+//! thin consumer that keeps the legacy millisecond/second units and adds
+//! the terminal-facing Gantt renderers. Everything operates on the
+//! canonical [`obs::Trace`]; [`to_obs_trace`] converts the simulator's
+//! legacy [`TraceBuffer`] when needed.
 
-use desim::{Summary, TraceBuffer, VirtualTime};
+use desim::TraceBuffer;
 use serde::Serialize;
-use std::collections::BTreeMap;
 
 /// Per-kind statistics of one node's trace.
 #[derive(Debug, Clone, Serialize)]
@@ -31,53 +36,55 @@ pub struct NodeProfile {
     pub kinds: Vec<KindReport>,
 }
 
-/// Analyze one node of a trace over `lanes` worker lanes up to `horizon`.
-pub fn profile_node(
-    trace: &TraceBuffer,
-    node: u32,
-    lanes: u32,
-    horizon: VirtualTime,
-) -> NodeProfile {
-    let mut by_kind: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
-    for s in trace.node_spans(node) {
-        by_kind
-            .entry(s.kind)
-            .or_default()
-            .push(s.duration().as_secs_f64());
-    }
-    let kinds = by_kind
-        .into_iter()
-        .map(|(kind, durations)| {
-            let s = Summary::of(&durations).expect("kind has at least one span");
-            KindReport {
-                kind,
-                count: s.count,
-                median_ms: s.median * 1e3,
-                mean_ms: s.mean * 1e3,
-                total_s: durations.iter().sum(),
-            }
-        })
-        .collect();
+/// Convert a virtual-time [`TraceBuffer`] into an `obs` trace (same span
+/// layout; virtual nanoseconds become the span timestamps).
+pub fn to_obs_trace(trace: &TraceBuffer) -> obs::Trace {
+    let mut out = obs::Trace::default();
+    out.spans
+        .extend(trace.spans().iter().map(|s| obs::SpanRecord {
+            node: s.node,
+            lane: s.lane,
+            kind: s.kind,
+            start_ns: s.start.as_nanos(),
+            end_ns: s.end.as_nanos(),
+        }));
+    out
+}
+
+/// Analyze one node of a trace over `lanes` worker lanes up to
+/// `horizon_ns` (nanoseconds on the trace's clock, wall or virtual).
+pub fn profile_node(trace: &obs::Trace, node: u32, lanes: u32, horizon_ns: u64) -> NodeProfile {
+    let digest = obs::fig10::analyze_node(trace, node, lanes, horizon_ns);
     NodeProfile {
         node,
-        occupancy: trace.occupancy(node, lanes, horizon),
-        kinds,
+        occupancy: digest.occupancy,
+        kinds: digest
+            .kinds
+            .into_iter()
+            .map(|k| KindReport {
+                kind: k.kind,
+                count: k.count,
+                median_ms: k.median_ns / 1e6,
+                mean_ms: k.mean_ns / 1e6,
+                total_s: k.total_ns as f64 / 1e9,
+            })
+            .collect(),
     }
 }
 
 /// Render one node's spans as rows suitable for a Gantt plot: one line per
 /// span, `lane start_ms end_ms kind`. Sorted by lane then start.
-pub fn gantt_rows(trace: &TraceBuffer, node: u32) -> Vec<String> {
+pub fn gantt_rows(trace: &obs::Trace, node: u32) -> Vec<String> {
     let mut spans: Vec<_> = trace.node_spans(node).collect();
-    spans.sort_by_key(|s| (s.lane, s.start));
+    spans.sort_by_key(|s| (s.lane, s.start_ns));
     spans
         .iter()
         .map(|s| {
             format!(
                 "{} {:.3} {:.3} {}",
                 s.lane,
-                s.start.as_millis_f64(),
-                s.end.as_millis_f64(),
+                s.start_ns as f64 / 1e6,
+                s.end_ns as f64 / 1e6,
                 s.kind
             )
         })
@@ -89,10 +96,10 @@ pub fn gantt_rows(trace: &TraceBuffer, node: u32) -> Vec<String> {
 /// (`#` kind 0, `B` kind 1, `I` kind 2, `C` for the comm kind 1000, `?`
 /// otherwise) — a terminal rendition of the paper's Figure 10.
 pub fn ascii_gantt(
-    trace: &TraceBuffer,
+    trace: &obs::Trace,
     node: u32,
     lanes: u32,
-    horizon: VirtualTime,
+    horizon_ns: u64,
     width: usize,
 ) -> Vec<String> {
     assert!(width > 0, "gantt width must be positive");
@@ -100,15 +107,15 @@ pub fn ascii_gantt(
         0 => '#',
         1 => 'B',
         2 => 'I',
-        1000 => 'C',
+        obs::KIND_COMM => 'C',
         _ => '?',
     };
-    let span_ns = horizon.as_nanos().max(1);
+    let span_ns = horizon_ns.max(1);
     let mut rows = vec![vec!['.'; width]; lanes as usize + 1];
     for s in trace.node_spans(node) {
         let lane = (s.lane as usize).min(lanes as usize);
-        let from = (s.start.as_nanos() as u128 * width as u128 / span_ns as u128) as usize;
-        let to = (s.end.as_nanos() as u128 * width as u128 / span_ns as u128) as usize;
+        let from = (s.start_ns as u128 * width as u128 / span_ns as u128) as usize;
+        let to = (s.end_ns as u128 * width as u128 / span_ns as u128) as usize;
         for cell in rows[lane][from.min(width - 1)..=to.min(width - 1)].iter_mut() {
             *cell = glyph(s.kind);
         }
@@ -129,9 +136,9 @@ pub fn ascii_gantt(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use desim::Span;
+    use desim::{Span, VirtualTime};
 
-    fn trace() -> TraceBuffer {
+    fn trace() -> obs::Trace {
         let mut t = TraceBuffer::new();
         // node 0: lane 0 busy [0, 10ms) kind 0, lane 1 busy [0, 5ms) kind 1
         t.push(Span {
@@ -155,12 +162,12 @@ mod tests {
             start: VirtualTime(0),
             end: VirtualTime(1_000_000),
         });
-        t
+        to_obs_trace(&t)
     }
 
     #[test]
     fn profile_separates_kinds() {
-        let p = profile_node(&trace(), 0, 2, VirtualTime(10_000_000));
+        let p = profile_node(&trace(), 0, 2, 10_000_000);
         assert_eq!(p.kinds.len(), 2);
         assert_eq!(p.kinds[0].kind, 0);
         assert!((p.kinds[0].median_ms - 10.0).abs() < 1e-9);
@@ -180,14 +187,14 @@ mod tests {
     #[test]
     fn ascii_gantt_renders_lanes_and_comm() {
         let mut t = trace();
-        t.push(Span {
+        t.spans.push(obs::SpanRecord {
             node: 0,
             lane: 2, // the comm lane for lanes = 2
-            kind: 1000,
-            start: VirtualTime(2_000_000),
-            end: VirtualTime(8_000_000),
+            kind: obs::KIND_COMM,
+            start_ns: 2_000_000,
+            end_ns: 8_000_000,
         });
-        let rows = ascii_gantt(&t, 0, 2, VirtualTime(10_000_000), 20);
+        let rows = ascii_gantt(&t, 0, 2, 10_000_000, 20);
         assert_eq!(rows.len(), 3);
         assert!(rows[0].starts_with("   0 |####"));
         assert!(rows[1].contains('#') || rows[1].contains('B'));
@@ -199,7 +206,7 @@ mod tests {
 
     #[test]
     fn other_nodes_excluded() {
-        let p = profile_node(&trace(), 1, 2, VirtualTime(10_000_000));
+        let p = profile_node(&trace(), 1, 2, 10_000_000);
         assert_eq!(p.kinds.len(), 1);
         assert_eq!(p.kinds[0].count, 1);
     }

@@ -9,15 +9,23 @@
 //! coarse-grained (hundreds of microseconds and up), so a channel's
 //! per-task overhead is noise, and FIFO dispatch matches the simulated
 //! executor's default scheduler.
+//!
+//! Every task execution is recorded as a span (worker index = lane, node
+//! 0) through the `obs` recorder, and runtime events feed the metric
+//! registry, so a shared-memory run yields the same observability data a
+//! simulated run does.
 
+use crate::exec::{assemble_report, ExecMode, ModeExt, RunConfig, RunReport};
 use crate::pending::{PendingTable, ReadyTask};
 use crate::task::Program;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use obs::{names, LocalRecorder, Metrics, WallClock};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-/// Outcome of a shared-memory run.
+/// Outcome of a shared-memory run (legacy shape; superseded by
+/// [`RunReport`]).
 #[derive(Debug, Clone, Copy)]
 pub struct RealRunReport {
     /// Wall-clock time of the parallel section, seconds.
@@ -38,15 +46,21 @@ struct Shared<'p> {
     program: &'p Program,
     pending: Mutex<PendingTable>,
     tx: Sender<WorkItem>,
+    rx: Receiver<WorkItem>,
     completed: AtomicU64,
+    metrics: Metrics,
+    clock: WallClock,
 }
 
 impl<'p> Shared<'p> {
     /// Execute one ready task and deliver its outputs; returns true when
     /// this was the final task.
-    fn run_task(&self, mut ready: ReadyTask) -> bool {
+    fn run_task(&self, mut ready: ReadyTask, lane: u32, local: &LocalRecorder) -> bool {
         let class = self.program.graph.class(ready.key.class);
+        let kind = self.program.graph.kind_of(ready.key);
+        let start_ns = self.clock.now_ns();
         let outputs = class.execute(ready.key.params, &mut ready.inputs);
+        local.task(0, lane, kind, start_ns, self.clock.now_ns());
         for dep in class.outputs(ready.key.params) {
             let data = outputs
                 .get(dep.flow)
@@ -67,12 +81,22 @@ impl<'p> Shared<'p> {
                 self.tx.send(WorkItem::Task(t)).expect("channel closed");
             }
         }
+        self.metrics.counter(names::TASKS_EXECUTED).inc();
+        self.metrics
+            .gauge(names::QUEUE_DEPTH)
+            .set(self.rx.len() as i64);
         let done = self.completed.fetch_add(1, Ordering::AcqRel) + 1;
         done == self.program.total_tasks
     }
 }
 
-fn worker(rx: &Receiver<WorkItem>, shared: &Shared<'_>, threads: usize) {
+fn worker(
+    rx: &Receiver<WorkItem>,
+    shared: &Shared<'_>,
+    threads: usize,
+    lane: u32,
+    local: &LocalRecorder,
+) {
     // If the graph deadlocks (inconsistent declarations), fail loudly
     // instead of hanging: ~10 s without any global progress trips a panic.
     let mut idle_rounds = 0u32;
@@ -81,7 +105,7 @@ fn worker(rx: &Receiver<WorkItem>, shared: &Shared<'_>, threads: usize) {
         match rx.recv_timeout(Duration::from_millis(50)) {
             Ok(WorkItem::Task(t)) => {
                 idle_rounds = 0;
-                if shared.run_task(t) {
+                if shared.run_task(t, lane, local) {
                     for _ in 0..threads {
                         shared.tx.send(WorkItem::Shutdown).expect("channel closed");
                     }
@@ -112,38 +136,48 @@ fn worker(rx: &Receiver<WorkItem>, shared: &Shared<'_>, threads: usize) {
     }
 }
 
-/// Run `program` to completion on `threads` worker threads, executing all
-/// task bodies, and report wall-clock time.
+/// Run `program` under `cfg` on the shared-memory engine (entered through
+/// [`crate::run`]).
 ///
 /// Panics if the program is empty, has no roots, or deadlocks.
-pub fn run_shared_memory(program: &Program, threads: usize) -> RealRunReport {
+pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
+    let threads = cfg.threads;
     assert!(threads >= 1, "need at least one worker thread");
     assert!(program.total_tasks > 0, "empty program");
     assert!(!program.roots.is_empty(), "program has no root tasks");
 
+    let recorder = cfg.recorder();
     let (tx, rx) = unbounded::<WorkItem>();
     let shared = Shared {
         program,
         pending: Mutex::new(PendingTable::new()),
         tx,
+        rx: rx.clone(),
         completed: AtomicU64::new(0),
+        metrics: Metrics::new(),
+        clock: WallClock::start(),
     };
 
     for &root in &program.roots {
         let ready = PendingTable::root(&program.graph, root);
-        shared.tx.send(WorkItem::Task(ready)).expect("fresh channel");
+        shared
+            .tx
+            .send(WorkItem::Task(ready))
+            .expect("fresh channel");
     }
 
     let start = Instant::now();
     crossbeam::thread::scope(|s| {
-        for _ in 0..threads {
+        for lane in 0..threads {
             let rx = rx.clone();
             let shared = &shared;
-            s.spawn(move |_| worker(&rx, shared, threads));
+            let local = recorder.local();
+            s.spawn(move |_| worker(&rx, shared, threads, lane as u32, &local));
         }
     })
     .expect("worker panicked");
     let wall_time = start.elapsed().as_secs_f64();
+    let horizon_ns = shared.clock.now_ns();
 
     let completed = shared.completed.load(Ordering::Acquire);
     assert_eq!(
@@ -157,17 +191,44 @@ pub fn run_shared_memory(program: &Program, threads: usize) -> RealRunReport {
         "run finished with {} tasks still pending",
         pending.len()
     );
+    let flows_delivered = pending.flows_delivered();
+    shared
+        .metrics
+        .counter(names::ACTIVATIONS)
+        .add(flows_delivered);
 
-    RealRunReport {
+    assemble_report(
+        cfg,
+        ExecMode::SharedMemory,
         wall_time,
-        tasks_executed: completed,
-        flows_delivered: pending.flows_delivered(),
+        horizon_ns,
+        threads as u32,
+        completed,
+        &recorder,
+        &shared.metrics,
+        ModeExt::SharedMemory { flows_delivered },
+    )
+}
+
+/// Run `program` to completion on `threads` worker threads, executing all
+/// task bodies, and report wall-clock time.
+///
+/// Panics if the program is empty, has no roots, or deadlocks.
+#[deprecated(note = "use runtime::run with RunConfig::shared_memory")]
+pub fn run_shared_memory(program: &Program, threads: usize) -> RealRunReport {
+    let r = execute(program, &RunConfig::shared_memory(threads));
+    let flows_delivered = r.flows_delivered().expect("shared-memory ext");
+    RealRunReport {
+        wall_time: r.makespan,
+        tasks_executed: r.tasks_executed,
+        flows_delivered,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::{run, RunConfig};
     use crate::task::testutil::ExplicitDag;
     use crate::task::{Program, TaskGraph, TaskKey};
     use std::collections::HashMap as Map;
@@ -227,45 +288,68 @@ mod tests {
     #[test]
     fn chain_completes_single_thread() {
         let p = chain_program(50);
-        let r = run_shared_memory(&p, 1);
+        let r = run(&p, &RunConfig::shared_memory(1));
         assert_eq!(r.tasks_executed, 50);
-        assert_eq!(r.flows_delivered, 49);
+        assert_eq!(r.flows_delivered(), Some(49));
+        assert_eq!(r.counter(obs::names::ACTIVATIONS), 49);
     }
 
     #[test]
     fn chain_completes_many_threads() {
         let p = chain_program(100);
-        let r = run_shared_memory(&p, 8);
+        let r = run(&p, &RunConfig::shared_memory(8));
         assert_eq!(r.tasks_executed, 100);
     }
 
     #[test]
     fn fan_out_fan_in_completes() {
         let p = fan_program(64);
-        let r = run_shared_memory(&p, 4);
+        let r = run(&p, &RunConfig::shared_memory(4));
         assert_eq!(r.tasks_executed, 66);
-        assert_eq!(r.flows_delivered, 128);
+        assert_eq!(r.flows_delivered(), Some(128));
     }
 
     #[test]
     fn repeated_runs_agree() {
         for _ in 0..5 {
             let p = fan_program(16);
-            let r = run_shared_memory(&p, 3);
+            let r = run(&p, &RunConfig::shared_memory(3));
             assert_eq!(r.tasks_executed, 18);
         }
     }
 
     #[test]
+    fn trace_spans_cover_every_task() {
+        let p = fan_program(16);
+        let r = run(&p, &RunConfig::shared_memory(3).with_trace());
+        let trace = r.trace.unwrap();
+        assert_eq!(trace.task_spans().count(), 18);
+        assert!(trace
+            .spans
+            .windows(2)
+            .all(|w| w[0].start_ns <= w[1].start_ns));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shim_maps_fields() {
+        let p = chain_program(10);
+        let r = run_shared_memory(&p, 2);
+        assert_eq!(r.tasks_executed, 10);
+        assert_eq!(r.flows_delivered, 9);
+        assert!(r.wall_time >= 0.0);
+    }
+
+    #[test]
     #[should_panic(expected = "need at least one worker")]
     fn zero_threads_rejected() {
-        run_shared_memory(&chain_program(2), 0);
+        run(&chain_program(2), &RunConfig::shared_memory(0));
     }
 }
 
 #[cfg(test)]
 mod failure_tests {
-    use super::*;
+    use crate::exec::{run, RunConfig};
     use crate::task::{FlowData, OutputDep, Params, Program, TaskClass, TaskGraph, TaskKey};
     use std::sync::Arc;
 
@@ -323,12 +407,12 @@ mod failure_tests {
     #[test]
     #[should_panic(expected = "worker panicked")]
     fn body_panic_fails_the_run_loudly() {
-        let _ = run_shared_memory(&chain(2), 2);
+        let _ = run(&chain(2), &RunConfig::shared_memory(2));
     }
 
     #[test]
     fn clean_bodies_complete() {
-        let r = run_shared_memory(&chain(-1), 2);
+        let r = run(&chain(-1), &RunConfig::shared_memory(2));
         assert_eq!(r.tasks_executed, 4);
     }
 
@@ -379,6 +463,6 @@ mod failure_tests {
             roots: vec![TaskKey::new(0, [0, 0, 0, 0])],
             total_tasks: 2,
         };
-        let _ = run_shared_memory(&p, 1);
+        let _ = run(&p, &RunConfig::shared_memory(1));
     }
 }

@@ -16,20 +16,28 @@
 //!   engine while worker lanes keep executing ready tasks;
 //! * **dataflow scheduling** — a task fires the instant its last input
 //!   arrives; there are no barriers between iterations.
+//!
+//! Spans and metrics flow through the same `obs` recorder the real
+//! executors use — virtual nanoseconds go straight in as span timestamps,
+//! so the observability pipeline is identical under wall and virtual time.
 
+use crate::exec::{assemble_report, ExecMode, ModeExt, RunConfig, RunReport};
 use crate::pending::{PendingTable, ReadyTask};
 use crate::ready_queue::ReadyQueue;
 use crate::task::{FlowData, Program, TaskKey};
-use desim::{Engine, Model, Scheduler, Span, TimeWeighted, TraceBuffer, VirtualDuration, VirtualTime};
+use desim::{
+    Engine, Model, Scheduler, Span, TimeWeighted, TraceBuffer, VirtualDuration, VirtualTime,
+};
 use machine::MachineProfile;
 use netsim::NetworkModel;
+use obs::{names, LocalRecorder, Metrics, Recorder};
 use serde::Serialize;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Trace kind used for communication-engine spans (task kinds are
-/// application-defined and small).
-pub const KIND_COMM: u32 = 1000;
+/// application-defined and small). Equals [`obs::KIND_COMM`].
+pub const KIND_COMM: u32 = obs::KIND_COMM;
 
 /// Ready-queue discipline of the node-local scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -45,7 +53,9 @@ pub enum SchedulerPolicy {
     Priority,
 }
 
-/// Configuration of one simulated run.
+/// Configuration of one simulated run, builder-style like
+/// [`crate::exec::RunConfig`]: a constructor fixes the cluster, `with_*`
+/// methods refine the run and chain.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// The machine whose nodes and network are simulated.
@@ -77,6 +87,12 @@ impl SimConfig {
         }
     }
 
+    /// Replace the machine profile.
+    pub fn with_profile(mut self, profile: MachineProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
     /// Enable body execution.
     pub fn with_bodies(mut self) -> Self {
         self.execute_bodies = true;
@@ -90,13 +106,24 @@ impl SimConfig {
     }
 
     /// Select the scheduler policy.
-    pub fn with_scheduler(mut self, policy: SchedulerPolicy) -> Self {
+    pub fn with_policy(mut self, policy: SchedulerPolicy) -> Self {
         self.scheduler = policy;
+        self
+    }
+
+    /// Select the scheduler policy (alias of [`SimConfig::with_policy`]).
+    pub fn with_scheduler(self, policy: SchedulerPolicy) -> Self {
+        self.with_policy(policy)
+    }
+
+    /// Use `n` parallel send engines per node.
+    pub fn with_comm_engines(mut self, n: usize) -> Self {
+        self.comm_engines = n;
         self
     }
 }
 
-/// Outcome of a simulated run.
+/// Outcome of a simulated run (legacy shape; superseded by [`RunReport`]).
 #[derive(Debug)]
 pub struct SimRunReport {
     /// Virtual time of the last task completion, seconds.
@@ -188,6 +215,8 @@ struct Sim {
     remote_bytes: u64,
     local_flows: u64,
     trace: TraceBuffer,
+    local: LocalRecorder,
+    metrics: Metrics,
 }
 
 impl Sim {
@@ -211,7 +240,11 @@ impl Sim {
             let lane = st.free_lanes.pop().expect("nonempty");
             st.busy.record(now, st.busy_now as f64);
             st.busy_now += 1;
-            let cost = self.program.graph.class(ready.key.class).cost(ready.key.params);
+            let cost = self
+                .program
+                .graph
+                .class(ready.key.class)
+                .cost(ready.key.params);
             let key = ready.key;
             st.running.insert(
                 key,
@@ -264,6 +297,10 @@ impl Sim {
                     let arrival = msg_cost + self.net.transfer_time(bytes);
                     self.remote_messages += 1;
                     self.remote_bytes += data.bytes as u64;
+                    self.metrics.counter(names::MESSAGES_SENT).inc();
+                    self.metrics
+                        .counter(names::BYTES_SENT)
+                        .add(data.bytes as u64);
                     sched.schedule_in(
                         VirtualDuration::from_secs_f64(arrival),
                         Ev::Arrive {
@@ -310,11 +347,15 @@ impl Sim {
             .remove(&key)
             .unwrap_or_else(|| panic!("{key:?} completed but was not running"));
 
+        let kind = self.program.graph.kind_of(key);
+        self.local
+            .task(node, run.lane, kind, run.start.as_nanos(), now.as_nanos());
+        self.metrics.counter(names::TASKS_EXECUTED).inc();
         if self.cfg.capture_trace {
             self.trace.push(Span {
                 node,
                 lane: run.lane,
-                kind: self.program.graph.kind_of(key),
+                kind,
                 start: run.start,
                 end: now,
             });
@@ -348,11 +389,13 @@ impl Sim {
                 self.local_flows += 1;
                 self.deliver(dep.consumer, dep.slot, data, sched);
             } else {
-                self.nodes[node as usize].comm_queue.push_back(CommJob::Send {
-                    consumer: dep.consumer,
-                    slot: dep.slot,
-                    data,
-                });
+                self.nodes[node as usize]
+                    .comm_queue
+                    .push_back(CommJob::Send {
+                        consumer: dep.consumer,
+                        slot: dep.slot,
+                        data,
+                    });
                 self.pump_comm(node, now, sched);
             }
         }
@@ -382,6 +425,9 @@ impl Model for Sim {
                     .class(ready.key.class)
                     .priority(ready.key.params);
                 self.nodes[node as usize].ready.push(ready, priority);
+                self.metrics
+                    .gauge(names::QUEUE_DEPTH)
+                    .set(self.nodes[node as usize].ready.len() as i64);
                 self.dispatch(node, now, sched);
             }
             Ev::TaskDone { key } => self.finish_task(key, now, sched),
@@ -394,6 +440,12 @@ impl Model for Sim {
                 st.comm_active -= 1;
                 st.comm_busy
                     .record(now, (st.comm_active + 1).min(self.cfg.comm_engines) as f64);
+                self.local.comm(
+                    node,
+                    self.lanes_per_node,
+                    started.as_nanos(),
+                    now.as_nanos(),
+                );
                 if self.cfg.capture_trace {
                     self.trace.push(Span {
                         node,
@@ -414,23 +466,44 @@ impl Model for Sim {
                 data,
             } => {
                 let dst = self.node_of(consumer);
-                self.nodes[dst as usize].comm_queue.push_back(CommJob::Recv {
-                    consumer,
-                    slot,
-                    data,
-                });
+                self.nodes[dst as usize]
+                    .comm_queue
+                    .push_back(CommJob::Recv {
+                        consumer,
+                        slot,
+                        data,
+                    });
                 self.pump_comm(dst, now, sched);
             }
         }
     }
 }
 
-/// Run `program` on the simulated cluster described by `cfg`.
+/// Everything a finished simulation yields, before either report shape is
+/// assembled.
+struct SimOutcome {
+    makespan: VirtualTime,
+    tasks_executed: u64,
+    remote_messages: u64,
+    remote_bytes: u64,
+    local_flows: u64,
+    activations: u64,
+    node_occupancy_tw: Vec<f64>,
+    comm_utilization: Vec<f64>,
+    trace_buffer: TraceBuffer,
+}
+
+/// Run the event loop to completion.
 ///
 /// Panics when the run deadlocks (tasks remain pending after the event
 /// queue drains) — use [`crate::validate::assert_valid`] on a scaled-down
 /// instance to debug the graph.
-pub fn run_simulated(program: &Program, cfg: SimConfig) -> SimRunReport {
+fn simulate(
+    program: &Program,
+    cfg: &SimConfig,
+    recorder: &Recorder,
+    metrics: &Metrics,
+) -> SimOutcome {
     assert!(cfg.nodes >= 1, "need at least one node");
     assert!(cfg.comm_engines >= 1, "need at least one comm engine");
     assert!(program.total_tasks > 0, "empty program");
@@ -469,6 +542,8 @@ pub fn run_simulated(program: &Program, cfg: SimConfig) -> SimRunReport {
         remote_bytes: 0,
         local_flows: 0,
         trace: TraceBuffer::new(),
+        local: recorder.local(),
+        metrics: metrics.clone(),
     };
 
     let mut engine = Engine::new(sim);
@@ -491,7 +566,7 @@ pub fn run_simulated(program: &Program, cfg: SimConfig) -> SimRunReport {
     }
 
     let makespan_t = sim.last_task_done;
-    let node_occupancy = sim
+    let node_occupancy_tw = sim
         .nodes
         .iter()
         .map(|n| n.busy.mean_until(makespan_t, n.busy_now as f64) / lanes as f64)
@@ -506,21 +581,84 @@ pub fn run_simulated(program: &Program, cfg: SimConfig) -> SimRunReport {
         })
         .collect();
 
-    SimRunReport {
-        makespan: makespan_t.as_secs_f64(),
+    SimOutcome {
+        makespan: makespan_t,
         tasks_executed: sim.completed,
         remote_messages: sim.remote_messages,
         remote_bytes: sim.remote_bytes,
         local_flows: sim.local_flows,
-        node_occupancy,
+        activations: sim.pending.flows_delivered(),
+        node_occupancy_tw,
         comm_utilization,
-        trace: cfg.capture_trace.then_some(sim.trace),
+        trace_buffer: sim.trace,
+    }
+}
+
+/// Run `program` under `cfg` on the virtual-time engine (entered through
+/// [`crate::run`]).
+pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
+    let profile = cfg
+        .profile
+        .clone()
+        .expect("simulated mode requires a machine profile");
+    let lanes = profile.compute_threads();
+    let sim_cfg = SimConfig {
+        profile,
+        nodes: cfg.nodes,
+        execute_bodies: cfg.execute_bodies,
+        capture_trace: false, // obs records spans; the legacy buffer is off
+        scheduler: cfg.scheduler,
+        comm_engines: cfg.comm_engines,
+    };
+    let recorder = cfg.recorder();
+    let metrics = Metrics::new();
+    let outcome = simulate(program, &sim_cfg, &recorder, &metrics);
+    metrics.counter(names::ACTIVATIONS).add(outcome.activations);
+
+    assemble_report(
+        cfg,
+        ExecMode::Simulated,
+        outcome.makespan.as_secs_f64(),
+        outcome.makespan.as_nanos(),
+        lanes,
+        outcome.tasks_executed,
+        &recorder,
+        &metrics,
+        ModeExt::Simulated {
+            remote_messages: outcome.remote_messages,
+            remote_bytes: outcome.remote_bytes,
+            local_flows: outcome.local_flows,
+            comm_utilization: outcome.comm_utilization,
+        },
+    )
+}
+
+/// Run `program` on the simulated cluster described by `cfg`.
+///
+/// Panics when the run deadlocks (tasks remain pending after the event
+/// queue drains) — use [`crate::validate::assert_valid`] on a scaled-down
+/// instance to debug the graph.
+#[deprecated(note = "use runtime::run with RunConfig::simulated")]
+pub fn run_simulated(program: &Program, cfg: SimConfig) -> SimRunReport {
+    let recorder = Recorder::disabled();
+    let metrics = Metrics::new();
+    let outcome = simulate(program, &cfg, &recorder, &metrics);
+    SimRunReport {
+        makespan: outcome.makespan.as_secs_f64(),
+        tasks_executed: outcome.tasks_executed,
+        remote_messages: outcome.remote_messages,
+        remote_bytes: outcome.remote_bytes,
+        local_flows: outcome.local_flows,
+        node_occupancy: outcome.node_occupancy_tw,
+        comm_utilization: outcome.comm_utilization,
+        trace: cfg.capture_trace.then_some(outcome.trace_buffer),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::{run, RunConfig};
     use crate::task::testutil::ExplicitDag;
     use crate::task::{TaskGraph, TaskKey};
     use std::collections::HashMap as Map;
@@ -559,17 +697,29 @@ mod tests {
         }
     }
 
-    fn cfg(nodes: u32) -> SimConfig {
-        SimConfig::new(MachineProfile::nacl(), nodes)
+    fn cfg(nodes: u32) -> RunConfig {
+        RunConfig::simulated(MachineProfile::nacl(), nodes)
+    }
+
+    fn sim_ext(r: &RunReport) -> (u64, u64, u64) {
+        match &r.ext {
+            ModeExt::Simulated {
+                remote_messages,
+                remote_bytes,
+                local_flows,
+                ..
+            } => (*remote_messages, *remote_bytes, *local_flows),
+            _ => panic!("wrong ext"),
+        }
     }
 
     #[test]
     fn single_task_makespan_is_its_cost() {
         let p = program(&[], &[], &[], &[0], 1, 1e-3, 8);
-        let r = run_simulated(&p, cfg(1));
+        let r = run(&p, &cfg(1));
         assert!((r.makespan - 1e-3).abs() < 1e-9, "makespan {}", r.makespan);
         assert_eq!(r.tasks_executed, 1);
-        assert_eq!(r.remote_messages, 0);
+        assert_eq!(sim_ext(&r).0, 0);
     }
 
     #[test]
@@ -577,7 +727,7 @@ mod tests {
         // 22 independent tasks of 1 ms on 11 lanes -> 2 ms.
         let roots: Vec<i32> = (0..22).collect();
         let p = program(&[], &[], &[], &roots, 22, 1e-3, 8);
-        let r = run_simulated(&p, cfg(1));
+        let r = run(&p, &cfg(1));
         assert!((r.makespan - 2e-3).abs() < 1e-8, "makespan {}", r.makespan);
     }
 
@@ -593,7 +743,7 @@ mod tests {
             1e-3,
             8,
         );
-        let r = run_simulated(&p, cfg(1));
+        let r = run(&p, &cfg(1));
         assert!((r.makespan - 3e-3).abs() < 1e-8, "makespan {}", r.makespan);
     }
 
@@ -601,7 +751,7 @@ mod tests {
     fn remote_edge_pays_network_latency() {
         // 0 on node 0 -> 1 on node 1; one 8-byte message.
         let p = program(&[(0, 1, 0)], &[(1, 1)], &[(1, 1)], &[0], 2, 1e-3, 8);
-        let r = run_simulated(&p, cfg(2));
+        let r = run(&p, &cfg(2));
         let net = NetworkModel::from_profile(&MachineProfile::nacl());
         let msg_cost = MachineProfile::nacl().runtime_msg_cost;
         // task + send processing + wire + receive processing + task
@@ -611,18 +761,22 @@ mod tests {
             "makespan {} vs expected {expected}",
             r.makespan
         );
-        assert_eq!(r.remote_messages, 1);
-        assert_eq!(r.remote_bytes, 8);
-        assert_eq!(r.local_flows, 0);
+        let (messages, bytes, local) = sim_ext(&r);
+        assert_eq!(messages, 1);
+        assert_eq!(bytes, 8);
+        assert_eq!(local, 0);
+        assert_eq!(r.counter(obs::names::MESSAGES_SENT), 1);
+        assert_eq!(r.counter(obs::names::BYTES_SENT), 8);
     }
 
     #[test]
     fn local_edge_pays_nothing() {
         let p = program(&[(0, 1, 0)], &[(1, 1)], &[], &[0], 2, 1e-3, 8);
-        let r = run_simulated(&p, cfg(1));
+        let r = run(&p, &cfg(1));
         assert!((r.makespan - 2e-3).abs() < 1e-8);
-        assert_eq!(r.local_flows, 1);
-        assert_eq!(r.remote_messages, 0);
+        let (messages, _, local) = sim_ext(&r);
+        assert_eq!(local, 1);
+        assert_eq!(messages, 0);
     }
 
     #[test]
@@ -640,7 +794,7 @@ mod tests {
             1e-3,
             mb,
         );
-        let r = run_simulated(&p, cfg(2));
+        let r = run(&p, &cfg(2));
         let net = NetworkModel::from_profile(&MachineProfile::nacl());
         let c = MachineProfile::nacl().runtime_msg_cost;
         // second send waits for the first's full comm-engine occupancy;
@@ -668,15 +822,50 @@ mod tests {
             1e-4,
             8,
         );
-        let r = run_simulated(&p, SimConfig::new(MachineProfile::nacl(), 2).with_bodies());
+        let r = run(&p, &cfg(2).with_bodies());
         assert_eq!(r.tasks_executed, 3);
-        assert_eq!(r.remote_messages, 2);
+        assert_eq!(sim_ext(&r).0, 2);
     }
 
     #[test]
     fn trace_captures_task_spans() {
         let p = program(&[(0, 1, 0)], &[(1, 1)], &[], &[0], 2, 1e-3, 8);
-        let r = run_simulated(&p, cfg(1).with_trace());
+        let r = run(&p, &cfg(1).with_trace());
+        let trace = r.trace.unwrap();
+        assert_eq!(trace.len(), 2);
+        assert!(trace.spans.iter().all(|s| s.duration_ns() > 900_000));
+    }
+
+    #[test]
+    fn occupancy_reflects_parallelism() {
+        // 11 independent 1 ms tasks on 11 lanes: occupancy 1.0.
+        let roots: Vec<i32> = (0..11).collect();
+        let p = program(&[], &[], &[], &roots, 11, 1e-3, 8);
+        let r = run(&p, &cfg(1));
+        assert!((r.node_occupancy[0] - 1.0).abs() < 1e-9);
+        // a serial chain on 11 lanes: occupancy ~1/11
+        let p = program(&[(0, 1, 0)], &[(1, 1)], &[], &[0], 2, 1e-3, 8);
+        let r = run(&p, &cfg(1));
+        assert!((r.node_occupancy[0] - 1.0 / 11.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lifo_and_fifo_both_complete() {
+        let roots: Vec<i32> = (0..40).collect();
+        let p = program(&[], &[], &[], &roots, 40, 1e-4, 8);
+        for policy in [SchedulerPolicy::Fifo, SchedulerPolicy::Lifo] {
+            let r = run(&p, &cfg(1).with_policy(policy));
+            assert_eq!(r.tasks_executed, 40);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shim_maps_fields_and_buffer_trace() {
+        let p = program(&[(0, 1, 0)], &[(1, 1)], &[], &[0], 2, 1e-3, 8);
+        let r = run_simulated(&p, SimConfig::new(MachineProfile::nacl(), 1).with_trace());
+        assert_eq!(r.tasks_executed, 2);
+        assert!((r.makespan - 2e-3).abs() < 1e-8);
         let trace = r.trace.unwrap();
         assert_eq!(trace.len(), 2);
         assert!(trace
@@ -686,40 +875,17 @@ mod tests {
     }
 
     #[test]
-    fn occupancy_reflects_parallelism() {
-        // 11 independent 1 ms tasks on 11 lanes: occupancy 1.0.
-        let roots: Vec<i32> = (0..11).collect();
-        let p = program(&[], &[], &[], &roots, 11, 1e-3, 8);
-        let r = run_simulated(&p, cfg(1));
-        assert!((r.node_occupancy[0] - 1.0).abs() < 1e-9);
-        // a serial chain on 11 lanes: occupancy ~1/11
-        let p = program(&[(0, 1, 0)], &[(1, 1)], &[], &[0], 2, 1e-3, 8);
-        let r = run_simulated(&p, cfg(1));
-        assert!((r.node_occupancy[0] - 1.0 / 11.0).abs() < 1e-6);
-    }
-
-    #[test]
-    fn lifo_and_fifo_both_complete() {
-        let roots: Vec<i32> = (0..40).collect();
-        let p = program(&[], &[], &[], &roots, 40, 1e-4, 8);
-        for policy in [SchedulerPolicy::Fifo, SchedulerPolicy::Lifo] {
-            let r = run_simulated(&p, cfg(1).with_scheduler(policy));
-            assert_eq!(r.tasks_executed, 40);
-        }
-    }
-
-    #[test]
     #[should_panic(expected = "deadlocked")]
     fn inconsistent_graph_detected() {
         // task 1 declares 2 inputs but only one edge targets it
         let p = program(&[(0, 1, 0)], &[(1, 2)], &[], &[0], 2, 1e-3, 8);
-        run_simulated(&p, cfg(1));
+        run(&p, &cfg(1));
     }
 
     #[test]
     #[should_panic(expected = "placed on node")]
     fn placement_out_of_range_detected() {
         let p = program(&[], &[], &[(0, 5)], &[0], 1, 1e-3, 8);
-        run_simulated(&p, cfg(2));
+        run(&p, &cfg(2));
     }
 }

@@ -256,9 +256,14 @@ mod tests {
     fn detects_indegree_mismatch() {
         let p = program(&[(0, 1, 0)], &[(1, 2)], &[0], 2);
         let errs = validate_program(&p);
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, GraphError::IndegreeMismatch { declared: 2, actual: 1, .. })));
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            GraphError::IndegreeMismatch {
+                declared: 2,
+                actual: 1,
+                ..
+            }
+        )));
         assert!(errs
             .iter()
             .any(|e| matches!(e, GraphError::Unfireable { .. })));
@@ -279,9 +284,14 @@ mod tests {
         // task 1 declares indegree 1 => 1 slot, edge targets slot 3
         let p = program(&[(0, 1, 3)], &[(1, 1)], &[0], 2);
         let errs = validate_program(&p);
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, GraphError::SlotOutOfRange { slot: 3, slots: 1, .. })));
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            GraphError::SlotOutOfRange {
+                slot: 3,
+                slots: 1,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -69,13 +69,13 @@ impl Csr {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "x length mismatch");
         assert_eq!(y.len(), self.rows, "y length mismatch");
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let (lo, hi) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
             let mut acc = 0.0;
             for k in lo..hi {
                 acc += self.values[k] * x[self.col_idx[k] as usize];
             }
-            y[r] = acc;
+            *yr = acc;
         }
     }
 

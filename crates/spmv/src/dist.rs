@@ -142,7 +142,13 @@ mod tests {
         assert_eq!(parts.len(), 3);
         assert_eq!(parts[0], RankRange { start: 0, end: 40 });
         assert_eq!(parts[1], RankRange { start: 40, end: 70 });
-        assert_eq!(parts[2], RankRange { start: 70, end: 100 });
+        assert_eq!(
+            parts[2],
+            RankRange {
+                start: 70,
+                end: 100
+            }
+        );
     }
 
     #[test]
@@ -159,10 +165,7 @@ mod tests {
         for ranks in [1, 3, 4, 12] {
             let (x, _) = run_distributed(&p, ranks, 6);
             let want = jacobi_reference(&p, 6);
-            assert!(
-                max_abs_diff(&x, &want) < 1e-13,
-                "ranks = {ranks} diverged"
-            );
+            assert!(max_abs_diff(&x, &want) < 1e-13, "ranks = {ranks} diverged");
         }
     }
 

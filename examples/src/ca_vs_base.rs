@@ -10,27 +10,24 @@
 use ca_stencil::{build_base, build_ca, jacobi_reference, max_abs_diff, Problem, StencilConfig};
 use machine::MachineProfile;
 use netsim::ProcessGrid;
-use runtime::{run_simulated, SimConfig};
+use runtime::{run, RunConfig};
 
 fn main() {
     // correctness at small scale, bodies executing
-    let small = StencilConfig::new(Problem::scrambled(32, 7), 4, 9, ProcessGrid::new(2, 2))
-        .with_steps(3);
+    let small =
+        StencilConfig::new(Problem::scrambled(32, 7), 4, 9, ProcessGrid::new(2, 2)).with_steps(3);
     let base = build_base(&small, true);
-    run_simulated(
+    run(
         &base.program,
-        SimConfig::new(MachineProfile::nacl(), 4).with_bodies(),
+        &RunConfig::simulated(MachineProfile::nacl(), 4).with_bodies(),
     );
     let ca = build_ca(&small, true);
-    run_simulated(
+    run(
         &ca.program,
-        SimConfig::new(MachineProfile::nacl(), 4).with_bodies(),
+        &RunConfig::simulated(MachineProfile::nacl(), 4).with_bodies(),
     );
     let reference = jacobi_reference(&small.problem, 9);
-    assert_eq!(
-        max_abs_diff(&base.store.unwrap().gather(), &reference),
-        0.0
-    );
+    assert_eq!(max_abs_diff(&base.store.unwrap().gather(), &reference), 0.0);
     assert_eq!(max_abs_diff(&ca.store.unwrap().gather(), &reference), 0.0);
     println!("numerics: base == CA == sequential reference (bitwise) ✓\n");
 
@@ -42,22 +39,17 @@ fn main() {
         "ratio", "base GF/s", "CA GF/s", "CA gain", "base msgs", "CA msgs"
     );
     for ratio in [0.2, 0.4, 0.6, 0.8, 1.0] {
-        let cfg = StencilConfig::new(
-            Problem::laplace(23_040),
-            288,
-            20,
-            ProcessGrid::square(16),
-        )
-        .with_steps(15)
-        .with_ratio(ratio)
-        .with_profile(profile.clone());
-        let b = run_simulated(
+        let cfg = StencilConfig::new(Problem::laplace(23_040), 288, 20, ProcessGrid::square(16))
+            .with_steps(15)
+            .with_ratio(ratio)
+            .with_profile(profile.clone());
+        let b = run(
             &build_base(&cfg, false).program,
-            SimConfig::new(profile.clone(), 16),
+            &RunConfig::simulated(profile.clone(), 16),
         );
-        let c = run_simulated(
+        let c = run(
             &build_ca(&cfg, false).program,
-            SimConfig::new(profile.clone(), 16),
+            &RunConfig::simulated(profile.clone(), 16),
         );
         println!(
             "{:>7.1} {:>12.0} {:>12.0} {:>9.1}% {:>12} {:>12}",
@@ -65,8 +57,8 @@ fn main() {
             cfg.gflops(b.makespan),
             cfg.gflops(c.makespan),
             100.0 * (b.makespan / c.makespan - 1.0),
-            b.remote_messages,
-            c.remote_messages,
+            b.remote_messages(),
+            c.remote_messages(),
         );
     }
     println!("\nCA trades fewer (bigger) messages for redundant halo work; it wins when");

@@ -10,12 +10,15 @@
 //! ```
 
 use machine::MachineProfile;
-use runtime::{build_halo_program, run_simulated, HaloSpec, SimConfig};
+use runtime::{build_halo_program, run, HaloSpec, RunConfig};
 
 fn main() {
     let profile = MachineProfile::nacl();
     println!("generic CA framework: 16x16 tiles of a 9-point kernel over 4 nodes");
-    println!("{:>6} {:>12} {:>14} {:>14}", "s", "time (ms)", "remote msgs", "avg msg KB");
+    println!(
+        "{:>6} {:>12} {:>14} {:>14}",
+        "s", "time (ms)", "remote msgs", "avg msg KB"
+    );
     for steps in [1usize, 2, 5, 10, 20] {
         let spec = HaloSpec {
             tiles_x: 16,
@@ -29,16 +32,16 @@ fn main() {
             cell_bytes: 8,
             corners_every_iteration: true, // 9-point: diagonals read each step
         };
-        let report = run_simulated(
+        let report = run(
             &build_halo_program(spec),
-            SimConfig::new(profile.clone(), 4),
+            &RunConfig::simulated(profile.clone(), 4),
         );
         println!(
             "{:>6} {:>12.2} {:>14} {:>14.1}",
             steps,
             report.makespan * 1e3,
-            report.remote_messages,
-            report.remote_bytes as f64 / report.remote_messages.max(1) as f64 / 1024.0,
+            report.remote_messages(),
+            report.remote_bytes() as f64 / report.remote_messages().max(1) as f64 / 1024.0,
         );
     }
     println!("\nlarger steps trade redundant work for fewer, bigger messages;");

@@ -11,7 +11,7 @@
 use ca_stencil::{build_base, StencilConfig};
 use examples_app::{heat_plate, row_mean};
 use netsim::ProcessGrid;
-use runtime::run_shared_memory;
+use runtime::{run, RunConfig};
 
 fn main() {
     let n = 128;
@@ -21,12 +21,15 @@ fn main() {
         .min(8);
 
     println!("heat plate {n}x{n}, north edge at 100 degrees, {threads} threads");
-    println!("{:>10} {:>10} {:>10} {:>10} {:>12}", "iters", "row 1", "row n/4", "row n-2", "wall ms");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>12}",
+        "iters", "row 1", "row n/4", "row n-2", "wall ms"
+    );
 
     for iterations in [100u32, 500, 2000] {
         let cfg = StencilConfig::new(problem.clone(), 16, iterations, ProcessGrid::new(1, 1));
         let build = build_base(&cfg, true);
-        let report = run_shared_memory(&build.program, threads);
+        let report = run(&build.program, &RunConfig::shared_memory(threads));
         let field = build.store.expect("carries data").gather();
         println!(
             "{:>10} {:>10.2} {:>10.3} {:>10.4} {:>12.1}",
@@ -34,7 +37,7 @@ fn main() {
             row_mean(&field, n, 1),
             row_mean(&field, n, n / 4),
             row_mean(&field, n, n - 2),
-            report.wall_time * 1e3,
+            report.makespan * 1e3,
         );
     }
     println!("heat spreads from the hot edge; longer runs approach the steady state");

@@ -10,13 +10,15 @@ pub fn heat_plate(n: usize, hot: f64) -> Problem {
     let mut p = Problem::laplace(n);
     let ni = n as i64;
     p.init = Arc::new(|_, _| 0.0);
-    p.bc = Arc::new(move |r, c| {
-        if r < 0 && c >= 0 && c < ni {
-            hot
-        } else {
-            0.0
-        }
-    });
+    p.bc = Arc::new(
+        move |r, c| {
+            if r < 0 && c >= 0 && c < ni {
+                hot
+            } else {
+                0.0
+            }
+        },
+    );
     p
 }
 

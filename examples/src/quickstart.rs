@@ -6,19 +6,17 @@
 //! cargo run --release -p examples-app --bin quickstart
 //! ```
 
-use ca_stencil::{
-    build_base, build_ca, jacobi_reference, max_abs_diff, Problem, StencilConfig,
-};
+use ca_stencil::{build_base, build_ca, jacobi_reference, max_abs_diff, Problem, StencilConfig};
 use machine::MachineProfile;
 use netsim::ProcessGrid;
-use runtime::{run_shared_memory, run_simulated, SimConfig};
+use runtime::{run, RunConfig};
 
 fn main() {
     let n = 64;
     let iterations = 20;
     let problem = Problem::scrambled(n, 2024);
-    let cfg = StencilConfig::new(problem.clone(), 8, iterations, ProcessGrid::new(2, 2))
-        .with_steps(4);
+    let cfg =
+        StencilConfig::new(problem.clone(), 8, iterations, ProcessGrid::new(2, 2)).with_steps(4);
 
     println!("problem: {n}x{n} grid, {iterations} Jacobi iterations, 8x8 tiles, 2x2 nodes");
 
@@ -27,26 +25,26 @@ fn main() {
 
     // 2. Base scheme on the real shared-memory executor (actual threads).
     let base = build_base(&cfg, true);
-    let report = run_shared_memory(&base.program, 4);
+    let report = run(&base.program, &RunConfig::shared_memory(4));
     let base_field = base.store.expect("built with data").gather();
     println!(
         "real executor:      {} tasks in {:.2} ms -> max |diff| = {:e}",
         report.tasks_executed,
-        report.wall_time * 1e3,
+        report.makespan * 1e3,
         max_abs_diff(&base_field, &reference)
     );
 
     // 3. CA scheme on the simulated 4-node cluster, bodies executing.
     let ca = build_ca(&cfg, true);
-    let sim = run_simulated(
+    let sim = run(
         &ca.program,
-        SimConfig::new(MachineProfile::nacl(), 4).with_bodies(),
+        &RunConfig::simulated(MachineProfile::nacl(), 4).with_bodies(),
     );
     let ca_field = ca.store.expect("built with data").gather();
     println!(
         "simulated cluster:  {} tasks, {} remote messages, virtual time {:.3} ms -> max |diff| = {:e}",
         sim.tasks_executed,
-        sim.remote_messages,
+        sim.remote_messages(),
         sim.makespan * 1e3,
         max_abs_diff(&ca_field, &reference)
     );

@@ -45,7 +45,10 @@ fn main() {
         let cfg = StencilConfig::new(Problem::laplace(23_040), 288, 100, ProcessGrid::new(1, 1))
             .with_profile(profile.clone());
         let pred = model.predict(&cfg, nodes);
-        println!("{:>6} {:>12.2} {:>12.1}", nodes, pred.total_time, pred.gflops);
+        println!(
+            "{:>6} {:>12.2} {:>12.1}",
+            nodes, pred.total_time, pred.gflops
+        );
     }
     println!("(the tiled dataflow stencil reaches roughly twice these rates — Figure 7)");
 }

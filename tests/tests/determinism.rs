@@ -5,19 +5,22 @@ use ca_stencil::{build_base, build_ca};
 use integration::scrambled_config;
 use machine::MachineProfile;
 use netsim::ProcessGrid;
-use runtime::{run_simulated, SimConfig};
+use runtime::{run, RunConfig};
 
 #[test]
 fn repeated_simulations_are_identical() {
     let cfg = scrambled_config(32, 4, 10, ProcessGrid::new(2, 2), 3, 17);
     let run = || {
         let b = build_ca(&cfg, false);
-        let r = run_simulated(&b.program, SimConfig::new(MachineProfile::nacl(), 4).with_trace());
+        let r = run(
+            &b.program,
+            &RunConfig::simulated(MachineProfile::nacl(), 4).with_trace(),
+        );
         (
             r.makespan,
-            r.remote_messages,
-            r.remote_bytes,
-            r.local_flows,
+            r.remote_messages(),
+            r.remote_bytes(),
+            r.local_flows(),
             r.trace.unwrap().len(),
         )
     };
@@ -27,14 +30,14 @@ fn repeated_simulations_are_identical() {
 #[test]
 fn base_and_ca_makespans_are_stable_across_reruns() {
     let cfg = scrambled_config(32, 4, 6, ProcessGrid::new(2, 2), 2, 3);
-    let base1 = run_simulated(
+    let base1 = run(
         &build_base(&cfg, false).program,
-        SimConfig::new(MachineProfile::nacl(), 4),
+        &RunConfig::simulated(MachineProfile::nacl(), 4),
     )
     .makespan;
-    let base2 = run_simulated(
+    let base2 = run(
         &build_base(&cfg, false).program,
-        SimConfig::new(MachineProfile::nacl(), 4),
+        &RunConfig::simulated(MachineProfile::nacl(), 4),
     )
     .makespan;
     assert_eq!(base1, base2);
@@ -45,16 +48,16 @@ fn body_execution_does_not_change_timing() {
     // performance-only and data-carrying runs see identical virtual time:
     // the cost model, not the body, sets task durations
     let cfg = scrambled_config(16, 4, 5, ProcessGrid::new(2, 2), 2, 23);
-    let perf = run_simulated(
+    let perf = run(
         &build_ca(&cfg, false).program,
-        SimConfig::new(MachineProfile::nacl(), 4),
+        &RunConfig::simulated(MachineProfile::nacl(), 4),
     );
-    let data = run_simulated(
+    let data = run(
         &build_ca(&cfg, true).program,
-        SimConfig::new(MachineProfile::nacl(), 4).with_bodies(),
+        &RunConfig::simulated(MachineProfile::nacl(), 4).with_bodies(),
     );
     assert_eq!(perf.makespan, data.makespan);
-    assert_eq!(perf.remote_messages, data.remote_messages);
+    assert_eq!(perf.remote_messages(), data.remote_messages());
     // message bytes match too: FlowData::values sizes equal output_bytes
-    assert_eq!(perf.remote_bytes, data.remote_bytes);
+    assert_eq!(perf.remote_bytes(), data.remote_bytes());
 }

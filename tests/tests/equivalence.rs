@@ -6,7 +6,7 @@ use ca_stencil::{build_base, build_ca, jacobi_reference, max_abs_diff};
 use integration::scrambled_config;
 use machine::MachineProfile;
 use netsim::ProcessGrid;
-use runtime::{run_shared_memory, run_simulated, SimConfig};
+use runtime::{run, RunConfig};
 use spmv::run_distributed;
 
 #[test]
@@ -20,27 +20,27 @@ fn all_five_paths_agree() {
 
     // base, real executor
     let b = build_base(&cfg, true);
-    run_shared_memory(&b.program, 3);
+    run(&b.program, &RunConfig::shared_memory(3));
     assert_eq!(max_abs_diff(&b.store.unwrap().gather(), &reference), 0.0);
 
     // base, simulated executor
     let b = build_base(&cfg, true);
-    run_simulated(
+    run(
         &b.program,
-        SimConfig::new(MachineProfile::nacl(), 4).with_bodies(),
+        &RunConfig::simulated(MachineProfile::nacl(), 4).with_bodies(),
     );
     assert_eq!(max_abs_diff(&b.store.unwrap().gather(), &reference), 0.0);
 
     // CA, real executor
     let c = build_ca(&cfg, true);
-    run_shared_memory(&c.program, 3);
+    run(&c.program, &RunConfig::shared_memory(3));
     assert_eq!(max_abs_diff(&c.store.unwrap().gather(), &reference), 0.0);
 
     // CA, simulated executor
     let c = build_ca(&cfg, true);
-    run_simulated(
+    run(
         &c.program,
-        SimConfig::new(MachineProfile::nacl(), 4).with_bodies(),
+        &RunConfig::simulated(MachineProfile::nacl(), 4).with_bodies(),
     );
     assert_eq!(max_abs_diff(&c.store.unwrap().gather(), &reference), 0.0);
 }
@@ -56,11 +56,11 @@ fn scheduler_policies_do_not_change_numerics() {
         SchedulerPolicy::Priority,
     ] {
         let c = build_ca(&cfg, true);
-        run_simulated(
+        run(
             &c.program,
-            SimConfig::new(MachineProfile::nacl(), 4)
+            &RunConfig::simulated(MachineProfile::nacl(), 4)
                 .with_bodies()
-                .with_scheduler(policy),
+                .with_policy(policy),
         );
         assert_eq!(
             max_abs_diff(&c.store.unwrap().gather(), &reference),
@@ -80,9 +80,9 @@ fn node_count_does_not_change_numerics() {
         let cfg = scrambled_config(32, 4, 5, grid, 2, 31);
         let reference = jacobi_reference(&cfg.problem, 5);
         let c = build_ca(&cfg, true);
-        run_simulated(
+        run(
             &c.program,
-            SimConfig::new(MachineProfile::nacl(), nodes).with_bodies(),
+            &RunConfig::simulated(MachineProfile::nacl(), nodes).with_bodies(),
         );
         assert_eq!(
             max_abs_diff(&c.store.unwrap().gather(), &reference),
@@ -100,11 +100,11 @@ fn machine_profile_does_not_change_numerics() {
         MachineProfile::stampede2(),
         MachineProfile::slow_network(),
     ] {
-        let cfg = scrambled_config(16, 4, 7, ProcessGrid::new(2, 2), 3, 8)
-            .with_profile(profile.clone());
+        let cfg =
+            scrambled_config(16, 4, 7, ProcessGrid::new(2, 2), 3, 8).with_profile(profile.clone());
         let reference = jacobi_reference(&cfg.problem, 7);
         let c = build_ca(&cfg, true);
-        run_simulated(&c.program, SimConfig::new(profile, 4).with_bodies());
+        run(&c.program, &RunConfig::simulated(profile, 4).with_bodies());
         assert_eq!(max_abs_diff(&c.store.unwrap().gather(), &reference), 0.0);
     }
 }

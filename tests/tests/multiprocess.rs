@@ -7,11 +7,10 @@
 use ca_stencil::{build_base, build_ca, jacobi_reference, max_abs_diff, Problem, StencilConfig};
 use machine::MachineProfile;
 use netsim::ProcessGrid;
-use runtime::{run_multiprocess, run_simulated, SimConfig};
+use runtime::{run, RunConfig};
 
 fn cfg(steps: usize) -> StencilConfig {
-    StencilConfig::new(Problem::scrambled(24, 321), 4, 9, ProcessGrid::new(2, 2))
-        .with_steps(steps)
+    StencilConfig::new(Problem::scrambled(24, 321), 4, 9, ProcessGrid::new(2, 2)).with_steps(steps)
 }
 
 #[test]
@@ -19,7 +18,7 @@ fn base_matches_reference_under_races() {
     for trial in 0..3 {
         let c = cfg(1);
         let b = build_base(&c, true);
-        let r = run_multiprocess(&b.program, 4, 2);
+        let r = run(&b.program, &RunConfig::multi_process(4, 2));
         assert_eq!(r.tasks_executed, 36 * 10);
         let want = jacobi_reference(&c.problem, 9);
         assert_eq!(
@@ -35,7 +34,7 @@ fn ca_matches_reference_under_races() {
     for steps in [2usize, 3] {
         let c = cfg(steps);
         let b = build_ca(&c, true);
-        run_multiprocess(&b.program, 4, 2);
+        run(&b.program, &RunConfig::multi_process(4, 2));
         let want = jacobi_reference(&c.problem, 9);
         assert_eq!(
             max_abs_diff(&b.store.unwrap().gather(), &want),
@@ -48,10 +47,10 @@ fn ca_matches_reference_under_races() {
 #[test]
 fn cross_node_flow_count_matches_simulator() {
     let c = cfg(3);
-    let mp = run_multiprocess(&build_ca(&c, true).program, 4, 2);
-    let sim = run_simulated(
+    let mp = run(&build_ca(&c, true).program, &RunConfig::multi_process(4, 2));
+    let sim = run(
         &build_ca(&c, false).program,
-        SimConfig::new(MachineProfile::nacl(), 4),
+        &RunConfig::simulated(MachineProfile::nacl(), 4),
     );
-    assert_eq!(mp.cross_node_flows, sim.remote_messages);
+    assert_eq!(mp.remote_messages(), sim.remote_messages());
 }

@@ -1,0 +1,107 @@
+//! The observability layer end to end: the Chrome `trace_event` export
+//! round-trips losslessly, its numbers agree with `runtime::profiling`,
+//! and the three executors produce the same `obs` counters and task
+//! spans for an identical base-stencil run.
+
+use ca_stencil::{build_base, kind_names, Problem, StencilConfig};
+use machine::MachineProfile;
+use netsim::ProcessGrid;
+use obs::KIND_COMM;
+use runtime::{profiling, run, RunConfig, RunReport};
+
+fn cfg() -> StencilConfig {
+    // 4×4 tiles on a 2×2 grid, 3 iterations: 16 × (3 + init) = 64 tasks
+    StencilConfig::new(Problem::laplace(16), 4, 3, ProcessGrid::new(2, 2))
+}
+
+fn sim_config() -> RunConfig {
+    RunConfig::simulated(MachineProfile::nacl(), 4)
+        .with_trace()
+        .with_kind_names(kind_names())
+}
+
+#[test]
+fn chrome_trace_round_trips_through_export() {
+    let report = run(&build_base(&cfg(), false).program, &sim_config());
+    let trace = report.trace.expect("trace requested");
+    assert_eq!(trace.task_spans().count() as u64, report.tasks_executed);
+
+    let json = obs::chrome::to_chrome_json(&trace);
+    let back = obs::chrome::from_chrome_json(&json).expect("chrome JSON parses");
+
+    // span-for-span identical, including the kind-name table
+    assert_eq!(back.spans.len(), trace.spans.len());
+    assert_eq!(back.spans, trace.spans);
+    assert_eq!(back.kinds, trace.kinds);
+    assert_eq!(back.kinds.get(&KIND_COMM).map(String::as_str), Some("comm"));
+
+    // timestamps are monotonic by start and well-formed
+    for w in back.spans.windows(2) {
+        assert!(w[0].start_ns <= w[1].start_ns, "spans sorted by start");
+    }
+    for s in &back.spans {
+        assert!(s.end_ns >= s.start_ns, "span ends after it starts");
+    }
+
+    // the parsed trace reproduces profiling's occupancy numbers
+    let lanes = MachineProfile::nacl().compute_threads();
+    let horizon = trace.horizon_ns();
+    for node in trace.nodes() {
+        let want = profiling::profile_node(&trace, node, lanes, horizon);
+        let got = profiling::profile_node(&back, node, lanes, horizon);
+        assert!((want.occupancy - got.occupancy).abs() < 1e-12);
+        assert_eq!(want.kinds.len(), got.kinds.len());
+    }
+    // and the report's own occupancy column came from the same spans
+    let report2 = run(&build_base(&cfg(), false).program, &sim_config());
+    assert_eq!(report.node_occupancy, report2.node_occupancy);
+}
+
+#[test]
+fn all_executors_agree_on_base_stencil_spans() {
+    let program_for = || build_base(&cfg(), true).program;
+    let shared = run(&program_for(), &RunConfig::shared_memory(3).with_trace());
+    let mp = run(&program_for(), &RunConfig::multi_process(4, 2).with_trace());
+    let sim = run(
+        &program_for(),
+        &RunConfig::simulated(MachineProfile::nacl(), 4)
+            .with_bodies()
+            .with_trace(),
+    );
+
+    let task_spans = |r: &RunReport| {
+        r.trace
+            .as_ref()
+            .expect("trace requested")
+            .task_spans()
+            .count() as u64
+    };
+    for r in [&shared, &mp, &sim] {
+        assert_eq!(r.tasks_executed, 64);
+        assert_eq!(r.counter(obs::names::TASKS_EXECUTED), 64);
+        assert_eq!(task_spans(r), 64, "one task span per task in {:?}", r.mode);
+    }
+
+    // per-kind task-span counts agree across all three engines
+    let kind_counts = |r: &RunReport| {
+        let mut counts: Vec<(u32, usize)> = r
+            .trace
+            .as_ref()
+            .unwrap()
+            .count_by_kind()
+            .into_iter()
+            .filter(|(kind, _)| *kind != KIND_COMM)
+            .collect();
+        counts.sort_unstable();
+        counts
+    };
+    assert_eq!(kind_counts(&shared), kind_counts(&mp));
+    assert_eq!(kind_counts(&mp), kind_counts(&sim));
+
+    // the message-bearing engines agree on cross-node traffic
+    assert_eq!(mp.remote_messages(), sim.remote_messages());
+    assert_eq!(
+        mp.counter(obs::names::MESSAGES_SENT),
+        sim.counter(obs::names::MESSAGES_SENT)
+    );
+}

@@ -5,7 +5,7 @@
 use ca_stencil::{build_base, build_ca, Problem, StencilConfig};
 use machine::MachineProfile;
 use netsim::ProcessGrid;
-use runtime::{run_simulated, SimConfig};
+use runtime::{run, RunConfig};
 
 fn paper_cfg(nodes: u32, ratio: f64, steps: usize, iters: u32) -> StencilConfig {
     StencilConfig::new(
@@ -20,14 +20,14 @@ fn paper_cfg(nodes: u32, ratio: f64, steps: usize, iters: u32) -> StencilConfig 
 }
 
 fn times(cfg: &StencilConfig, nodes: u32) -> (f64, f64) {
-    let base = run_simulated(
+    let base = run(
         &build_base(cfg, false).program,
-        SimConfig::new(cfg.profile.clone(), nodes),
+        &RunConfig::simulated(cfg.profile.clone(), nodes),
     )
     .makespan;
-    let ca = run_simulated(
+    let ca = run(
         &build_ca(cfg, false).program,
-        SimConfig::new(cfg.profile.clone(), nodes),
+        &RunConfig::simulated(cfg.profile.clone(), nodes),
     )
     .makespan;
     (base, ca)
@@ -66,46 +66,38 @@ fn strong_scaling_monotone_for_both_versions() {
 #[test]
 fn slow_network_magnifies_ca_advantage() {
     let profile = MachineProfile::slow_network();
-    let cfg = StencilConfig::new(
-        Problem::laplace(23_040),
-        288,
-        10,
-        ProcessGrid::square(16),
-    )
-    .with_steps(15)
-    .with_ratio(0.6)
-    .with_profile(profile.clone());
-    let base = run_simulated(
+    let cfg = StencilConfig::new(Problem::laplace(23_040), 288, 10, ProcessGrid::square(16))
+        .with_steps(15)
+        .with_ratio(0.6)
+        .with_profile(profile.clone());
+    let base = run(
         &build_base(&cfg, false).program,
-        SimConfig::new(profile.clone(), 16),
+        &RunConfig::simulated(profile.clone(), 16),
     )
     .makespan;
-    let ca = run_simulated(
+    let ca = run(
         &build_ca(&cfg, false).program,
-        SimConfig::new(profile, 16),
+        &RunConfig::simulated(profile, 16),
     )
     .makespan;
-    assert!(
-        ca < 0.75 * base,
-        "slow network: CA {ca} vs base {base}"
-    );
+    assert!(ca < 0.75 * base, "slow network: CA {ca} vs base {base}");
 }
 
 #[test]
 fn comm_thread_utilization_drops_with_ca() {
     let cfg = paper_cfg(16, 0.4, 15, 10);
-    let base = run_simulated(
+    let base = run(
         &build_base(&cfg, false).program,
-        SimConfig::new(cfg.profile.clone(), 16),
+        &RunConfig::simulated(cfg.profile.clone(), 16),
     );
-    let ca = run_simulated(
+    let ca = run(
         &build_ca(&cfg, false).program,
-        SimConfig::new(cfg.profile.clone(), 16),
+        &RunConfig::simulated(cfg.profile.clone(), 16),
     );
     let base_comm: f64 =
-        base.comm_utilization.iter().sum::<f64>() / base.comm_utilization.len() as f64;
+        base.comm_utilization().iter().sum::<f64>() / base.comm_utilization().len() as f64;
     let ca_comm: f64 =
-        ca.comm_utilization.iter().sum::<f64>() / ca.comm_utilization.len() as f64;
+        ca.comm_utilization().iter().sum::<f64>() / ca.comm_utilization().len() as f64;
     assert!(
         ca_comm < base_comm,
         "comm utilization: CA {ca_comm} vs base {base_comm}"

@@ -4,24 +4,22 @@
 //! prediction matches the simulator's counters.
 
 use ca_stencil::metrics::{predict_base, predict_ca};
-use ca_stencil::{
-    build_base, build_ca, jacobi_reference, max_abs_diff, Problem, StencilConfig,
-};
+use ca_stencil::{build_base, build_ca, jacobi_reference, max_abs_diff, Problem, StencilConfig};
 use machine::MachineProfile;
 use netsim::ProcessGrid;
 use proptest::prelude::*;
-use runtime::{assert_valid, run_simulated, SimConfig};
+use runtime::{assert_valid, run, RunConfig};
 
 /// Random but well-formed configurations: tiles divide the grid, tile
 /// counts divide the node grid, steps ≤ tile.
 fn configs() -> impl Strategy<Value = (StencilConfig, u32)> {
     (
-        2usize..=4,           // tiles per node per dimension
-        1u32..=2,             // node grid side
-        2usize..=5,           // tile size
-        1usize..=4,           // steps (clamped to tile below)
-        1u32..=9,             // iterations
-        0u64..1000,           // seed
+        2usize..=4, // tiles per node per dimension
+        1u32..=2,   // node grid side
+        2usize..=5, // tile size
+        1usize..=4, // steps (clamped to tile below)
+        1u32..=9,   // iterations
+        0u64..1000, // seed
     )
         .prop_map(|(tpn, side, tile, steps, iters, seed)| {
             let tiles = tpn * side as usize;
@@ -40,9 +38,9 @@ proptest! {
     fn ca_equals_reference_bitwise((cfg, nodes) in configs()) {
         let build = build_ca(&cfg, true);
         assert_valid(&build.program);
-        run_simulated(
+        run(
             &build.program,
-            SimConfig::new(MachineProfile::nacl(), nodes).with_bodies(),
+            &RunConfig::simulated(MachineProfile::nacl(), nodes).with_bodies(),
         );
         let got = build.store.unwrap().gather();
         let want = jacobi_reference(&cfg.problem, cfg.iterations);
@@ -53,9 +51,9 @@ proptest! {
     fn base_equals_reference_bitwise((cfg, nodes) in configs()) {
         let build = build_base(&cfg, true);
         assert_valid(&build.program);
-        run_simulated(
+        run(
             &build.program,
-            SimConfig::new(MachineProfile::nacl(), nodes).with_bodies(),
+            &RunConfig::simulated(MachineProfile::nacl(), nodes).with_bodies(),
         );
         let got = build.store.unwrap().gather();
         let want = jacobi_reference(&cfg.problem, cfg.iterations);
@@ -65,21 +63,21 @@ proptest! {
     #[test]
     fn message_predictions_match_simulator((cfg, nodes) in configs()) {
         let geo = cfg.geometry();
-        let base = run_simulated(
+        let base = run(
             &build_base(&cfg, false).program,
-            SimConfig::new(MachineProfile::nacl(), nodes),
+            &RunConfig::simulated(MachineProfile::nacl(), nodes),
         );
         let pb = predict_base(&geo, cfg.iterations);
-        prop_assert_eq!(base.remote_messages, pb.messages);
-        prop_assert_eq!(base.remote_bytes, pb.bytes);
+        prop_assert_eq!(base.remote_messages(), pb.messages);
+        prop_assert_eq!(base.remote_bytes(), pb.bytes);
 
-        let ca = run_simulated(
+        let ca = run(
             &build_ca(&cfg, false).program,
-            SimConfig::new(MachineProfile::nacl(), nodes),
+            &RunConfig::simulated(MachineProfile::nacl(), nodes),
         );
         let pc = predict_ca(&geo, cfg.iterations, cfg.steps);
-        prop_assert_eq!(ca.remote_messages, pc.messages);
-        prop_assert_eq!(ca.remote_bytes, pc.bytes);
+        prop_assert_eq!(ca.remote_messages(), pc.messages);
+        prop_assert_eq!(ca.remote_bytes(), pc.bytes);
     }
 
     #[test]

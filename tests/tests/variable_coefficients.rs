@@ -3,12 +3,10 @@
 //! dataflow structure is unchanged — only the kernel and the cost model
 //! (five extra coefficient loads per point) differ.
 
-use ca_stencil::{
-    build_base, build_ca, jacobi_reference, max_abs_diff, Problem, StencilConfig,
-};
+use ca_stencil::{build_base, build_ca, jacobi_reference, max_abs_diff, Problem, StencilConfig};
 use machine::{MachineProfile, StencilCostModel};
 use netsim::ProcessGrid;
-use runtime::{run_shared_memory, run_simulated, SimConfig};
+use runtime::{run, RunConfig};
 use spmv::run_distributed;
 
 fn cfg(n: usize, tile: usize, iters: u32, steps: usize) -> StencilConfig {
@@ -40,7 +38,7 @@ fn variable_coefficients_really_vary() {
 fn base_matches_reference_bitwise_with_variable_coefficients() {
     let c = cfg(16, 4, 5, 1);
     let b = build_base(&c, true);
-    run_shared_memory(&b.program, 3);
+    run(&b.program, &RunConfig::shared_memory(3));
     let want = jacobi_reference(&c.problem, 5);
     assert_eq!(max_abs_diff(&b.store.unwrap().gather(), &want), 0.0);
 }
@@ -50,9 +48,9 @@ fn ca_matches_reference_bitwise_with_variable_coefficients() {
     for steps in [2usize, 3, 4] {
         let c = cfg(16, 4, 7, steps);
         let b = build_ca(&c, true);
-        run_simulated(
+        run(
             &b.program,
-            SimConfig::new(MachineProfile::nacl(), 4).with_bodies(),
+            &RunConfig::simulated(MachineProfile::nacl(), 4).with_bodies(),
         );
         let want = jacobi_reference(&c.problem, 7);
         assert_eq!(
@@ -87,14 +85,14 @@ fn variable_coefficients_slow_the_cost_model() {
         ProcessGrid::new(2, 2),
     );
     let c_const = StencilConfig::new(Problem::laplace(2880), 288, 5, ProcessGrid::new(2, 2));
-    let t_var = run_simulated(
+    let t_var = run(
         &build_base(&c, false).program,
-        SimConfig::new(MachineProfile::nacl(), 4),
+        &RunConfig::simulated(MachineProfile::nacl(), 4),
     )
     .makespan;
-    let t_const = run_simulated(
+    let t_const = run(
         &build_base(&c_const, false).program,
-        SimConfig::new(MachineProfile::nacl(), 4),
+        &RunConfig::simulated(MachineProfile::nacl(), 4),
     )
     .makespan;
     assert!(t_var > 1.5 * t_const, "var {t_var} vs const {t_const}");

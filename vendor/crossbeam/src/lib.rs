@@ -1,0 +1,350 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two facilities this workspace uses, with crossbeam's
+//! semantics:
+//!
+//! * [`channel`] — unbounded MPMC channels whose `Receiver` is cloneable
+//!   (std's `mpsc` receiver is not), with `recv_timeout` and disconnect
+//!   detection;
+//! * [`thread::scope`] — scoped threads that *catch* panics in spawned
+//!   workers and surface them as an `Err` from `scope` (std's scope
+//!   resumes the unwind instead, which would change the panic messages
+//!   the executors' tests assert on).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    /// The receiving half; cloneable (MPMC).
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent message like crossbeam's.
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived within the timeout.
+        Timeout,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv`] on disconnect.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Queue momentarily empty.
+        Empty,
+        /// All senders gone and queue drained.
+        Disconnected,
+    }
+
+    /// An unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&chan)), Receiver(chan))
+    }
+
+    fn lock<T>(chan: &Chan<T>) -> std::sync::MutexGuard<'_, State<T>> {
+        chan.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message; fails only when every receiver is dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = lock(&self.0);
+            if st.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            lock(&self.0).senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = lock(&self.0);
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue, waiting up to `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = lock(&self.0);
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .0
+                    .ready
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+            }
+        }
+
+        /// Dequeue, blocking until a message or disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = lock(&self.0);
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.ready.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Dequeue without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = lock(&self.0);
+            if let Some(msg) = st.queue.pop_front() {
+                Ok(msg)
+            } else if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of queued messages right now.
+        pub fn len(&self) -> usize {
+            lock(&self.0).queue.len()
+        }
+
+        /// True when nothing is queued right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            lock(&self.0).receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            lock(&self.0).receivers -= 1;
+        }
+    }
+}
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex};
+
+    type PanicList = Arc<Mutex<Vec<Box<dyn Any + Send + 'static>>>>;
+
+    /// Handle for spawning scoped threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        panics: PanicList,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            Scope {
+                inner: self.inner,
+                panics: Arc::clone(&self.panics),
+            }
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker; a panic inside it is recorded and reported by
+        /// [`scope`]'s return value instead of aborting the process.
+        pub fn spawn<F, T>(&self, f: F)
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            let panics = Arc::clone(&self.panics);
+            self.inner.spawn(move || {
+                let me = Scope {
+                    inner,
+                    panics: Arc::clone(&panics),
+                };
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&me))) {
+                    panics
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(payload);
+                }
+            });
+        }
+    }
+
+    /// Run `f` with a scope handle; joins every spawned thread before
+    /// returning. Returns `Err` with the first panic payload if any
+    /// spawned thread panicked (crossbeam's contract).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let panics: PanicList = Arc::new(Mutex::new(Vec::new()));
+        let result = {
+            let panics = Arc::clone(&panics);
+            std::thread::scope(move |s| {
+                let scope = Scope { inner: s, panics };
+                f(&scope)
+            })
+        };
+        let mut collected = std::mem::take(&mut *panics.lock().unwrap_or_else(|e| e.into_inner()));
+        match collected.is_empty() {
+            true => Ok(result),
+            false => Err(collected.remove(0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn mpmc_channel_fans_out() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let rx2 = rx.clone();
+        let mut got = Vec::new();
+        loop {
+            match rx2.recv_timeout(Duration::from_millis(10)) {
+                Ok(v) => got.push(v),
+                Err(channel::RecvTimeoutError::Disconnected) => break,
+                Err(e) => panic!("{e:?}"),
+            }
+        }
+        assert_eq!(got.len(), 100);
+    }
+
+    #[test]
+    fn timeout_when_no_sender_sends() {
+        let (_tx, rx) = channel::unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn send_fails_when_receivers_gone() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn scope_joins_and_returns_ok() {
+        let mut data = [0u64; 8];
+        thread::scope(|s| {
+            for chunk in data.chunks_mut(2) {
+                s.spawn(move |_| {
+                    for v in chunk {
+                        *v += 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn scope_reports_worker_panic_as_err() {
+        let r = thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn threads_share_channel_under_scope() {
+        let (tx, rx) = channel::unbounded::<u64>();
+        let total: u64 = (0..1000).sum();
+        for i in 0..1000 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let sum = std::sync::Mutex::new(0u64);
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let sum = &sum;
+                s.spawn(move |_| {
+                    while let Ok(v) = rx.recv_timeout(Duration::from_millis(20)) {
+                        *sum.lock().unwrap() += v;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(*sum.lock().unwrap(), total);
+    }
+}

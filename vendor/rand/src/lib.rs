@@ -1,0 +1,113 @@
+//! Minimal offline stand-in for the `rand` crate: a deterministic
+//! xorshift64* generator behind a small `Rng` trait. Only the surface
+//! used by this workspace's tests/benches is provided.
+
+/// Random number source.
+pub trait Rng {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value of type `T` (see [`Uniform`] impls).
+    fn gen<T: Uniform>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Uniform value in `[low, high)`.
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        let span = range.end - range.start;
+        range.start + self.next_u64() % span.max(1)
+    }
+}
+
+/// Types constructible uniformly from a raw 64-bit draw.
+pub trait Uniform {
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl Uniform for u64 {
+    fn from_u64(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl Uniform for u32 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 32) as u32
+    }
+}
+
+impl Uniform for f64 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Uniform for bool {
+    fn from_u64(raw: u64) -> Self {
+        raw & 1 == 1
+    }
+}
+
+/// xorshift64* generator: fast, deterministic, good enough for tests.
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// Seeded construction (seed 0 is remapped to a fixed constant).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        StdRng {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+/// A process-local generator seeded from the address of a stack local —
+/// deterministic enough for tests, varied enough across runs.
+pub fn thread_rng() -> StdRng {
+    let marker = 0u8;
+    StdRng::seed_from_u64(&marker as *const u8 as u64 | 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde stand-in.
+//!
+//! Implemented directly on `proc_macro` token trees (the offline build has
+//! no `syn`/`quote`). Supports exactly the shapes this workspace derives
+//! on: structs with named fields, tuple structs, unit structs, and enums
+//! of unit variants — all non-generic. Anything else is a compile error
+//! naming the unsupported construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    UnitEnum(Vec<String>),
+}
+
+/// Parse the derive input down to (type name, shape).
+fn parse(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Skip attributes and visibility before the struct/enum keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // #[...]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                i += 1;
+                break id.to_string();
+            }
+            other => panic!("serde_derive: unexpected token before item keyword: {other:?}"),
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stand-in does not support generic type `{name}`");
+        }
+    }
+
+    let shape = match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Shape::Unit,
+        ("struct", None) => Shape::Unit,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::UnitEnum(parse_unit_variants(&name, g.stream()))
+        }
+        (_, other) => panic!("serde_derive: unsupported {kind} body for `{name}`: {other:?}"),
+    };
+    (name, shape)
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // field attribute
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    other => panic!("serde_derive: expected `:` after field, found {other:?}"),
+                }
+                // Skip the type: everything up to a comma at angle depth 0.
+                let mut depth = 0i32;
+                while let Some(t) = tokens.get(i) {
+                    if let TokenTree::Punct(p) = t {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => depth -= 1,
+                            ',' if depth == 0 => {
+                                i += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            other => panic!("serde_derive: unexpected token in struct body: {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut depth = 0i32;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    count - usize::from(trailing_comma)
+}
+
+/// Variant names of a unit-variant enum body.
+fn parse_unit_variants(name: &str, body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                i += 1;
+                // Skip an explicit discriminant (`= <literal expr>`).
+                if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                    if p.as_char() == '=' {
+                        i += 1;
+                        while let Some(t) = tokens.get(i) {
+                            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                                break;
+                            }
+                            i += 1;
+                        }
+                    }
+                }
+                match tokens.get(i) {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+                    Some(other) => panic!(
+                        "serde_derive stand-in supports only unit variants; \
+                         `{name}::{}` has payload {other:?}",
+                        variants.last().unwrap()
+                    ),
+                }
+            }
+            other => panic!("serde_derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{pairs}])")
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(\
+                         ::std::string::String::from(\"{v}\")),"
+                    )
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::deserialize(v.field(\"{f}\"))?,"))
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {inits} }})")
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&a[{i}])?,"))
+                .collect();
+            format!(
+                "let a = v.as_array().ok_or_else(|| \
+                     ::serde::DeError::expected(\"array\", v))?;\n\
+                 if a.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError(\
+                         ::std::format!(\"expected {n} elements, found {{}}\", a.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({items}))"
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "::std::option::Option::Some(\"{v}\") => \
+                                  ::std::result::Result::Ok({name}::{v}),"
+                    )
+                })
+                .collect();
+            format!(
+                "match v.as_str() {{ {arms} _ => ::std::result::Result::Err(\
+                     ::serde::DeError::expected(\"variant of {name}\", v)) }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
