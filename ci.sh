@@ -20,6 +20,21 @@ step() {
 step cargo build --workspace --release
 step cargo test --workspace -q
 
+# Sanitizers. The loom model tests exercise the runtime's concurrent
+# structures (ready queue, pending table) under the loom scheduler when
+# the real crate is vendored; under the stub they still run as plain
+# threaded tests. Miri is optional tooling: warn-skip when absent.
+loom_test() {
+    RUSTFLAGS="--cfg loom" cargo test -q -p runtime --lib loom_model
+}
+step loom_test
+
+if cargo miri --version >/dev/null 2>&1; then
+    step cargo miri test -p desim -p ca-stencil
+else
+    echo "WARNING: miri not installed; skipping cargo miri test -p desim -p ca-stencil"
+fi
+
 if cargo fmt --version >/dev/null 2>&1; then
     step cargo fmt --all -- --check
 else

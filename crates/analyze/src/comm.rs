@@ -1,0 +1,63 @@
+//! Static communication-volume and flop accounting.
+//!
+//! Each enumerated edge whose producer and consumer live on different
+//! nodes is exactly one runtime message of `bytes` payload — the same
+//! rule all three executors implement — so these sums predict the
+//! dynamic `obs::names::MESSAGES_SENT` / `BYTES_SENT` counters exactly.
+
+use runtime::UnfoldedDag;
+
+/// Message and byte volume by edge class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Edges crossing a node boundary (one runtime message each).
+    pub cross_messages: u64,
+    /// Payload bytes crossing node boundaries.
+    pub cross_bytes: u64,
+    /// Edges delivered node-locally (no message).
+    pub local_messages: u64,
+    /// Payload bytes moved node-locally.
+    pub local_bytes: u64,
+}
+
+impl CommStats {
+    /// Total edges, local and cross.
+    pub fn total_messages(&self) -> u64 {
+        self.cross_messages + self.local_messages
+    }
+}
+
+/// Static work accounting over every enumerated task.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FlopStats {
+    /// Useful floating-point work ([`runtime::TaskClass::flops`]).
+    pub total: f64,
+    /// Redundant work beyond the nominal algorithm
+    /// ([`runtime::TaskClass::redundant_flops`]); matches the dynamic
+    /// `obs::names::REDUNDANT_FLOPS` counter exactly.
+    pub redundant: u64,
+}
+
+pub(crate) fn account_comm(dag: &UnfoldedDag) -> CommStats {
+    let mut stats = CommStats::default();
+    for e in &dag.edges {
+        if dag.node_of(e.producer) == dag.node_of(e.consumer) {
+            stats.local_messages += 1;
+            stats.local_bytes += e.bytes as u64;
+        } else {
+            stats.cross_messages += 1;
+            stats.cross_bytes += e.bytes as u64;
+        }
+    }
+    stats
+}
+
+pub(crate) fn account_flops(dag: &UnfoldedDag) -> FlopStats {
+    let mut stats = FlopStats::default();
+    for &key in &dag.tasks {
+        let class = dag.graph.class(key.class);
+        stats.total += class.flops(key.params);
+        stats.redundant += class.redundant_flops(key.params);
+    }
+    stats
+}

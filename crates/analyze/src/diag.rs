@@ -1,0 +1,76 @@
+//! The analyzer's diagnostic vocabulary.
+
+use runtime::StructuralFault;
+
+/// One defect found by static analysis. Every variant carries a concrete
+/// witness naming the offending task(s), so a report is actionable
+/// without re-running the analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Diagnostic {
+    /// A structural inconsistency found while unfolding the DAG (wrong
+    /// activation count, slot collision, dangling flow, wrong task total,
+    /// or enumeration truncation) — see [`StructuralFault`].
+    Structural(StructuralFault),
+    /// The unfolded DAG contains a dependence cycle: none of the listed
+    /// tasks can ever fire, deadlocking the run. The witness is a
+    /// shortest cycle through the cyclic core, in dependence order
+    /// (each task feeds the next, the last feeds the first).
+    Deadlock {
+        /// Task names along the cycle.
+        cycle: Vec<String>,
+    },
+    /// Two tasks write intersecting rectangles of the same address space
+    /// but the DAG orders them neither way, so their execution order —
+    /// and the final memory state — depends on the schedule.
+    WriteRace {
+        /// The topologically earlier task (no path to `second`).
+        first: String,
+        /// The unordered later task.
+        second: String,
+        /// The shared address space id.
+        space: u64,
+    },
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Diagnostic::Structural(fault) => write!(f, "structural: {fault}"),
+            Diagnostic::Deadlock { cycle } => {
+                write!(f, "deadlock: dependence cycle {}", cycle.join(" -> "))
+            }
+            Diagnostic::WriteRace {
+                first,
+                second,
+                space,
+            } => write!(
+                f,
+                "write race: {first} and {second} write overlapping regions of space {space} unordered"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_readable() {
+        let d = Diagnostic::Deadlock {
+            cycle: vec!["a(1)".into(), "b(2)".into()],
+        };
+        assert_eq!(d.to_string(), "deadlock: dependence cycle a(1) -> b(2)");
+        let r = Diagnostic::WriteRace {
+            first: "u(0)".into(),
+            second: "u(1)".into(),
+            space: 7,
+        };
+        assert!(r.to_string().contains("space 7"));
+        let s = Diagnostic::Structural(StructuralFault::TotalMismatch {
+            declared: 4,
+            reachable: 3,
+        });
+        assert!(s.to_string().starts_with("structural:"));
+    }
+}

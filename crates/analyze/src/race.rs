@@ -1,0 +1,69 @@
+//! Static write-race detection over declared write regions.
+//!
+//! Two tasks race when they write intersecting rectangles of the same
+//! address space ([`runtime::WriteRegion`]) and the DAG contains a path
+//! between them in neither direction. Tasks are grouped by space —
+//! distinct spaces never alias — and within a group ordered by a fixed
+//! topological order, so for any candidate pair the earlier task is the
+//! only possible ancestor: one forward reachability query decides the
+//! pair.
+
+use crate::{diag::Diagnostic, task_name};
+use runtime::{Rect, UnfoldedDag};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// Find all write races. `topo` must be a topological order of `dag`.
+pub(crate) fn find_races(dag: &UnfoldedDag, topo: &[usize]) -> Vec<Diagnostic> {
+    let mut rank = vec![0usize; dag.len()];
+    for (r, &i) in topo.iter().enumerate() {
+        rank[i] = r;
+    }
+
+    // Group writers by space; BTreeMap for deterministic report order.
+    let mut groups: BTreeMap<u64, Vec<(usize, Rect)>> = BTreeMap::new();
+    for (i, &key) in dag.tasks.iter().enumerate() {
+        if let Some(w) = dag.graph.class(key.class).write_region(key.params) {
+            groups.entry(w.space).or_default().push((i, w.rect));
+        }
+    }
+
+    let adj = dag.out_adjacency();
+    let mut diags = Vec::new();
+    for (space, mut members) in groups {
+        members.sort_by_key(|&(i, _)| rank[i]);
+        for (ai, &(a, ra)) in members.iter().enumerate() {
+            // Reachability from `a` is computed lazily, once, only when
+            // some later member overlaps it.
+            let mut reach: Option<HashSet<usize>> = None;
+            for &(b, rb) in &members[ai + 1..] {
+                if !ra.intersects(&rb) {
+                    continue;
+                }
+                let reach = reach.get_or_insert_with(|| forward_reachable(dag, &adj, a));
+                if !reach.contains(&b) {
+                    diags.push(Diagnostic::WriteRace {
+                        first: task_name(dag, a),
+                        second: task_name(dag, b),
+                        space,
+                    });
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// Every task reachable from `start` along dependence edges.
+fn forward_reachable(dag: &UnfoldedDag, adj: &[Vec<u32>], start: usize) -> HashSet<usize> {
+    let mut seen = HashSet::from([start]);
+    let mut queue = VecDeque::from([start]);
+    while let Some(i) = queue.pop_front() {
+        for &ei in &adj[i] {
+            let c = dag.edges[ei as usize].consumer;
+            if seen.insert(c) {
+                queue.push_back(c);
+            }
+        }
+    }
+    seen
+}

@@ -1,0 +1,117 @@
+//! `stencil-lint`: run the static task-graph verifier over every scheme's
+//! program for one stencil configuration and print what it proves.
+//!
+//! For each of base, CA (PA1), PA2 and the DTD front-end, the [`analyze`]
+//! crate unfolds the parameterized task graph and checks structural
+//! consistency, deadlock freedom and write-race freedom, then reports the
+//! static communication volume, the redundant flops, and the critical-path
+//! makespan lower bound. Exit code 1 if any diagnostic fires.
+//!
+//! ```text
+//! cargo run -p bench --bin stencil-lint -- --n 256 --tile 32 --iters 20 --steps 8 --grid 2
+//! ```
+
+use analyze::{analyze_program, AnalyzeConfig};
+use ca_stencil::{build_base, build_base_dtd, build_ca, build_pa2, Problem, StencilConfig};
+use machine::MachineProfile;
+use netsim::ProcessGrid;
+use runtime::Program;
+
+struct Args {
+    n: usize,
+    tile: usize,
+    iters: u32,
+    steps: usize,
+    grid: u32,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        n: 256,
+        tile: 32,
+        iters: 20,
+        steps: 8,
+        grid: 2,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value after {flag}"))
+        };
+        match flag.as_str() {
+            "--n" => args.n = value().parse().expect("--n takes an integer"),
+            "--tile" => args.tile = value().parse().expect("--tile takes an integer"),
+            "--iters" => args.iters = value().parse().expect("--iters takes an integer"),
+            "--steps" => args.steps = value().parse().expect("--steps takes an integer"),
+            "--grid" => args.grid = value().parse().expect("--grid takes an integer"),
+            other => {
+                eprintln!("unknown flag {other}; flags: --n --tile --iters --steps --grid");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let a = parse_args();
+    let cfg = StencilConfig::new(
+        Problem::laplace(a.n),
+        a.tile,
+        a.iters,
+        ProcessGrid::new(a.grid, a.grid),
+    )
+    .with_steps(a.steps);
+    let profile = MachineProfile::nacl();
+    let lanes = profile.compute_threads();
+    println!(
+        "stencil-lint: n={} tile={} iters={} steps={} grid={}x{} (lanes/node={lanes})",
+        a.n, a.tile, a.iters, a.steps, a.grid, a.grid
+    );
+
+    let mut schemes: Vec<(&str, Program)> = vec![
+        ("base", build_base(&cfg, false).program),
+        ("ca", build_ca(&cfg, false).program),
+        ("dtd", build_base_dtd(&cfg)),
+    ];
+    if a.steps <= a.tile / 2 {
+        schemes.insert(2, ("pa2", build_pa2(&cfg, false).program));
+    } else {
+        println!("(pa2 skipped: steps {} > tile/2 = {})", a.steps, a.tile / 2);
+    }
+
+    println!(
+        "{:>6} {:>9} {:>9} {:>10} {:>12} {:>12} {:>11} {:>11} {:>6}",
+        "scheme", "tasks", "edges", "msgs", "bytes", "red flops", "crit path", "bound", "diags"
+    );
+    let mut dirty = false;
+    for (name, program) in &schemes {
+        let analysis = analyze_program(program, &AnalyzeConfig::new().with_lanes(lanes));
+        let (cp, bound) = analysis
+            .path
+            .as_ref()
+            .map(|p| (p.critical_path, p.makespan_lower_bound))
+            .unwrap_or((f64::NAN, f64::NAN));
+        println!(
+            "{:>6} {:>9} {:>9} {:>10} {:>12} {:>12} {:>10.4}s {:>10.4}s {:>6}",
+            name,
+            analysis.tasks,
+            analysis.edges,
+            analysis.comm.cross_messages,
+            analysis.comm.cross_bytes,
+            analysis.flops.redundant,
+            cp,
+            bound,
+            analysis.diagnostics.len(),
+        );
+        if !analysis.is_clean() {
+            dirty = true;
+            println!("{name}: {}", analysis.report());
+        }
+    }
+    if dirty {
+        std::process::exit(1);
+    }
+    println!("all schemes clean");
+}

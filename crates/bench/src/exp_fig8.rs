@@ -9,6 +9,7 @@
 //! scaling; the paper reports up to 57 % (NaCL) and 33 % (Stampede2)
 //! CA-over-base improvements.
 
+use crate::statics::{predict, StaticCols};
 use crate::{iterations, paper_workload};
 use ca_stencil::{build_base, build_ca, Problem, StencilConfig};
 use machine::MachineProfile;
@@ -25,6 +26,10 @@ pub struct Fig8Point {
     pub base_gflops: f64,
     /// CA GFLOP/s.
     pub ca_gflops: f64,
+    /// Static-analyzer predictions for the base program.
+    pub base_static: StaticCols,
+    /// Static-analyzer predictions for the CA program.
+    pub ca_static: StaticCols,
 }
 
 /// One (machine, node count) panel.
@@ -43,7 +48,11 @@ pub struct Fig8Panel {
 /// CA step size used throughout (the paper's 15).
 pub const STEPS: usize = 15;
 
-fn run_pair(profile: &MachineProfile, nodes: u32, ratio: f64) -> (f64, f64) {
+fn run_pair(
+    profile: &MachineProfile,
+    nodes: u32,
+    ratio: f64,
+) -> (f64, f64, StaticCols, StaticCols) {
     let (n, tile) = paper_workload(profile);
     let cfg = StencilConfig::new(
         Problem::laplace(n),
@@ -55,12 +64,22 @@ fn run_pair(profile: &MachineProfile, nodes: u32, ratio: f64) -> (f64, f64) {
     .with_ratio(ratio)
     .with_profile(profile.clone());
     let sim = RunConfig::simulated(profile.clone(), nodes);
-    let base = run(&build_base(&cfg, false).program, &sim);
-    let ca = run(&build_ca(&cfg, false).program, &sim);
+    let base_program = build_base(&cfg, false).program;
+    let ca_program = build_ca(&cfg, false).program;
+    let lanes = profile.compute_threads();
+    let base_static = predict(&base_program, lanes);
+    let ca_static = predict(&ca_program, lanes);
+    let base = run(&base_program, &sim);
+    let ca = run(&ca_program, &sim);
     let label = format!("{}/{}n/r{:.1}", profile.name, nodes, ratio);
     crate::report::record(&format!("{label}/base"), &base);
     crate::report::record(&format!("{label}/ca"), &ca);
-    (cfg.gflops(base.makespan), cfg.gflops(ca.makespan))
+    (
+        cfg.gflops(base.makespan),
+        cfg.gflops(ca.makespan),
+        base_static,
+        ca_static,
+    )
 }
 
 /// Run one panel.
@@ -68,15 +87,17 @@ pub fn run_panel(profile: &MachineProfile, nodes: u32, ratios: &[f64]) -> Fig8Pa
     let points = ratios
         .iter()
         .map(|&ratio| {
-            let (base_gflops, ca_gflops) = run_pair(profile, nodes, ratio);
+            let (base_gflops, ca_gflops, base_static, ca_static) = run_pair(profile, nodes, ratio);
             Fig8Point {
                 ratio,
                 base_gflops,
                 ca_gflops,
+                base_static,
+                ca_static,
             }
         })
         .collect();
-    let (base_original_gflops, _) = run_pair(profile, nodes, 1.0);
+    let (base_original_gflops, _, _, _) = run_pair(profile, nodes, 1.0);
     Fig8Panel {
         system: profile.name.clone(),
         nodes,
@@ -107,18 +128,30 @@ pub fn print(panels: &[Fig8Panel]) {
             p.system, p.nodes, p.base_original_gflops
         );
         println!(
-            "{:>7} {:>12} {:>12} {:>10}",
-            "ratio", "base GF/s", "CA GF/s", "CA/base"
+            "{:>7} {:>12} {:>12} {:>10} {:>11} {:>11} {:>10} {:>11}",
+            "ratio",
+            "base GF/s",
+            "CA GF/s",
+            "CA/base",
+            "base msgs*",
+            "CA msgs*",
+            "CA rGF*",
+            "CA bound*",
         );
         for pt in &p.points {
             println!(
-                "{:>7.1} {:>12.0} {:>12.0} {:>9.1}%",
+                "{:>7.1} {:>12.0} {:>12.0} {:>9.1}% {:>11} {:>11} {:>10.1} {:>10.3}s",
                 pt.ratio,
                 pt.base_gflops,
                 pt.ca_gflops,
-                100.0 * (pt.ca_gflops / pt.base_gflops - 1.0)
+                100.0 * (pt.ca_gflops / pt.base_gflops - 1.0),
+                pt.base_static.messages,
+                pt.ca_static.messages,
+                pt.ca_static.redundant_flops as f64 / 1e9,
+                pt.ca_static.makespan_bound,
             );
         }
+        println!("   (* static analyzer predictions: cross-node messages, CA redundant GFLOP, makespan lower bound)");
     }
 }
 

@@ -5,6 +5,7 @@
 //! depth; the paper's point is that "the step size needs to be tuned to
 //! get the best possible speedup" — the optimum is interior, not extreme.
 
+use crate::statics::{predict, StaticCols};
 use crate::{iterations, paper_workload};
 use ca_stencil::{build_ca, Problem, StencilConfig};
 use machine::MachineProfile;
@@ -21,6 +22,8 @@ pub struct Fig9Point {
     pub ratio: f64,
     /// CA GFLOP/s.
     pub gflops: f64,
+    /// Static-analyzer predictions for this (steps, ratio) program.
+    pub statics: StaticCols,
 }
 
 /// One (machine, node count) panel.
@@ -52,10 +55,9 @@ pub fn run_panel(profile: &MachineProfile, nodes: u32, ratios: &[f64]) -> Fig9Pa
             .with_steps(steps)
             .with_ratio(ratio)
             .with_profile(profile.clone());
-            let report = run(
-                &build_ca(&cfg, false).program,
-                &RunConfig::simulated(profile.clone(), nodes),
-            );
+            let program = build_ca(&cfg, false).program;
+            let statics = predict(&program, profile.compute_threads());
+            let report = run(&program, &RunConfig::simulated(profile.clone(), nodes));
             crate::report::record(
                 &format!("{}/{}n/s{}/r{:.1}", profile.name, nodes, steps, ratio),
                 &report,
@@ -64,6 +66,7 @@ pub fn run_panel(profile: &MachineProfile, nodes: u32, ratios: &[f64]) -> Fig9Pa
                 steps,
                 ratio,
                 gflops: cfg.gflops(report.makespan),
+                statics,
             });
         }
     }
@@ -91,10 +94,22 @@ pub fn print(panels: &[Fig9Panel]) {
     println!("FIGURE 9: CA performance by step size (GFLOP/s)");
     for p in panels {
         println!("-- {} / {} nodes", p.system, p.nodes);
-        println!("{:>7} {:>7} {:>12}", "steps", "ratio", "GF/s");
+        println!(
+            "{:>7} {:>7} {:>12} {:>11} {:>10} {:>11}",
+            "steps", "ratio", "GF/s", "msgs*", "rGF*", "bound*"
+        );
         for pt in &p.points {
-            println!("{:>7} {:>7.1} {:>12.0}", pt.steps, pt.ratio, pt.gflops);
+            println!(
+                "{:>7} {:>7.1} {:>12.0} {:>11} {:>10.1} {:>10.3}s",
+                pt.steps,
+                pt.ratio,
+                pt.gflops,
+                pt.statics.messages,
+                pt.statics.redundant_flops as f64 / 1e9,
+                pt.statics.makespan_bound,
+            );
         }
+        println!("   (* static analyzer predictions: cross-node messages, redundant GFLOP, makespan lower bound)");
         // best step size at the smallest ratio
         let min_ratio = p
             .points

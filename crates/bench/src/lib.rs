@@ -22,6 +22,8 @@
 //! Set `REPRO_FAST=1` to shrink iteration counts for smoke runs; the
 //! defaults match the paper's parameters.
 
+#![deny(missing_docs)]
+
 pub mod exp_ablations;
 pub mod exp_fig10;
 pub mod exp_fig5;
@@ -34,6 +36,7 @@ pub mod exp_pa_variants;
 pub mod exp_roofline;
 pub mod exp_table1;
 pub mod report;
+pub mod statics;
 
 /// The paper's per-machine experiment parameters (problem size and tile
 /// size used in Figures 7–10): NaCL ran 23k at tile 288, Stampede2 55k at

@@ -13,7 +13,7 @@ use crate::store::TileStore;
 use crate::tile::Extents;
 use machine::StencilCostModel;
 use netsim::NodeId;
-use runtime::{FlowData, OutputDep, Params, Program, TaskClass, TaskGraph, TaskKey};
+use runtime::{FlowData, OutputDep, Params, Program, TaskClass, TaskGraph, TaskKey, WriteRegion};
 use std::sync::Arc;
 
 /// The builders register exactly one class per program, so consumer keys
@@ -162,6 +162,25 @@ impl TaskClass for BaseStencil {
             KIND_INTERIOR
         }
     }
+
+    fn write_region(&self, p: Params) -> Option<WriteRegion> {
+        let (tx, ty, t) = Self::decode(p);
+        // iterate-0 emission only reads the initial state
+        (t > 0).then(|| WriteRegion {
+            space: self.geo.tile_space(tx, ty),
+            rect: self.geo.tile_rect(tx, ty),
+        })
+    }
+
+    fn flops(&self, p: Params) -> f64 {
+        let (_, _, t) = Self::decode(p);
+        if t == 0 {
+            0.0
+        } else {
+            self.model
+                .task_flops(self.geo.tile, self.geo.tile, self.ratio)
+        }
+    }
 }
 
 /// Build the base-scheme program. With `carry_data`, a [`TileStore`] is
@@ -228,20 +247,23 @@ mod tests {
     use crate::problem::Problem;
     use crate::reference::{jacobi_reference, max_abs_diff};
     use netsim::ProcessGrid;
-    use runtime::{assert_valid, run, RunConfig};
+    use runtime::{run, RunConfig};
 
     fn cfg(n: usize, tile: usize, iters: u32, grid: ProcessGrid) -> StencilConfig {
         StencilConfig::new(Problem::scrambled(n, 77), tile, iters, grid)
     }
 
     #[test]
-    fn graph_is_consistent() {
+    fn graph_is_analysis_clean() {
         let c = cfg(12, 4, 3, ProcessGrid::new(1, 1));
         let b = build_base(&c, false);
-        assert_valid(&b.program);
+        analyze::assert_clean(&b.program);
         let c = cfg(16, 4, 2, ProcessGrid::new(2, 2));
         let b = build_base(&c, false);
-        assert_valid(&b.program);
+        let a = analyze::assert_clean(&b.program);
+        // 16 tiles × (2 iters + init), no redundant work in the base scheme
+        assert_eq!(a.tasks, 16 * 3);
+        assert_eq!(a.flops.redundant, 0);
     }
 
     #[test]

@@ -28,7 +28,9 @@ use crate::store::TileStore;
 use crate::tile::Extents;
 use machine::StencilCostModel;
 use netsim::NodeId;
-use runtime::{FlowData, OutputDep, Params, Program, TaskClass, TaskGraph, TaskKey};
+use runtime::{
+    FlowData, OutputDep, Params, Program, Rect, TaskClass, TaskGraph, TaskKey, WriteRegion,
+};
 use std::sync::Arc;
 
 const CLASS: u16 = 0;
@@ -303,6 +305,56 @@ impl TaskClass for CaStencil {
             KIND_INTERIOR
         }
     }
+
+    fn write_region(&self, p: Params) -> Option<WriteRegion> {
+        let (tx, ty, t) = Self::decode(p);
+        if t == 0 {
+            return None;
+        }
+        // Boundary tiles also update their halo: the written rectangle
+        // extends beyond the tile by the current extents. Those global
+        // coordinates overlap the neighbours' rectangles, but the space is
+        // the tile's private buffer — the recompute writes its own ghost
+        // ring, never the neighbour's cells — so no race is declared.
+        let mut rect = self.geo.tile_rect(tx, ty);
+        if self.is_boundary(tx, ty) {
+            let ext = self.extents(tx, ty, t);
+            rect = Rect::new(
+                rect.row - ext.north as i64,
+                rect.col - ext.west as i64,
+                rect.rows + (ext.north + ext.south) as u32,
+                rect.cols + (ext.west + ext.east) as u32,
+            );
+        }
+        Some(WriteRegion {
+            space: self.geo.tile_space(tx, ty),
+            rect,
+        })
+    }
+
+    fn flops(&self, p: Params) -> f64 {
+        let (_, _, t) = Self::decode(p);
+        if t == 0 {
+            0.0
+        } else {
+            // useful work only; the halo recompute is in `redundant_flops`
+            self.model
+                .task_flops(self.geo.tile, self.geo.tile, self.ratio)
+        }
+    }
+
+    fn redundant_flops(&self, p: Params) -> u64 {
+        let (tx, ty, t) = Self::decode(p);
+        if t == 0 || !self.is_boundary(tx, ty) {
+            return 0;
+        }
+        let tile = self.geo.tile;
+        let ext = self.extents(tx, ty, t);
+        let halo_points = (ext.region_points(tile) - tile * tile) as f64;
+        // 9 flops per updated point, scaled by the kernel ratio like the
+        // useful work (see machine::StencilCostModel::task_flops)
+        (halo_points * self.ratio * self.ratio * 9.0).round() as u64
+    }
 }
 
 /// Build the CA-scheme program. Boundary tiles get `s`-deep ghost rings;
@@ -398,25 +450,27 @@ mod tests {
     use crate::reference::{jacobi_reference, max_abs_diff};
     use machine::MachineProfile;
     use netsim::ProcessGrid;
-    use runtime::{assert_valid, run, RunConfig};
+    use runtime::{run, RunConfig};
 
     fn cfg(n: usize, tile: usize, iters: u32, grid: ProcessGrid, steps: usize) -> StencilConfig {
         StencilConfig::new(Problem::scrambled(n, 123), tile, iters, grid).with_steps(steps)
     }
 
     #[test]
-    fn graphs_validate_across_step_sizes() {
+    fn graphs_analyze_clean_across_step_sizes() {
         for steps in [1, 2, 3, 4] {
             let c = cfg(16, 4, 7, ProcessGrid::new(2, 2), steps);
             let b = build_ca(&c, false);
-            assert_valid(&b.program);
+            let a = analyze::assert_clean(&b.program);
+            // the halo recompute is redundant work whenever s > 1
+            assert_eq!(a.flops.redundant > 0, steps > 1, "steps = {steps}");
         }
     }
 
     #[test]
-    fn graph_validates_on_bigger_node_grid() {
+    fn graph_analyzes_clean_on_bigger_node_grid() {
         let c = cfg(36, 4, 5, ProcessGrid::new(3, 3), 3);
-        assert_valid(&build_ca(&c, false).program);
+        analyze::assert_clean(&build_ca(&c, false).program);
     }
 
     #[test]

@@ -79,15 +79,15 @@ mod tests {
     use crate::problem::Problem;
     use machine::MachineProfile;
     use netsim::ProcessGrid;
-    use runtime::{assert_valid, run, RunConfig};
+    use runtime::{run, RunConfig};
 
     fn cfg() -> StencilConfig {
         StencilConfig::new(Problem::laplace(32), 4, 6, ProcessGrid::new(2, 2))
     }
 
     #[test]
-    fn dtd_program_validates() {
-        assert_valid(&build_base_dtd(&cfg()));
+    fn dtd_program_analyzes_clean() {
+        analyze::assert_clean(&build_base_dtd(&cfg()));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! data with a remote node.
 
 use netsim::{NodeId, ProcessGrid};
+use runtime::Rect;
 use serde::Serialize;
 
 /// One of the four edge directions of a tile. Rows grow southward, columns
@@ -222,6 +223,21 @@ impl StencilGeometry {
     pub fn tile_origin(&self, tx: usize, ty: usize) -> (i64, i64) {
         ((ty * self.tile) as i64, (tx * self.tile) as i64)
     }
+
+    /// The rectangle of global grid cells tile `(tx, ty)` covers, for
+    /// static write-region declarations.
+    pub fn tile_rect(&self, tx: usize, ty: usize) -> Rect {
+        let (row, col) = self.tile_origin(tx, ty);
+        Rect::new(row, col, self.tile as u32, self.tile as u32)
+    }
+
+    /// Stable scalar id of tile `(tx, ty)`'s private buffer, used as the
+    /// [`runtime::WriteRegion`] address space: every tile owns its own
+    /// buffer (including its ghost ring), so writes in different spaces
+    /// never alias even when their global rectangles overlap.
+    pub fn tile_space(&self, tx: usize, ty: usize) -> u64 {
+        (ty * self.tiles_x + tx) as u64
+    }
 }
 
 #[cfg(test)]
@@ -339,5 +355,27 @@ mod tests {
         let g = geo();
         assert_eq!(g.tile_origin(0, 0), (0, 0));
         assert_eq!(g.tile_origin(2, 1), (4, 8));
+    }
+
+    #[test]
+    fn tile_rects_tile_the_grid() {
+        let g = geo();
+        assert_eq!(g.tile_rect(2, 1), Rect::new(4, 8, 4, 4));
+        // adjacent tiles touch but do not intersect
+        assert!(!g.tile_rect(2, 1).intersects(&g.tile_rect(3, 1)));
+        assert!(!g.tile_rect(2, 1).intersects(&g.tile_rect(2, 2)));
+        assert!(g.tile_rect(2, 1).intersects(&g.tile_rect(2, 1)));
+    }
+
+    #[test]
+    fn tile_spaces_are_unique() {
+        let g = geo();
+        let mut seen = std::collections::HashSet::new();
+        for ty in 0..g.tiles_y {
+            for tx in 0..g.tiles_x {
+                assert!(seen.insert(g.tile_space(tx, ty)));
+            }
+        }
+        assert_eq!(seen.len(), g.num_tiles());
     }
 }

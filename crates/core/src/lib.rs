@@ -45,6 +45,8 @@
 //! assert_eq!(report.tasks_executed, 16 * 4); // 16 tiles × (3 iters + init)
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod base;
 pub mod ca;
 pub mod config;

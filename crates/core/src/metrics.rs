@@ -91,6 +91,41 @@ pub fn predict_ca(geo: &StencilGeometry, iterations: u32, steps: usize) -> CommP
     }
 }
 
+/// Expected redundant flops of the CA scheme: every node-boundary tile
+/// recomputes its shrinking halo each iteration. At iteration `t ≥ 1`
+/// with phase `k = (t − 1) mod s`, the valid region extends `e = s − 1 − k`
+/// layers on each side that has a neighbour, so the halo holds
+/// `region_points − tile²` points, each costing 9 flops scaled by
+/// `ratio²` — the same per-task rounding the task class declares, summed
+/// independently from the geometry (no task graph is built).
+pub fn predict_ca_redundant_flops(
+    geo: &StencilGeometry,
+    iterations: u32,
+    steps: usize,
+    ratio: f64,
+) -> u64 {
+    let tile = geo.tile;
+    let mut total = 0u64;
+    for ty in 0..geo.tiles_y {
+        for tx in 0..geo.tiles_x {
+            if !geo.is_node_boundary(tx, ty) {
+                continue;
+            }
+            let on = |side: Side| usize::from(geo.neighbor(tx, ty, side).is_some());
+            let (n, s) = (on(Side::North), on(Side::South));
+            let (w, e) = (on(Side::West), on(Side::East));
+            for t in 1..=iterations {
+                let ext = steps - 1 - ((t as usize - 1) % steps);
+                let rows = tile + (n + s) * ext;
+                let cols = tile + (w + e) * ext;
+                let halo_points = (rows * cols - tile * tile) as f64;
+                total += (halo_points * ratio * ratio * 9.0).round() as u64;
+            }
+        }
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +185,27 @@ mod tests {
             "s=15 ratio = {}",
             base.messages as f64 / ca15.messages as f64
         );
+    }
+
+    #[test]
+    fn redundant_flop_prediction_matches_static_analysis() {
+        // the analytic sum and the task classes' per-task declarations are
+        // independent implementations; they must agree exactly
+        for (steps, ratio) in [(1usize, 1.0), (3, 1.0), (4, 0.5)] {
+            let cfg = StencilConfig::new(Problem::laplace(32), 4, 7, ProcessGrid::new(2, 2))
+                .with_steps(steps)
+                .with_ratio(ratio);
+            let geo = cfg.geometry();
+            let a = analyze::assert_clean(&build_ca(&cfg, false).program);
+            assert_eq!(
+                a.flops.redundant,
+                predict_ca_redundant_flops(&geo, 7, steps, ratio),
+                "steps = {steps}, ratio = {ratio}"
+            );
+        }
+        // s = 1 is the base cadence: no quiet phases, no redundant work
+        let geo = StencilGeometry::new(32, 4, ProcessGrid::new(2, 2));
+        assert_eq!(predict_ca_redundant_flops(&geo, 7, 1, 1.0), 0);
     }
 
     #[test]

@@ -32,7 +32,7 @@ use crate::flows::{
 use crate::geometry::{Corner, Side, StencilGeometry};
 use machine::StencilCostModel;
 use netsim::NodeId;
-use runtime::{FlowData, OutputDep, Params, Program, TaskClass, TaskGraph, TaskKey};
+use runtime::{FlowData, OutputDep, Params, Program, TaskClass, TaskGraph, TaskKey, WriteRegion};
 use std::sync::Arc;
 
 const CLASS: u16 = 0;
@@ -290,6 +290,42 @@ impl TaskClass for Pa2Stencil {
             KIND_INTERIOR
         }
     }
+
+    fn write_region(&self, p: Params) -> Option<WriteRegion> {
+        let (tx, ty, t) = Self::decode(p);
+        // PA2 defers instead of recomputing: writes never leave the tile.
+        (t > 0).then(|| WriteRegion {
+            space: self.geo.tile_space(tx, ty),
+            rect: self.geo.tile_rect(tx, ty),
+        })
+    }
+
+    fn flops(&self, p: Params) -> f64 {
+        // mirrors `cost`'s cell accounting at 9 flops per updated point:
+        // quiet phases compute fewer cells, exchange phases catch up, and
+        // the cycle total equals the nominal work — PA2's defining
+        // property (no redundant flops, hence no `redundant_flops`).
+        let (tx, ty, t) = Self::decode(p);
+        let tile = self.geo.tile;
+        if t == 0 {
+            return 0.0;
+        }
+        let full = self.model.task_flops(tile, tile, self.ratio);
+        if !self.is_boundary(tx, ty) {
+            return full;
+        }
+        let k = self.phase(t);
+        let r2 = self.ratio * self.ratio;
+        if k == 0 {
+            let catchup: usize = (1..self.steps)
+                .map(|kk| self.deferred_cells(tx, ty, kk))
+                .sum();
+            full + catchup as f64 * r2 * 9.0
+        } else {
+            let done = tile * tile - self.deferred_cells(tx, ty, k);
+            done as f64 * r2 * 9.0
+        }
+    }
 }
 
 /// Build the PA2 performance skeleton. `carry_data` must be false.
@@ -341,7 +377,7 @@ mod tests {
     use crate::problem::Problem;
     use machine::MachineProfile;
     use netsim::ProcessGrid;
-    use runtime::{assert_valid, run, RunConfig};
+    use runtime::{run, RunConfig};
 
     fn cfg(n: usize, tile: usize, iters: u32, steps: usize) -> StencilConfig {
         StencilConfig::new(Problem::laplace(n), tile, iters, ProcessGrid::new(2, 2))
@@ -349,10 +385,11 @@ mod tests {
     }
 
     #[test]
-    fn graphs_validate_across_step_sizes() {
+    fn graphs_analyze_clean_across_step_sizes() {
         for steps in [1usize, 2, 3] {
             let c = cfg(48, 8, 7, steps);
-            assert_valid(&build_pa2(&c, false).program);
+            let a = analyze::assert_clean(&build_pa2(&c, false).program);
+            assert_eq!(a.flops.redundant, 0, "PA2 never recomputes");
         }
     }
 

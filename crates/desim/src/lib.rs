@@ -39,6 +39,8 @@
 //! assert_eq!(end.as_nanos(), 4 * 10_000);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod engine;
 pub mod resource;
 pub mod stats;

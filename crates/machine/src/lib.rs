@@ -17,6 +17,8 @@
 //! * [`spmv_model`] — the PETSc-style SpMV baseline's cost model
 //!   (64-bit index traffic, one rank per core).
 
+#![deny(missing_docs)]
+
 pub mod profile;
 pub mod roofline;
 pub mod spmv_model;

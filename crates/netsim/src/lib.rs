@@ -15,6 +15,8 @@
 //! * [`collective`] — tree and Rabenseifner collective cost models for the
 //!   Krylov-solver workloads the paper motivates.
 
+#![deny(missing_docs)]
+
 pub mod collective;
 pub mod message;
 pub mod model;

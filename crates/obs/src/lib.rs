@@ -22,6 +22,8 @@
 //! knows nothing about task graphs or executors; the `runtime` crate owns
 //! the wiring.
 
+#![deny(missing_docs)]
+
 mod metrics;
 mod recorder;
 
@@ -29,7 +31,7 @@ pub mod chrome;
 pub mod fig10;
 pub mod jsonl;
 
-pub use metrics::{names, Counter, Gauge, GaugeValue, Metrics, MetricsSnapshot};
+pub use metrics::{names, Counter, ExpectedCounters, Gauge, GaugeValue, Metrics, MetricsSnapshot};
 pub use recorder::{LocalRecorder, Recorder, SpanRecord, Trace, WallClock};
 
 /// Span kind tag for communication activity, matching the simulator's

@@ -108,6 +108,49 @@ impl MetricsSnapshot {
     pub fn gauge_max(&self, name: &str) -> i64 {
         self.gauges.get(name).map(|g| g.max).unwrap_or(0)
     }
+
+    /// Check this snapshot against statically predicted counter values
+    /// (e.g. from the `analyze` crate). Returns one human-readable line
+    /// per mismatching counter; an empty vector means every predicted
+    /// counter matched exactly. Counters the prediction does not mention
+    /// are ignored.
+    pub fn verify(&self, expected: &ExpectedCounters) -> Vec<String> {
+        expected
+            .counters
+            .iter()
+            .filter(|&(name, &want)| self.counter(name) != want)
+            .map(|(name, &want)| {
+                format!("{name}: predicted {want}, observed {}", self.counter(name))
+            })
+            .collect()
+    }
+}
+
+/// Statically predicted counter values: the contract a static analysis
+/// makes about what a dynamic run must observe. Built by the `analyze`
+/// crate, checked with [`MetricsSnapshot::verify`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpectedCounters {
+    /// Counter name → predicted exact value.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl ExpectedCounters {
+    /// Empty prediction (verifies against anything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add (or overwrite) a predicted counter value.
+    pub fn expect(mut self, name: &str, value: u64) -> Self {
+        self.counters.insert(name.to_string(), value);
+        self
+    }
+
+    /// Predicted value for `name`, if any.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
 }
 
 struct Registry {
@@ -238,6 +281,24 @@ mod tests {
             }
         });
         assert_eq!(m.snapshot().counter("hits"), 80_000);
+    }
+
+    #[test]
+    fn verify_reports_only_mismatches() {
+        let m = Metrics::new();
+        m.counter(names::TASKS_EXECUTED).add(8);
+        m.counter(names::MESSAGES_SENT).add(3);
+        let snap = m.snapshot();
+        let ok = ExpectedCounters::new()
+            .expect(names::TASKS_EXECUTED, 8)
+            .expect(names::MESSAGES_SENT, 3);
+        assert!(snap.verify(&ok).is_empty());
+        assert_eq!(ok.get(names::TASKS_EXECUTED), Some(8));
+        let bad = ok.expect(names::BYTES_SENT, 100);
+        let report = snap.verify(&bad);
+        assert_eq!(report.len(), 1);
+        assert!(report[0].contains("bytes_sent"), "{}", report[0]);
+        assert!(report[0].contains("predicted 100"), "{}", report[0]);
     }
 
     #[test]

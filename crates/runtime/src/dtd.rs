@@ -164,7 +164,7 @@ impl TaskClass for DtdClass {
 mod tests {
     use super::*;
     use crate::exec::{run, RunConfig};
-    use crate::validate::assert_valid;
+    use crate::unfold::assert_consistent;
     use machine::MachineProfile;
 
     #[test]
@@ -175,7 +175,7 @@ mod tests {
         let r = b.insert(0, 1e-3, &[a]);
         let _s = b.insert(0, 1e-3, &[l, r]);
         let p = b.build();
-        assert_valid(&p);
+        assert_consistent(&p);
         let report = run(&p, &RunConfig::simulated(MachineProfile::nacl(), 1));
         assert_eq!(report.tasks_executed, 4);
         // critical path: 3 tasks of 1 ms
@@ -213,7 +213,7 @@ mod tests {
         let mids: Vec<_> = (0..44).map(|_| b.insert(0, 1e-3, &[root])).collect();
         let _sink = b.insert(0, 1e-4, &mids);
         let p = b.build();
-        assert_valid(&p);
+        assert_consistent(&p);
         let report = run(&p, &RunConfig::simulated(MachineProfile::nacl(), 1));
         // 44 tasks of 1 ms over 11 lanes = 4 ms, plus the endpoints.
         assert!(

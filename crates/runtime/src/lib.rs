@@ -10,8 +10,9 @@
 //!   [`Program`]);
 //! * [`pending`] — dynamic DAG unfolding by activation counting
 //!   ([`PendingTable`]);
-//! * [`validate`] — whole-graph consistency checking for tests
-//!   ([`validate::assert_valid`]);
+//! * [`unfold`] — static enumeration of the whole DAG as data
+//!   ([`UnfoldedDag`]), the substrate of the `analyze` crate's passes;
+//!   the old [`validate`] API survives as a deprecated shim over it;
 //! * [`exec`] — **the single entry point**: [`run`] dispatches a
 //!   [`Program`] to any engine selected by a builder-style [`RunConfig`]
 //!   ([`ExecMode::SharedMemory`], [`ExecMode::MultiProcess`],
@@ -41,9 +42,13 @@
 //! everything optional (`with_profile`, `with_policy`, `with_bodies`,
 //! `with_trace`, `with_comm_engines`, `with_kind_names`).
 
+#![deny(missing_docs)]
+
 pub mod dtd;
 pub mod exec;
 pub mod halo;
+#[cfg(all(test, loom))]
+mod loom_model;
 pub mod mp_exec;
 pub mod pending;
 pub mod profiling;
@@ -51,6 +56,7 @@ pub mod ready_queue;
 pub mod real_exec;
 pub mod sim_exec;
 pub mod task;
+pub mod unfold;
 pub mod validate;
 
 pub use dtd::{DtdBuilder, DtdTaskId};
@@ -66,5 +72,9 @@ pub use pending::{PendingTable, ReadyTask};
 pub use real_exec::{run_shared_memory, RealRunReport};
 #[allow(deprecated)]
 pub use sim_exec::{run_simulated, SchedulerPolicy, SimConfig, SimRunReport, KIND_COMM};
-pub use task::{ClassId, FlowData, OutputDep, Params, Program, TaskClass, TaskGraph, TaskKey};
+pub use task::{
+    ClassId, FlowData, OutputDep, Params, Program, Rect, TaskClass, TaskGraph, TaskKey, WriteRegion,
+};
+pub use unfold::{assert_consistent, EdgeRef, StructuralFault, UnfoldedDag};
+#[allow(deprecated)]
 pub use validate::{assert_valid, validate_program, GraphError};

@@ -1,0 +1,112 @@
+//! Loom model tests for the shared scheduling state.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"` (see `ci.sh`). With the
+//! real `loom` crate these closures are re-executed under every schedulable
+//! interleaving; with the vendored stub they run once as a plain
+//! concurrency smoke test. Either way they pin down the invariants the
+//! executors rely on:
+//!
+//! * [`PendingTable::deliver`] hands a task to **exactly one** caller, no
+//!   matter how concurrent deliveries of its input flows interleave.
+//! * [`ReadyQueue`] conserves tasks: everything pushed is popped exactly
+//!   once, across policies.
+
+use crate::pending::{PendingTable, ReadyTask};
+use crate::ready_queue::ReadyQueue;
+use crate::sim_exec::SchedulerPolicy;
+use crate::task::testutil::ExplicitDag;
+use crate::task::{FlowData, TaskGraph, TaskKey};
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+use std::collections::HashMap;
+
+fn two_input_graph() -> TaskGraph {
+    let mut g = TaskGraph::new();
+    g.add_class(std::sync::Arc::new(ExplicitDag {
+        name: "t".into(),
+        edges: HashMap::new(),
+        indeg: [(1, 2)].into_iter().collect(),
+        node: HashMap::new(),
+        cost: 0.0,
+        bytes: 8,
+    }));
+    g
+}
+
+#[test]
+fn concurrent_deliveries_fire_task_exactly_once() {
+    loom::model(|| {
+        let graph = std::sync::Arc::new(two_input_graph());
+        let table = Arc::new(Mutex::new(PendingTable::new()));
+        let consumer = TaskKey::new(0, [1, 0, 0, 0]);
+
+        let handles: Vec<_> = (0..2usize)
+            .map(|slot| {
+                let table = Arc::clone(&table);
+                let graph = std::sync::Arc::clone(&graph);
+                thread::spawn(move || {
+                    let ready =
+                        table
+                            .lock()
+                            .unwrap()
+                            .deliver(&graph, consumer, slot, FlowData::sized(8));
+                    ready.is_some()
+                })
+            })
+            .collect();
+
+        let fired: usize = handles
+            .into_iter()
+            .map(|h| h.join().unwrap() as usize)
+            .sum();
+        assert_eq!(fired, 1, "exactly one deliverer must receive the task");
+
+        let table = table.lock().unwrap();
+        assert!(table.is_empty(), "fired task must leave the table");
+        assert_eq!(table.flows_delivered(), 2);
+    });
+}
+
+#[test]
+fn ready_queue_conserves_tasks_under_concurrent_pushes() {
+    loom::model(|| {
+        for policy in [
+            SchedulerPolicy::Fifo,
+            SchedulerPolicy::Lifo,
+            SchedulerPolicy::Priority,
+        ] {
+            let queue = Arc::new(Mutex::new(ReadyQueue::new(policy)));
+            let handles: Vec<_> = (0..2i32)
+                .map(|producer| {
+                    let queue = Arc::clone(&queue);
+                    thread::spawn(move || {
+                        for i in 0..2i32 {
+                            let task = ReadyTask {
+                                key: TaskKey::new(0, [producer, i, 0, 0]),
+                                inputs: Vec::new(),
+                            };
+                            queue.lock().unwrap().push(task, i);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+
+            let mut queue = queue.lock().unwrap();
+            assert_eq!(queue.len(), 4);
+            let mut seen: Vec<[i32; 4]> = Vec::new();
+            while let Some(t) = queue.pop() {
+                seen.push(t.key.params);
+            }
+            assert!(queue.is_empty());
+            seen.sort();
+            let mut expect: Vec<[i32; 4]> = (0..2)
+                .flat_map(|p| (0..2).map(move |i| [p, i, 0, 0]))
+                .collect();
+            expect.sort();
+            assert_eq!(seen, expect, "every pushed task pops exactly once");
+        }
+    });
+}

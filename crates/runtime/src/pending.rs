@@ -45,7 +45,7 @@ impl PendingTable {
     /// task when this was the last missing input.
     ///
     /// Panics if the slot is out of range or already filled — both indicate
-    /// an inconsistent task graph (see [`crate::validate`]).
+    /// an inconsistent task graph (see [`crate::unfold`]).
     pub fn deliver(
         &mut self,
         graph: &TaskGraph,

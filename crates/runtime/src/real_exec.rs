@@ -82,6 +82,10 @@ impl<'p> Shared<'p> {
             }
         }
         self.metrics.counter(names::TASKS_EXECUTED).inc();
+        let redundant = class.redundant_flops(ready.key.params);
+        if redundant > 0 {
+            self.metrics.counter(names::REDUNDANT_FLOPS).add(redundant);
+        }
         self.metrics
             .gauge(names::QUEUE_DEPTH)
             .set(self.rx.len() as i64);

@@ -351,6 +351,14 @@ impl Sim {
         self.local
             .task(node, run.lane, kind, run.start.as_nanos(), now.as_nanos());
         self.metrics.counter(names::TASKS_EXECUTED).inc();
+        let redundant = self
+            .program
+            .graph
+            .class(key.class)
+            .redundant_flops(key.params);
+        if redundant > 0 {
+            self.metrics.counter(names::REDUNDANT_FLOPS).add(redundant);
+        }
         if self.cfg.capture_trace {
             self.trace.push(Span {
                 node,
@@ -496,8 +504,9 @@ struct SimOutcome {
 /// Run the event loop to completion.
 ///
 /// Panics when the run deadlocks (tasks remain pending after the event
-/// queue drains) — use [`crate::validate::assert_valid`] on a scaled-down
-/// instance to debug the graph.
+/// queue drains) — run `analyze::assert_clean` (or
+/// [`crate::unfold::assert_consistent`]) on a scaled-down instance to
+/// debug the graph.
 fn simulate(
     program: &Program,
     cfg: &SimConfig,
@@ -636,8 +645,9 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
 /// Run `program` on the simulated cluster described by `cfg`.
 ///
 /// Panics when the run deadlocks (tasks remain pending after the event
-/// queue drains) — use [`crate::validate::assert_valid`] on a scaled-down
-/// instance to debug the graph.
+/// queue drains) — run `analyze::assert_clean` (or
+/// [`crate::unfold::assert_consistent`]) on a scaled-down instance to
+/// debug the graph.
 #[deprecated(note = "use runtime::run with RunConfig::simulated")]
 pub fn run_simulated(program: &Program, cfg: SimConfig) -> SimRunReport {
     let recorder = Recorder::disabled();

@@ -95,6 +95,66 @@ impl fmt::Debug for FlowData {
     }
 }
 
+/// An axis-aligned rectangle of grid cells, `rows × cols` starting at
+/// `(row, col)`. Coordinates are whatever global frame the application
+/// chooses (the stencil uses global grid coordinates); the analyzer only
+/// intersects rectangles within one [`WriteRegion::space`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// First row covered.
+    pub row: i64,
+    /// First column covered.
+    pub col: i64,
+    /// Number of rows covered.
+    pub rows: u32,
+    /// Number of columns covered.
+    pub cols: u32,
+}
+
+impl Rect {
+    /// Construct a rectangle.
+    pub fn new(row: i64, col: i64, rows: u32, cols: u32) -> Self {
+        Rect {
+            row,
+            col,
+            rows,
+            cols,
+        }
+    }
+
+    /// True when the two rectangles share at least one cell.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.rows > 0
+            && self.cols > 0
+            && other.rows > 0
+            && other.cols > 0
+            && self.row < other.row + other.rows as i64
+            && other.row < self.row + self.rows as i64
+            && self.col < other.col + other.cols as i64
+            && other.col < self.col + self.cols as i64
+    }
+
+    /// Number of cells covered.
+    pub fn area(&self) -> u64 {
+        self.rows as u64 * self.cols as u64
+    }
+}
+
+/// The memory region a task writes, for static write-race analysis: a
+/// rectangle within a named address space. Two tasks race when they share
+/// a `space`, their rectangles intersect, and the DAG orders them neither
+/// way. Distinct spaces never alias — the stencil uses one space per tile
+/// buffer, so a boundary tile's redundant halo update (which writes its
+/// own private ghost ring, not the neighbour's cells) does not race with
+/// the neighbour's update of the same global coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WriteRegion {
+    /// The address space (e.g. a tile-buffer id) the rectangle lives in.
+    pub space: u64,
+    /// The written rectangle.
+    pub rect: Rect,
+}
+
 /// One consumer of one of a task's outputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OutputDep {
@@ -116,7 +176,7 @@ pub trait TaskClass: Send + Sync {
 
     /// Number of dataflow inputs task `p` waits for before it may fire.
     /// Must equal the number of `OutputDep`s across all predecessors that
-    /// name this task as consumer ([`crate::validate`] checks this).
+    /// name this task as consumer ([`crate::unfold`] checks this).
     fn activation_count(&self, p: Params) -> usize;
 
     /// Total number of input slots of task `p` (≥ `activation_count`;
@@ -156,6 +216,31 @@ pub trait TaskClass: Send + Sync {
     /// typically raise the priority of tasks whose outputs feed remote
     /// consumers, so communication starts as early as possible.
     fn priority(&self, p: Params) -> i32 {
+        let _ = p;
+        0
+    }
+
+    /// The region task `p` writes, for static write-race analysis; `None`
+    /// (the default) means "writes nothing shared" and exempts the task
+    /// from the race check.
+    fn write_region(&self, p: Params) -> Option<WriteRegion> {
+        let _ = p;
+        None
+    }
+
+    /// Useful floating-point operations task `p` performs (static
+    /// work accounting; the default 0 opts out).
+    fn flops(&self, p: Params) -> f64 {
+        let _ = p;
+        0.0
+    }
+
+    /// Redundant flops task `p` performs beyond the nominal algorithm —
+    /// the CA scheme's halo recompute. Executors add this to the
+    /// `obs::names::REDUNDANT_FLOPS` counter per completed task, and the
+    /// static analyzer sums the same values, so the two always agree
+    /// exactly.
+    fn redundant_flops(&self, p: Params) -> u64 {
         let _ = p;
         0
     }

@@ -1,0 +1,533 @@
+//! Explicit enumeration of the unfolded task DAG.
+//!
+//! The executors never materialize the graph — tasks are discovered when
+//! their first input arrives (see [`crate::pending`]). Static analysis
+//! needs the opposite: the whole DAG as data. [`UnfoldedDag::enumerate`]
+//! walks the parameterized declarations breadth-first from the roots and
+//! records every task and every producer→consumer edge, collecting the
+//! structural inconsistencies the old `validate` pass checked for
+//! ([`StructuralFault`]) along the way.
+//!
+//! This module is the substrate of the `analyze` crate's passes (cycle
+//! detection, write races, communication volume, critical path); the
+//! deprecated [`crate::validate`] API is now a thin shim over it.
+
+use crate::task::{Program, TaskGraph, TaskKey};
+use netsim::NodeId;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Default cap on enumerated tasks: large enough for every program in
+/// this workspace (the paper's biggest REPRO_FAST workload unfolds to
+/// ~700 k tasks), small enough to stop a runaway (cyclic-in-parameters)
+/// class from exhausting memory.
+pub const DEFAULT_TASK_LIMIT: usize = 8_000_000;
+
+/// One producer→consumer dependence in the unfolded DAG. Indices refer to
+/// [`UnfoldedDag::tasks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRef {
+    /// Index of the producing task.
+    pub producer: usize,
+    /// Index of the consuming task.
+    pub consumer: usize,
+    /// The producer's output flow feeding this edge.
+    pub flow: usize,
+    /// The consumer's input slot receiving it.
+    pub slot: usize,
+    /// Wire size of the flow ([`crate::task::TaskClass::output_bytes`]).
+    pub bytes: usize,
+}
+
+/// A structural inconsistency discovered while unfolding the DAG: the
+/// same invariants the old `validate` pass checked, kept as data so the
+/// analyzer can report them uniformly with its own diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StructuralFault {
+    /// An `OutputDep` names a flow index at or beyond the producer's
+    /// declared `num_output_flows`.
+    FlowOutOfRange {
+        /// The producing task.
+        task: TaskKey,
+        /// The referenced flow.
+        flow: usize,
+        /// The producer's declared flow count.
+        flows: usize,
+    },
+    /// An `OutputDep` names a slot at or beyond the consumer's declared
+    /// `num_input_slots`.
+    SlotOutOfRange {
+        /// The consuming task.
+        task: TaskKey,
+        /// The referenced slot.
+        slot: usize,
+        /// The consumer's declared slot count.
+        slots: usize,
+    },
+    /// Two producer flows target the same input slot of the same task.
+    SlotCollision {
+        /// The consuming task.
+        task: TaskKey,
+        /// The contended slot.
+        slot: usize,
+    },
+    /// A task's declared activation count differs from the number of
+    /// flows actually targeting it. `declared > actual` deadlocks the run
+    /// (the task can never fire); `declared < actual` double-delivers.
+    IndegreeMismatch {
+        /// The inconsistent task.
+        task: TaskKey,
+        /// What `activation_count` declares.
+        declared: usize,
+        /// How many producer flows target the task.
+        actual: usize,
+    },
+    /// The number of reachable tasks differs from `Program::total_tasks`
+    /// (termination is detected by counting completions, so this hangs or
+    /// truncates the run).
+    TotalMismatch {
+        /// What the program declares.
+        declared: u64,
+        /// How many tasks are reachable from the roots.
+        reachable: u64,
+    },
+    /// Enumeration stopped at the task limit; every count and edge list
+    /// is a lower bound and downstream passes are unsound.
+    Truncated {
+        /// The limit that was hit.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for StructuralFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StructuralFault::FlowOutOfRange { task, flow, flows } => {
+                write!(f, "{task:?}: flow {flow} out of range (has {flows})")
+            }
+            StructuralFault::SlotOutOfRange { task, slot, slots } => {
+                write!(f, "{task:?}: slot {slot} out of range (has {slots})")
+            }
+            StructuralFault::SlotCollision { task, slot } => {
+                write!(f, "{task:?}: input slot {slot} fed by multiple flows")
+            }
+            StructuralFault::IndegreeMismatch {
+                task,
+                declared,
+                actual,
+            } => write!(
+                f,
+                "{task:?}: declares {declared} inputs but {actual} flows target it"
+            ),
+            StructuralFault::TotalMismatch {
+                declared,
+                reachable,
+            } => write!(
+                f,
+                "program declares {declared} tasks but {reachable} are reachable"
+            ),
+            StructuralFault::Truncated { limit } => {
+                write!(f, "enumeration truncated at {limit} tasks")
+            }
+        }
+    }
+}
+
+/// The fully unfolded DAG of one [`Program`]: every reachable task, every
+/// edge, and the structural faults found while enumerating.
+pub struct UnfoldedDag {
+    /// The class registry the tasks refer to.
+    pub graph: Arc<TaskGraph>,
+    /// Every reachable task, in BFS discovery order (roots first).
+    pub tasks: Vec<TaskKey>,
+    /// Indices of the program's root tasks within [`UnfoldedDag::tasks`].
+    pub roots: Vec<usize>,
+    /// Every producer→consumer edge.
+    pub edges: Vec<EdgeRef>,
+    /// Structural inconsistencies found (empty = consistent).
+    pub faults: Vec<StructuralFault>,
+    index: HashMap<TaskKey, usize>,
+}
+
+impl UnfoldedDag {
+    /// Enumerate `program` with the [`DEFAULT_TASK_LIMIT`].
+    pub fn enumerate(program: &Program) -> Self {
+        Self::enumerate_with_limit(program, DEFAULT_TASK_LIMIT)
+    }
+
+    /// Enumerate `program`, stopping (with a
+    /// [`StructuralFault::Truncated`]) after discovering `limit` tasks.
+    pub fn enumerate_with_limit(program: &Program, limit: usize) -> Self {
+        let graph = Arc::clone(&program.graph);
+        let mut tasks: Vec<TaskKey> = Vec::new();
+        let mut index: HashMap<TaskKey, usize> = HashMap::new();
+        let mut edges: Vec<EdgeRef> = Vec::new();
+        let mut faults: Vec<StructuralFault> = Vec::new();
+        // Pending edges whose consumer index is not known yet are staged
+        // with the consumer key; resolve after discovery completes.
+        let mut staged: Vec<(usize, TaskKey, usize, usize, usize)> = Vec::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut truncated = false;
+
+        let discover = |key: TaskKey,
+                        tasks: &mut Vec<TaskKey>,
+                        index: &mut HashMap<TaskKey, usize>,
+                        queue: &mut VecDeque<usize>|
+         -> Option<usize> {
+            if let Some(&i) = index.get(&key) {
+                return Some(i);
+            }
+            if tasks.len() >= limit {
+                return None;
+            }
+            let i = tasks.len();
+            tasks.push(key);
+            index.insert(key, i);
+            queue.push_back(i);
+            Some(i)
+        };
+
+        let mut roots = Vec::with_capacity(program.roots.len());
+        for &root in &program.roots {
+            if let Some(i) = discover(root, &mut tasks, &mut index, &mut queue) {
+                roots.push(i);
+            } else {
+                truncated = true;
+            }
+        }
+
+        while let Some(pi) = queue.pop_front() {
+            let key = tasks[pi];
+            let class = graph.class(key.class);
+            let flows = class.num_output_flows(key.params);
+            for dep in class.outputs(key.params) {
+                if dep.flow >= flows {
+                    faults.push(StructuralFault::FlowOutOfRange {
+                        task: key,
+                        flow: dep.flow,
+                        flows,
+                    });
+                }
+                let cclass = graph.class(dep.consumer.class);
+                let slots = cclass.num_input_slots(dep.consumer.params);
+                if dep.slot >= slots {
+                    faults.push(StructuralFault::SlotOutOfRange {
+                        task: dep.consumer,
+                        slot: dep.slot,
+                        slots,
+                    });
+                }
+                let bytes = if dep.flow < flows {
+                    class.output_bytes(key.params, dep.flow)
+                } else {
+                    0
+                };
+                match discover(dep.consumer, &mut tasks, &mut index, &mut queue) {
+                    Some(ci) => edges.push(EdgeRef {
+                        producer: pi,
+                        consumer: ci,
+                        flow: dep.flow,
+                        slot: dep.slot,
+                        bytes,
+                    }),
+                    None => {
+                        truncated = true;
+                        staged.push((pi, dep.consumer, dep.flow, dep.slot, bytes));
+                    }
+                }
+            }
+        }
+        // Edges to tasks that were later discovered anyway (reached below
+        // the limit through another path) still count.
+        for (pi, consumer, flow, slot, bytes) in staged {
+            if let Some(&ci) = index.get(&consumer) {
+                edges.push(EdgeRef {
+                    producer: pi,
+                    consumer: ci,
+                    flow,
+                    slot,
+                    bytes,
+                });
+            }
+        }
+
+        if truncated {
+            faults.push(StructuralFault::Truncated { limit });
+        } else {
+            // Cross-check declared in-degrees and slot usage. Skipped on
+            // truncation: partial in-edge counts would all look mismatched.
+            let mut indeg = vec![0usize; tasks.len()];
+            let mut slot_seen: HashMap<(usize, usize), usize> = HashMap::new();
+            for e in &edges {
+                indeg[e.consumer] += 1;
+                *slot_seen.entry((e.consumer, e.slot)).or_default() += 1;
+            }
+            for (i, &key) in tasks.iter().enumerate() {
+                let declared = graph.class(key.class).activation_count(key.params);
+                if declared != indeg[i] {
+                    faults.push(StructuralFault::IndegreeMismatch {
+                        task: key,
+                        declared,
+                        actual: indeg[i],
+                    });
+                }
+            }
+            let mut collisions: Vec<(usize, usize)> = slot_seen
+                .into_iter()
+                .filter(|&(_, count)| count > 1)
+                .map(|((task, slot), _)| (task, slot))
+                .collect();
+            collisions.sort_unstable();
+            for (ti, slot) in collisions {
+                faults.push(StructuralFault::SlotCollision {
+                    task: tasks[ti],
+                    slot,
+                });
+            }
+            if tasks.len() as u64 != program.total_tasks {
+                faults.push(StructuralFault::TotalMismatch {
+                    declared: program.total_tasks,
+                    reachable: tasks.len() as u64,
+                });
+            }
+        }
+
+        UnfoldedDag {
+            graph,
+            tasks,
+            roots,
+            edges,
+            faults,
+            index,
+        }
+    }
+
+    /// Number of enumerated tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when no task was enumerated.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// True when enumeration found no structural fault.
+    pub fn is_consistent(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Index of `key` in [`UnfoldedDag::tasks`], if reachable.
+    pub fn index_of(&self, key: TaskKey) -> Option<usize> {
+        self.index.get(&key).copied()
+    }
+
+    /// Owning node of task `i`.
+    pub fn node_of(&self, i: usize) -> NodeId {
+        let key = self.tasks[i];
+        self.graph.class(key.class).node_of(key.params)
+    }
+
+    /// Service time of task `i` under the program's cost model.
+    pub fn cost_of(&self, i: usize) -> f64 {
+        let key = self.tasks[i];
+        self.graph.class(key.class).cost(key.params)
+    }
+
+    /// Per-task in-degrees (counted from the enumerated edges, not the
+    /// declarations).
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut indeg = vec![0usize; self.tasks.len()];
+        for e in &self.edges {
+            indeg[e.consumer] += 1;
+        }
+        indeg
+    }
+
+    /// Successor adjacency: for each task, the indices of its out-edges in
+    /// [`UnfoldedDag::edges`].
+    pub fn out_adjacency(&self) -> Vec<Vec<u32>> {
+        let mut adj = vec![Vec::new(); self.tasks.len()];
+        for (ei, e) in self.edges.iter().enumerate() {
+            adj[e.producer].push(ei as u32);
+        }
+        adj
+    }
+
+    /// A topological order of the tasks (Kahn), or `None` when the
+    /// enumerated edges contain a cycle.
+    pub fn topo_order(&self) -> Option<Vec<usize>> {
+        let mut indeg = self.in_degrees();
+        let adj = self.out_adjacency();
+        let mut order = Vec::with_capacity(self.len());
+        let mut queue: VecDeque<usize> = (0..self.len()).filter(|&i| indeg[i] == 0).collect();
+        while let Some(i) = queue.pop_front() {
+            order.push(i);
+            for &ei in &adj[i] {
+                let c = self.edges[ei as usize].consumer;
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    queue.push_back(c);
+                }
+            }
+        }
+        (order.len() == self.len()).then_some(order)
+    }
+}
+
+/// Enumerate `program` and panic with a readable report on any structural
+/// fault. Runtime-internal tests use this; application code should prefer
+/// the richer `analyze::assert_clean`.
+pub fn assert_consistent(program: &Program) {
+    let dag = UnfoldedDag::enumerate(program);
+    if !dag.is_consistent() {
+        let report: Vec<String> = dag.faults.iter().take(20).map(|e| e.to_string()).collect();
+        panic!(
+            "task graph is inconsistent ({} faults):\n  {}",
+            dag.faults.len(),
+            report.join("\n  ")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::testutil::ExplicitDag;
+    use crate::task::TaskGraph;
+    use std::collections::HashMap as Map;
+    use std::sync::Arc;
+
+    fn program(
+        edges: &[(i32, i32, usize)],
+        indeg: &[(i32, usize)],
+        roots: &[i32],
+        total: u64,
+    ) -> Program {
+        let mut edge_map: Map<i32, Vec<(i32, usize)>> = Map::new();
+        for &(from, to, slot) in edges {
+            edge_map.entry(from).or_default().push((to, slot));
+        }
+        let mut g = TaskGraph::new();
+        g.add_class(Arc::new(ExplicitDag {
+            name: "t".into(),
+            edges: edge_map,
+            indeg: indeg.iter().copied().collect(),
+            node: Map::new(),
+            cost: 1.0,
+            bytes: 8,
+        }));
+        Program {
+            graph: Arc::new(g),
+            roots: roots
+                .iter()
+                .map(|&i| TaskKey::new(0, [i, 0, 0, 0]))
+                .collect(),
+            total_tasks: total,
+        }
+    }
+
+    #[test]
+    fn diamond_enumerates_in_bfs_order() {
+        let p = program(
+            &[(0, 1, 0), (0, 2, 0), (1, 3, 0), (2, 3, 1)],
+            &[(1, 1), (2, 1), (3, 2)],
+            &[0],
+            4,
+        );
+        let dag = UnfoldedDag::enumerate(&p);
+        assert!(dag.is_consistent(), "{:?}", dag.faults);
+        assert_eq!(dag.len(), 4);
+        assert_eq!(dag.edges.len(), 4);
+        assert_eq!(dag.roots, vec![0]);
+        assert_eq!(dag.index_of(TaskKey::new(0, [3, 0, 0, 0])), Some(3));
+        let topo = dag.topo_order().expect("acyclic");
+        assert_eq!(topo.len(), 4);
+        assert_eq!(topo[0], 0);
+        assert_consistent(&p);
+    }
+
+    #[test]
+    fn indegree_mismatch_is_a_fault() {
+        let p = program(&[(0, 1, 0)], &[(1, 2)], &[0], 2);
+        let dag = UnfoldedDag::enumerate(&p);
+        assert!(dag.faults.iter().any(|f| matches!(
+            f,
+            StructuralFault::IndegreeMismatch {
+                declared: 2,
+                actual: 1,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn slot_collision_is_a_fault() {
+        let p = program(&[(0, 1, 0), (0, 1, 0)], &[(1, 2)], &[0], 2);
+        let dag = UnfoldedDag::enumerate(&p);
+        assert!(dag
+            .faults
+            .iter()
+            .any(|f| matches!(f, StructuralFault::SlotCollision { slot: 0, .. })));
+    }
+
+    #[test]
+    fn total_mismatch_is_a_fault() {
+        let p = program(&[(0, 1, 0)], &[(1, 1)], &[0], 5);
+        let dag = UnfoldedDag::enumerate(&p);
+        assert!(dag.faults.iter().any(|f| matches!(
+            f,
+            StructuralFault::TotalMismatch {
+                declared: 5,
+                reachable: 2
+            }
+        )));
+    }
+
+    #[test]
+    fn cycle_defeats_topo_order_but_not_enumeration() {
+        // 0 -> 1 -> 2 -> 1: task 1 is in a cycle with 2
+        let p = program(
+            &[(0, 1, 0), (1, 2, 0), (2, 1, 1)],
+            &[(1, 2), (2, 1)],
+            &[0],
+            3,
+        );
+        let dag = UnfoldedDag::enumerate(&p);
+        assert_eq!(dag.len(), 3);
+        assert!(dag.is_consistent(), "{:?}", dag.faults);
+        assert!(dag.topo_order().is_none());
+    }
+
+    #[test]
+    fn limit_truncates_with_fault() {
+        // an unbounded chain: i -> i+1 forever would loop; emulate with a
+        // long chain and a tiny limit
+        let edges: Vec<(i32, i32, usize)> = (0..100).map(|i| (i, i + 1, 0)).collect();
+        let indeg: Vec<(i32, usize)> = (1..=100).map(|i| (i, 1)).collect();
+        let p = program(&edges, &indeg, &[0], 101);
+        let dag = UnfoldedDag::enumerate_with_limit(&p, 10);
+        assert_eq!(dag.len(), 10);
+        assert!(dag
+            .faults
+            .iter()
+            .any(|f| matches!(f, StructuralFault::Truncated { limit: 10 })));
+    }
+
+    #[test]
+    fn costs_and_nodes_are_exposed() {
+        let p = program(&[(0, 1, 0)], &[(1, 1)], &[0], 2);
+        let dag = UnfoldedDag::enumerate(&p);
+        assert_eq!(dag.cost_of(0), 1.0);
+        assert_eq!(dag.node_of(0), 0);
+        assert_eq!(dag.in_degrees(), vec![0, 1]);
+        assert_eq!(dag.out_adjacency()[0].len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "task graph is inconsistent")]
+    fn assert_consistent_panics_on_fault() {
+        let p = program(&[(0, 1, 0)], &[(1, 3)], &[0], 2);
+        assert_consistent(&p);
+    }
+}

@@ -1,16 +1,18 @@
-//! Whole-graph consistency checking.
+//! Whole-graph consistency checking — **deprecated shim**.
 //!
-//! The PTG style keeps producer→consumer edges in the producer's
-//! `outputs()` and the expected in-degree in the consumer's
-//! `activation_count()`; nothing forces the two to agree. For production
-//! runs the runtime trusts the class (as PaRSEC trusts a JDF), but tests
-//! and examples call [`validate_program`] to enumerate the whole unfolded
-//! DAG from the roots and cross-check every declaration.
+//! The checks this module performed now live in [`crate::unfold`] (which
+//! also exposes the enumerated DAG itself) and are subsumed by the
+//! `analyze` crate's `analyze_program`/`assert_clean`, which add cycle,
+//! write-race, communication-volume and critical-path passes on top.
+//! Mirroring the executor `run_*` shims of the unified `run()` API, the
+//! old entry points remain as thin deprecated wrappers so existing
+//! callers keep compiling unchanged.
 
-use crate::task::{Program, TaskKey};
-use std::collections::{HashMap, HashSet, VecDeque};
+use crate::task::Program;
+use crate::unfold::{StructuralFault, UnfoldedDag};
 
-/// A violated graph invariant.
+/// A violated graph invariant (legacy shape; [`StructuralFault`] is the
+/// current form, with `TaskKey` witnesses instead of strings).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GraphError {
     /// A task's declared activation count differs from the number of flows
@@ -101,96 +103,74 @@ impl std::fmt::Display for GraphError {
 
 /// Enumerate the full DAG from the roots and verify every invariant.
 /// Returns all violations found (empty = consistent).
-///
-/// Cost is proportional to the full task count — use on test-sized
-/// programs, not production problem sizes.
+#[deprecated(note = "use analyze::analyze_program, or runtime::unfold::UnfoldedDag directly")]
 pub fn validate_program(program: &Program) -> Vec<GraphError> {
-    let graph = &program.graph;
+    let dag = UnfoldedDag::enumerate(program);
     let mut errors = Vec::new();
-    let mut seen: HashSet<TaskKey> = HashSet::new();
-    let mut incoming: HashMap<TaskKey, HashMap<usize, usize>> = HashMap::new(); // task -> slot -> count
-    let mut queue: VecDeque<TaskKey> = VecDeque::new();
-
-    for &root in &program.roots {
-        if seen.insert(root) {
-            queue.push_back(root);
-        }
-    }
-
-    while let Some(key) = queue.pop_front() {
-        let class = graph.class(key.class);
-        let flows = class.num_output_flows(key.params);
-        for dep in class.outputs(key.params) {
-            if dep.flow >= flows {
+    for fault in &dag.faults {
+        match *fault {
+            StructuralFault::FlowOutOfRange { task, flow, flows } => {
                 errors.push(GraphError::FlowOutOfRange {
-                    task: format!("{key:?}"),
-                    flow: dep.flow,
+                    task: format!("{task:?}"),
+                    flow,
                     flows,
                 });
             }
-            let cclass = graph.class(dep.consumer.class);
-            let slots = cclass.num_input_slots(dep.consumer.params);
-            if dep.slot >= slots {
+            StructuralFault::SlotOutOfRange { task, slot, slots } => {
                 errors.push(GraphError::SlotOutOfRange {
-                    task: format!("{:?}", dep.consumer),
-                    slot: dep.slot,
+                    task: format!("{task:?}"),
+                    slot,
                     slots,
                 });
             }
-            *incoming
-                .entry(dep.consumer)
-                .or_default()
-                .entry(dep.slot)
-                .or_default() += 1;
-            if seen.insert(dep.consumer) {
-                queue.push_back(dep.consumer);
-            }
-        }
-    }
-
-    for &key in &seen {
-        let class = graph.class(key.class);
-        let declared = class.activation_count(key.params);
-        let slots = incoming.get(&key);
-        let actual: usize = slots.map_or(0, |m| m.values().sum());
-        if declared != actual {
-            errors.push(GraphError::IndegreeMismatch {
-                task: format!("{key:?}"),
-                declared,
-                actual,
-            });
-            if declared > actual {
-                errors.push(GraphError::Unfireable {
-                    task: format!("{key:?}"),
+            StructuralFault::SlotCollision { task, slot } => {
+                errors.push(GraphError::SlotCollision {
+                    task: format!("{task:?}"),
+                    slot,
                 });
             }
-        }
-        if let Some(m) = slots {
-            for (&slot, &count) in m {
-                if count > 1 {
-                    errors.push(GraphError::SlotCollision {
-                        task: format!("{key:?}"),
-                        slot,
+            StructuralFault::IndegreeMismatch {
+                task,
+                declared,
+                actual,
+            } => {
+                errors.push(GraphError::IndegreeMismatch {
+                    task: format!("{task:?}"),
+                    declared,
+                    actual,
+                });
+                if declared > actual {
+                    errors.push(GraphError::Unfireable {
+                        task: format!("{task:?}"),
                     });
                 }
             }
+            StructuralFault::TotalMismatch {
+                declared,
+                reachable,
+            } => {
+                errors.push(GraphError::TotalMismatch {
+                    declared,
+                    reachable,
+                });
+            }
+            // the legacy enum has no truncation variant; report it as a
+            // total mismatch against what was enumerated
+            StructuralFault::Truncated { .. } => {
+                errors.push(GraphError::TotalMismatch {
+                    declared: program.total_tasks,
+                    reachable: dag.len() as u64,
+                });
+            }
         }
     }
-
-    let reachable = seen.len() as u64;
-    if reachable != program.total_tasks {
-        errors.push(GraphError::TotalMismatch {
-            declared: program.total_tasks,
-            reachable,
-        });
-    }
-
     errors
 }
 
-/// Panic with a readable report if the program is inconsistent; tests and
-/// examples call this before running.
+/// Panic with a readable report if the program is inconsistent.
+#[deprecated(note = "use analyze::assert_clean, or runtime::unfold::assert_consistent")]
 pub fn assert_valid(program: &Program) {
+    #[allow(deprecated)]
     let errors = validate_program(program);
     if !errors.is_empty() {
         let report: Vec<String> = errors.iter().take(20).map(|e| e.to_string()).collect();
@@ -203,6 +183,7 @@ pub fn assert_valid(program: &Program) {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::task::testutil::ExplicitDag;

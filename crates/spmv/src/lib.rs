@@ -20,6 +20,8 @@
 //! (the CSR accumulation order differs from the stencil kernel's fixed
 //! expression, so agreement is ~1e-14, not bitwise — same as real PETSc).
 
+#![deny(missing_docs)]
+
 pub mod cg;
 pub mod csr;
 pub mod dist;

@@ -1,5 +1,7 @@
 //! Shared helpers for the example binaries.
 
+#![deny(missing_docs)]
+
 use ca_stencil::Problem;
 use std::sync::Arc;
 

@@ -1,6 +1,8 @@
 //! Cross-crate integration test crate. The tests live in `tests/tests/`;
 //! this library only hosts shared helpers.
 
+#![deny(missing_docs)]
+
 use ca_stencil::{Problem, StencilConfig};
 use netsim::ProcessGrid;
 

@@ -1,0 +1,104 @@
+//! The static analyzer vs the whole stack: every scheme's program must be
+//! analysis-clean across geometries, the static communication accounting
+//! must match the simulator's dynamic counters *exactly*, and no simulated
+//! run may beat the analyzer's makespan lower bound.
+
+use analyze::{analyze_program, AnalyzeConfig};
+use ca_stencil::{build_base, build_base_dtd, build_ca, build_pa2, Problem, StencilConfig};
+use machine::MachineProfile;
+use netsim::ProcessGrid;
+use obs::names;
+use runtime::{run, Program, RunConfig};
+
+fn cfg(n: usize, tile: usize, steps: usize, side: u32, iters: u32) -> StencilConfig {
+    StencilConfig::new(
+        Problem::laplace(n),
+        tile,
+        iters,
+        ProcessGrid::new(side, side),
+    )
+    .with_steps(steps)
+}
+
+/// Several (grid, tile, s) points per scheme; each must produce zero
+/// diagnostics.
+#[test]
+fn all_schemes_are_analysis_clean() {
+    let points = [
+        (16, 4, 1, 1u32, 3u32),
+        (32, 4, 2, 2, 5),
+        (48, 8, 4, 2, 7),
+        (36, 6, 3, 3, 4),
+    ];
+    for (n, tile, steps, side, iters) in points {
+        let c = cfg(n, tile, steps, side, iters);
+        let label = format!("n={n} tile={tile} s={steps} side={side}");
+        let schemes: Vec<(&str, Program)> = vec![
+            ("base", build_base(&c, false).program),
+            ("ca", build_ca(&c, false).program),
+            ("pa2", build_pa2(&c, false).program),
+            ("dtd", build_base_dtd(&c)),
+        ];
+        for (name, program) in schemes {
+            let a = analyze_program(&program, &AnalyzeConfig::new());
+            assert!(a.is_clean(), "{name} at {label}: {}", a.report());
+        }
+    }
+}
+
+/// The static per-edge accounting predicts the dynamic counters exactly:
+/// task count, cross-node messages, cross-node bytes, redundant flops.
+#[test]
+fn static_comm_matches_dynamic_counters_exactly() {
+    // tile 8 keeps steps = 3 within PA2's `steps <= tile / 2` precondition
+    let c = cfg(32, 8, 3, 2, 6);
+    let schemes: Vec<(&str, Program)> = vec![
+        ("base", build_base(&c, false).program),
+        ("ca", build_ca(&c, false).program),
+        ("pa2", build_pa2(&c, false).program),
+        ("dtd", build_base_dtd(&c)),
+    ];
+    for (name, program) in schemes {
+        let a = analyze_program(&program, &AnalyzeConfig::new());
+        assert!(a.is_clean(), "{name}: {}", a.report());
+        let r = run(&program, &RunConfig::simulated(MachineProfile::nacl(), 4));
+        let mismatches = r.metrics.verify(&a.expected_counters());
+        assert!(mismatches.is_empty(), "{name}: {mismatches:?}");
+        // the same facts through the report's accessors, for redundancy
+        assert_eq!(r.remote_messages(), a.comm.cross_messages, "{name}");
+        assert_eq!(r.remote_bytes(), a.comm.cross_bytes, "{name}");
+        assert_eq!(
+            r.counter(names::REDUNDANT_FLOPS),
+            a.flops.redundant,
+            "{name}"
+        );
+    }
+}
+
+/// No schedule can beat the critical-path / busiest-node lower bound,
+/// so in particular the simulator's makespan must not.
+#[test]
+fn simulated_makespan_never_beats_lower_bound() {
+    let profile = MachineProfile::nacl();
+    let lanes = profile.compute_threads();
+    for steps in [1usize, 2, 4] {
+        let c = cfg(32, 8, steps, 2, 8);
+        let schemes: Vec<(&str, Program)> = vec![
+            ("base", build_base(&c, false).program),
+            ("ca", build_ca(&c, false).program),
+            ("pa2", build_pa2(&c, false).program),
+        ];
+        for (name, program) in schemes {
+            let a = analyze_program(&program, &AnalyzeConfig::new().with_lanes(lanes));
+            let path = a.path.expect("clean DAG has a critical path");
+            let r = run(&program, &RunConfig::simulated(profile.clone(), 4));
+            assert!(
+                r.makespan >= path.makespan_lower_bound,
+                "{name} s={steps}: makespan {} < bound {}",
+                r.makespan,
+                path.makespan_lower_bound,
+            );
+            assert!(path.makespan_lower_bound >= path.critical_path / lanes as f64);
+        }
+    }
+}

@@ -8,7 +8,7 @@ use ca_stencil::{build_base, build_ca, jacobi_reference, max_abs_diff, Problem, 
 use machine::MachineProfile;
 use netsim::ProcessGrid;
 use proptest::prelude::*;
-use runtime::{assert_valid, run, RunConfig};
+use runtime::{run, RunConfig};
 
 /// Random but well-formed configurations: tiles divide the grid, tile
 /// counts divide the node grid, steps ≤ tile.
@@ -37,7 +37,7 @@ proptest! {
     #[test]
     fn ca_equals_reference_bitwise((cfg, nodes) in configs()) {
         let build = build_ca(&cfg, true);
-        assert_valid(&build.program);
+        analyze::assert_clean(&build.program);
         run(
             &build.program,
             &RunConfig::simulated(MachineProfile::nacl(), nodes).with_bodies(),
@@ -50,7 +50,7 @@ proptest! {
     #[test]
     fn base_equals_reference_bitwise((cfg, nodes) in configs()) {
         let build = build_base(&cfg, true);
-        assert_valid(&build.program);
+        analyze::assert_clean(&build.program);
         run(
             &build.program,
             &RunConfig::simulated(MachineProfile::nacl(), nodes).with_bodies(),
