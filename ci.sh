@@ -35,6 +35,16 @@ else
     echo "WARNING: miri not installed; skipping cargo miri test -p desim -p ca-stencil"
 fi
 
+# Bench regression gate: diagnose the reference stencil configuration and
+# diff against the committed baseline within tolerance bands. Warn-skip
+# when no baseline has been committed yet (bootstrap with
+# `stencil-doctor --baseline`).
+if [ -f BENCH_stencil.json ]; then
+    step ./target/release/stencil-doctor --check
+else
+    echo "WARNING: BENCH_stencil.json not found; skipping stencil-doctor --check"
+fi
+
 if cargo fmt --version >/dev/null 2>&1; then
     step cargo fmt --all -- --check
 else

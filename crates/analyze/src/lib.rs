@@ -5,7 +5,7 @@
 //! once ([`runtime::UnfoldedDag`]) and proves properties about every
 //! schedule before any run:
 //!
-//! * **Structural consistency** — the checks the deprecated
+//! * **Structural consistency** — the checks the retired
 //!   `runtime::validate` pass performed (activation counts, slot wiring,
 //!   task totals), reported as [`Diagnostic::Structural`].
 //! * **Deadlock freedom** — a dependence cycle means the tasks on it can
@@ -149,9 +149,21 @@ impl Analysis {
     }
 }
 
+/// Enumerate `program`'s DAG under `config`'s task limit — the same
+/// enumeration [`analyze_program`] starts from, exposed so callers that
+/// need the graph itself (e.g. the `insight` crate joining trace spans to
+/// task instances) can unfold once and share it with [`analyze_dag`].
+pub fn unfold(program: &Program, config: &AnalyzeConfig) -> UnfoldedDag {
+    UnfoldedDag::enumerate_with_limit(program, config.task_limit)
+}
+
 /// Run every static pass over `program`.
 pub fn analyze_program(program: &Program, config: &AnalyzeConfig) -> Analysis {
-    let dag = UnfoldedDag::enumerate_with_limit(program, config.task_limit);
+    analyze_dag(&unfold(program, config), config)
+}
+
+/// Run every static pass over an already-enumerated DAG.
+pub fn analyze_dag(dag: &UnfoldedDag, config: &AnalyzeConfig) -> Analysis {
     let mut diagnostics: Vec<Diagnostic> = dag
         .faults
         .iter()
@@ -169,12 +181,12 @@ pub fn analyze_program(program: &Program, config: &AnalyzeConfig) -> Analysis {
     let topo = if truncated { None } else { dag.topo_order() };
     if !truncated && topo.is_none() {
         diagnostics.push(Diagnostic::Deadlock {
-            cycle: deadlock::find_cycle(&dag),
+            cycle: deadlock::find_cycle(dag),
         });
     }
     if config.races {
         if let Some(topo) = &topo {
-            diagnostics.extend(race::find_races(&dag, topo));
+            diagnostics.extend(race::find_races(dag, topo));
         }
     }
 
@@ -182,15 +194,15 @@ pub fn analyze_program(program: &Program, config: &AnalyzeConfig) -> Analysis {
         tasks: dag.len(),
         edges: dag.edges.len(),
         diagnostics,
-        comm: comm::account_comm(&dag),
-        flops: comm::account_flops(&dag),
-        path: topo.map(|t| path::critical_path(&dag, &t, config.lanes)),
+        comm: comm::account_comm(dag),
+        flops: comm::account_flops(dag),
+        path: topo.map(|t| path::critical_path(dag, &t, config.lanes)),
     }
 }
 
 /// Analyze with default config and panic with the report on any
-/// diagnostic. Drop-in successor of the deprecated
-/// `runtime::assert_valid`; returns the [`Analysis`] for further checks.
+/// diagnostic. Drop-in successor of the retired `runtime::assert_valid`;
+/// returns the [`Analysis`] for further checks.
 pub fn assert_clean(program: &Program) -> Analysis {
     let analysis = analyze_program(program, &AnalyzeConfig::new());
     assert!(

@@ -22,6 +22,10 @@ fn main() {
         let chrome = format!("fig10_{version}.trace.json");
         std::fs::write(&chrome, r.chrome_json(i)).expect("write chrome trace");
         println!("wrote {} spans to {chrome}", r.traces[i].len());
+
+        let doctor = format!("fig10_{version}.doctor.txt");
+        std::fs::write(&doctor, &r.reports[i]).expect("write doctor report");
+        println!("wrote diagnosis to {doctor}");
     }
     bench::report::write_metrics("fig10");
 }

@@ -1,0 +1,111 @@
+//! `stencil-doctor`: diagnose a stencil run and manage the bench
+//! regression baseline.
+//!
+//! Runs base and CA on the deterministic simulated executor, joins the
+//! trace back to the statically unfolded task graph, and prints: idle-gap
+//! attribution (comm-wait / dependency-wait / starvation), per-kind
+//! duration percentiles, the realized critical path against the static
+//! makespan lower bound, and a step-size recommendation.
+//!
+//! ```text
+//! cargo run --release -p bench --bin stencil-doctor              # diagnose only
+//! cargo run --release -p bench --bin stencil-doctor -- --baseline  # write BENCH_stencil.json
+//! cargo run --release -p bench --bin stencil-doctor -- --check     # diff against it; exit 1 on drift
+//! ```
+//!
+//! `--file <path>` overrides the baseline location; the run parameters
+//! (`--n --tile --iters --steps --grid --ratio`) default to the committed
+//! baseline configuration and are recorded in the file, so a check
+//! against a baseline from different parameters fails loudly instead of
+//! comparing apples to oranges.
+
+use bench::exp_doctor::{self, DoctorConfig};
+use insight::{Baseline, Tolerance};
+
+enum Mode {
+    Diagnose,
+    WriteBaseline,
+    Check,
+}
+
+struct Args {
+    dc: DoctorConfig,
+    mode: Mode,
+    file: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        dc: DoctorConfig::default(),
+        mode: Mode::Diagnose,
+        file: "BENCH_stencil.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value after {flag}"))
+        };
+        match flag.as_str() {
+            "--n" => args.dc.n = value().parse().expect("--n takes an integer"),
+            "--tile" => args.dc.tile = value().parse().expect("--tile takes an integer"),
+            "--iters" => args.dc.iters = value().parse().expect("--iters takes an integer"),
+            "--steps" => args.dc.steps = value().parse().expect("--steps takes an integer"),
+            "--grid" => args.dc.grid = value().parse().expect("--grid takes an integer"),
+            "--ratio" => args.dc.ratio = value().parse().expect("--ratio takes a float"),
+            "--file" => args.file = value(),
+            "--baseline" => args.mode = Mode::WriteBaseline,
+            "--check" => args.mode = Mode::Check,
+            other => {
+                eprintln!(
+                    "unknown flag {other}; flags: --n --tile --iters --steps --grid --ratio \
+                     --baseline --check --file <path>"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let run = exp_doctor::run(&args.dc);
+    exp_doctor::print(&run);
+    let current = run.baseline();
+
+    match args.mode {
+        Mode::Diagnose => {}
+        Mode::WriteBaseline => {
+            std::fs::write(&args.file, current.to_json()).expect("write baseline file");
+            println!(
+                "\nwrote baseline for {} schemes to {}",
+                current.schemes.len(),
+                args.file
+            );
+        }
+        Mode::Check => {
+            let text = std::fs::read_to_string(&args.file).unwrap_or_else(|e| {
+                eprintln!(
+                    "cannot read baseline {}: {e} (run with --baseline first)",
+                    args.file
+                );
+                std::process::exit(2);
+            });
+            let committed = Baseline::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse baseline {}: {e}", args.file);
+                std::process::exit(2);
+            });
+            let violations = committed.compare(&current, &Tolerance::default());
+            if violations.is_empty() {
+                println!("\nbaseline check OK against {}", args.file);
+            } else {
+                eprintln!("\nbaseline check FAILED against {}:", args.file);
+                for v in &violations {
+                    eprintln!("  {v}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -3,7 +3,8 @@
 //! that its kernels are slightly *slower* individually (extra ghost
 //! copies) yet the run is faster overall.
 
-use crate::{iterations, paper_workload};
+use crate::{iterations, paper_workload, statics};
+use analyze::AnalyzeConfig;
 use ca_stencil::{
     build_base, build_ca, kind_names, Problem, StencilConfig, KIND_BOUNDARY, KIND_INTERIOR,
 };
@@ -25,6 +26,12 @@ pub struct Fig10Side {
     pub boundary_median_ms: Option<f64>,
     /// Median interior-task duration, milliseconds.
     pub interior_median_ms: Option<f64>,
+    /// Cluster-wide worker lane-time fraction attributed to comm-wait by
+    /// the `insight` idle-gap classifier.
+    pub comm_wait_fraction: f64,
+    /// Achieved makespan over the static critical-path/work lower bound
+    /// (`analyze`); ≥ 1 for any correct simulation.
+    pub bound_ratio: f64,
     /// Gantt rows (`lane start_ms end_ms kind`) of the profiled node.
     pub gantt: Vec<String>,
     /// ASCII rendering of the node's lanes over the whole run
@@ -52,6 +59,8 @@ pub struct Fig10Run {
     pub fig: Fig10,
     /// Whole-cluster traces, parallel to `fig.sides`.
     pub traces: Vec<obs::Trace>,
+    /// Rendered `insight` diagnosis reports, parallel to `fig.sides`.
+    pub reports: Vec<String>,
 }
 
 impl Fig10Run {
@@ -81,10 +90,17 @@ pub fn run(node: u32) -> Fig10Run {
     let lanes = profile.compute_threads();
     let mut sides = Vec::new();
     let mut traces = Vec::new();
+    let mut reports = Vec::new();
     for (version, program) in [
         ("base", build_base(&cfg, false).program),
         ("CA", build_ca(&cfg, false).program),
     ] {
+        // One unfolding serves both the static bound and the span join.
+        let dag = analyze::unfold(
+            &program,
+            &AnalyzeConfig::new().with_lanes(lanes).without_races(),
+        );
+        let cols = statics::predict_dag(&dag, lanes);
         let report = runtime::run(
             &program,
             &RunConfig::simulated(profile.clone(), nodes)
@@ -93,6 +109,7 @@ pub fn run(node: u32) -> Fig10Run {
         );
         crate::report::record(&format!("fig10/{version}"), &report);
         let trace = report.trace.expect("trace requested");
+        let diag = insight::diagnose(&trace, &dag, lanes);
         let horizon = trace.horizon_ns();
         let prof = profiling::profile_node(&trace, node, lanes, horizon);
         let median_of = |kind: u32| {
@@ -107,14 +124,18 @@ pub fn run(node: u32) -> Fig10Run {
             occupancy: prof.occupancy,
             boundary_median_ms: median_of(KIND_BOUNDARY),
             interior_median_ms: median_of(KIND_INTERIOR),
+            comm_wait_fraction: diag.totals.comm_wait_fraction(),
+            bound_ratio: report.makespan / cols.makespan_bound,
             gantt: profiling::gantt_rows(&trace, node),
             ascii: profiling::ascii_gantt(&trace, node, lanes, horizon, 100),
         });
+        reports.push(diag.render());
         traces.push(trace);
     }
     Fig10Run {
         fig: Fig10 { node, lanes, sides },
         traces,
+        reports,
     }
 }
 
@@ -126,12 +147,19 @@ pub fn print(fig: &Fig10) {
         fig.node, fig.lanes
     );
     println!(
-        "{:>6} {:>12} {:>12} {:>16} {:>16} {:>10}",
-        "ver", "time (s)", "occupancy", "boundary med ms", "interior med ms", "spans"
+        "{:>6} {:>12} {:>12} {:>16} {:>16} {:>10} {:>11} {:>7}",
+        "ver",
+        "time (s)",
+        "occupancy",
+        "boundary med ms",
+        "interior med ms",
+        "spans",
+        "comm-wait",
+        "x bound"
     );
     for s in &fig.sides {
         println!(
-            "{:>6} {:>12.3} {:>11.1}% {:>16} {:>16} {:>10}",
+            "{:>6} {:>12.3} {:>11.1}% {:>16} {:>16} {:>10} {:>10.1}% {:>7.2}",
             s.version,
             s.makespan,
             100.0 * s.occupancy,
@@ -139,7 +167,9 @@ pub fn print(fig: &Fig10) {
                 .map_or("-".to_string(), |v| format!("{v:.3}")),
             s.interior_median_ms
                 .map_or("-".to_string(), |v| format!("{v:.3}")),
-            s.gantt.len()
+            s.gantt.len(),
+            100.0 * s.comm_wait_fraction,
+            s.bound_ratio
         );
     }
     for s in &fig.sides {
@@ -185,5 +215,19 @@ mod tests {
             ca.interior_median_ms.unwrap(),
         );
         assert!((bi - ci).abs() / bi < 1e-6);
+        // The simulated makespan can never beat the static lower bound.
+        for s in [base, ca] {
+            assert!(
+                s.bound_ratio >= 1.0 - 1e-9,
+                "{}: x bound {}",
+                s.version,
+                s.bound_ratio
+            );
+        }
+        // The idle-gap classifier sees base stalling on the network every
+        // iteration while CA (one window at this scale) all but
+        // eliminates comm-wait.
+        assert!(base.comm_wait_fraction > 0.0);
+        assert!(ca.comm_wait_fraction < base.comm_wait_fraction);
     }
 }

@@ -15,6 +15,13 @@
 //! | `fig9_stepsize` | Figure 9 (CA step-size sweep) |
 //! | `fig10_trace` | Figure 10 (per-node trace, occupancy, kernel medians) |
 //!
+//! `stencil-doctor` is the diagnosis-and-regression harness rather than a
+//! paper figure: it runs base and CA on a deterministic simulated
+//! configuration, attributes every idle gap (comm-wait / dependency-wait
+//! / starvation via the `insight` crate), compares the achieved makespan
+//! to the static lower bound, and writes or checks the committed
+//! `BENCH_stencil.json` regression baseline.
+//!
 //! Beyond the paper's own artifacts, `ablations` sweeps the design knobs
 //! (scheduler policy, comm engines, rendezvous threshold, per-message
 //! cost) and runs the paper's concluding exascale projection.
@@ -25,6 +32,7 @@
 #![deny(missing_docs)]
 
 pub mod exp_ablations;
+pub mod exp_doctor;
 pub mod exp_fig10;
 pub mod exp_fig5;
 pub mod exp_fig6;

@@ -8,8 +8,8 @@
 //! the analyzer's only super-linear pass); the integration suite covers
 //! it at test scale.
 
-use analyze::{analyze_program, AnalyzeConfig};
-use runtime::Program;
+use analyze::{analyze_dag, AnalyzeConfig};
+use runtime::{Program, UnfoldedDag};
 use serde::Serialize;
 
 /// Statically predicted columns for one program.
@@ -29,10 +29,14 @@ pub struct StaticCols {
 /// Analyze `program` with `lanes` worker lanes per node (match the
 /// machine profile's compute threads) and extract the figure columns.
 pub fn predict(program: &Program, lanes: u32) -> StaticCols {
-    let a = analyze_program(
-        program,
-        &AnalyzeConfig::new().with_lanes(lanes).without_races(),
-    );
+    let cfg = AnalyzeConfig::new().with_lanes(lanes).without_races();
+    predict_dag(&analyze::unfold(program, &cfg), lanes)
+}
+
+/// [`predict`] over an already-unfolded DAG, so harnesses that also feed
+/// the DAG to [`insight::diagnose`] enumerate the graph once.
+pub fn predict_dag(dag: &UnfoldedDag, lanes: u32) -> StaticCols {
+    let a = analyze_dag(dag, &AnalyzeConfig::new().with_lanes(lanes).without_races());
     let (critical_path, makespan_bound) = a
         .path
         .as_ref()

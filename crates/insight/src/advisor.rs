@@ -1,0 +1,155 @@
+//! Step-size advisor: turn measured wait fractions into a concrete `s`
+//! recommendation.
+//!
+//! The paper's central trade (Table 1): raising the communication-
+//! avoiding step size `s` cuts message count per timestep window by `1/s`
+//! but grows redundant ghost-region flops by `O(s)`. The right `s` is
+//! where neither side dominates. This advisor reads the two measured
+//! symptoms — the comm-wait fraction from idle-gap attribution and the
+//! redundant-flop fraction from the counters — and moves `s` toward the
+//! cheaper side, one doubling/halving at a time.
+
+/// What to do with the step size, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepAdvice {
+    /// The step size the run used.
+    pub current_s: u32,
+    /// The recommended step size (equal to `current_s` when balanced).
+    pub recommended_s: u32,
+    /// Human-readable justification.
+    pub reason: String,
+}
+
+impl StepAdvice {
+    /// True when the advisor recommends keeping the current step size.
+    pub fn keep(&self) -> bool {
+        self.recommended_s == self.current_s
+    }
+}
+
+/// Fractions below this are noise: neither doubling nor halving `s`
+/// would move the makespan measurably.
+const MATERIAL: f64 = 0.05;
+
+/// Dominance margin: only move `s` when one symptom is at least twice
+/// the other, so the advisor does not oscillate around the optimum.
+const DOMINANCE: f64 = 2.0;
+
+/// Recommend a step size given the run's measured symptoms.
+///
+/// * `current_s` — the step size the diagnosed run used (`s ≥ 1`);
+/// * `max_s` — the largest admissible step (typically the iteration
+///   count, or a halo-depth limit);
+/// * `comm_wait_fraction` — share of worker lane-time classified
+///   [`GapCause::CommWait`](crate::GapCause::CommWait);
+/// * `redundant_fraction` — redundant flops over total flops
+///   (`redundant / (useful + redundant)`), from the
+///   `obs::names::REDUNDANT_FLOPS` counter or
+///   [`analyze::FlopStats`].
+pub fn advise_step(
+    current_s: u32,
+    max_s: u32,
+    comm_wait_fraction: f64,
+    redundant_fraction: f64,
+) -> StepAdvice {
+    let current_s = current_s.max(1);
+    let max_s = max_s.max(1);
+    let cw = comm_wait_fraction.max(0.0);
+    let rf = redundant_fraction.max(0.0);
+    let pct = |x: f64| format!("{:.1}%", x * 100.0);
+
+    if cw > MATERIAL && cw >= DOMINANCE * rf {
+        let target = (current_s * 2).min(max_s);
+        if target > current_s {
+            return StepAdvice {
+                current_s,
+                recommended_s: target,
+                reason: format!(
+                    "comm-wait {} dominates redundant work {}: raise s to {} to halve message rounds",
+                    pct(cw), pct(rf), target
+                ),
+            };
+        }
+        return StepAdvice {
+            current_s,
+            recommended_s: current_s,
+            reason: format!(
+                "comm-wait {} dominates but s={} is already at the admissible maximum",
+                pct(cw),
+                current_s
+            ),
+        };
+    }
+    if rf > MATERIAL && rf >= DOMINANCE * cw {
+        let target = (current_s / 2).max(1);
+        if target < current_s {
+            return StepAdvice {
+                current_s,
+                recommended_s: target,
+                reason: format!(
+                    "redundant work {} dominates comm-wait {}: lower s to {} to shrink ghost regions",
+                    pct(rf), pct(cw), target
+                ),
+            };
+        }
+        return StepAdvice {
+            current_s,
+            recommended_s: current_s,
+            reason: format!(
+                "redundant work {} dominates but s=1 has no ghost region to shrink",
+                pct(rf)
+            ),
+        };
+    }
+    StepAdvice {
+        current_s,
+        recommended_s: current_s,
+        reason: format!(
+            "comm-wait {} and redundant work {} are balanced: keep s={}",
+            pct(cw),
+            pct(rf),
+            current_s
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_bound_runs_double_s() {
+        let a = advise_step(2, 16, 0.30, 0.02);
+        assert_eq!(a.recommended_s, 4);
+        assert!(a.reason.contains("comm-wait"));
+    }
+
+    #[test]
+    fn flop_bound_runs_halve_s() {
+        let a = advise_step(8, 16, 0.01, 0.25);
+        assert_eq!(a.recommended_s, 4);
+        assert!(a.reason.contains("redundant"));
+    }
+
+    #[test]
+    fn balanced_runs_keep_s() {
+        let a = advise_step(4, 16, 0.10, 0.09);
+        assert!(a.keep());
+        // Both symptoms below the noise floor also keeps s.
+        assert!(advise_step(4, 16, 0.01, 0.002).keep());
+    }
+
+    #[test]
+    fn recommendations_respect_bounds() {
+        // Comm-bound but already at max_s.
+        let a = advise_step(16, 16, 0.5, 0.0);
+        assert!(a.keep());
+        assert!(a.reason.contains("maximum"));
+        // Flop-bound but already at s=1.
+        let b = advise_step(1, 16, 0.0, 0.5);
+        assert!(b.keep());
+        // Degenerate inputs clamp instead of panicking.
+        let c = advise_step(0, 0, -1.0, -1.0);
+        assert_eq!(c.recommended_s, 1);
+    }
+}

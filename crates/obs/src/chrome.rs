@@ -28,19 +28,34 @@ pub fn to_chrome_json(trace: &Trace) -> String {
     serde_json::to_string(&doc).expect("chrome trace serialization")
 }
 
+/// Display name for a span's kind: the registered name when there is
+/// one, `"comm"` for an unregistered comm-lane span, `kindN` otherwise.
+pub fn kind_name(trace: &Trace, kind: u32) -> String {
+    trace.kinds.get(&kind).cloned().unwrap_or_else(|| {
+        if kind == crate::KIND_COMM {
+            "comm".to_string()
+        } else {
+            format!("kind{kind}")
+        }
+    })
+}
+
 fn event(trace: &Trace, s: &SpanRecord) -> Value {
-    let name = trace
-        .kinds
-        .get(&s.kind)
-        .cloned()
-        .unwrap_or_else(|| format!("kind{}", s.kind));
     let cat = if s.kind == crate::KIND_COMM {
         "comm"
     } else {
         "task"
     };
+    let mut args = vec![
+        ("kind".into(), Value::Num(Number::U(s.kind as u64))),
+        ("start_ns".into(), Value::Num(Number::U(s.start_ns))),
+        ("end_ns".into(), Value::Num(Number::U(s.end_ns))),
+    ];
+    if let Some(task) = s.task_instance() {
+        args.push(("task".into(), Value::Num(Number::U(task))));
+    }
     Value::Object(vec![
-        ("name".into(), Value::Str(name)),
+        ("name".into(), Value::Str(kind_name(trace, s.kind))),
         ("cat".into(), Value::Str(cat.into())),
         ("ph".into(), Value::Str("X".into())),
         ("ts".into(), Value::Num(Number::F(s.start_ns as f64 / 1e3))),
@@ -50,14 +65,7 @@ fn event(trace: &Trace, s: &SpanRecord) -> Value {
         ),
         ("pid".into(), Value::Num(Number::U(s.node as u64))),
         ("tid".into(), Value::Num(Number::U(s.lane as u64))),
-        (
-            "args".into(),
-            Value::Object(vec![
-                ("kind".into(), Value::Num(Number::U(s.kind as u64))),
-                ("start_ns".into(), Value::Num(Number::U(s.start_ns))),
-                ("end_ns".into(), Value::Num(Number::U(s.end_ns))),
-            ]),
-        ),
+        ("args".into(), Value::Object(args)),
     ])
 }
 
@@ -103,11 +111,22 @@ pub fn from_chrome_json(text: &str) -> Result<Trace, ParseError> {
     };
 
     let mut spans = Vec::new();
+    let mut kinds = kinds;
     for ev in events {
         if ev.field("ph").as_str() != Some("X") {
             continue; // metadata or instant events: not spans
         }
-        spans.push(parse_event(ev)?);
+        let span = parse_event(ev)?;
+        // Recover kind names from event names when the kinds table lacks
+        // them (bare-array traces), so names survive the round trip.
+        if let std::collections::btree_map::Entry::Vacant(slot) = kinds.entry(span.kind) {
+            if let Some(name) = ev.field("name").as_str() {
+                if name != format!("kind{}", span.kind) {
+                    slot.insert(name.to_string());
+                }
+            }
+        }
+        spans.push(span);
     }
     spans.sort_by_key(|s| (s.start_ns, s.node, s.lane, s.end_ns));
     Ok(Trace {
@@ -146,12 +165,14 @@ fn parse_event(ev: &Value) -> Result<SpanRecord, ParseError> {
             "span on node {node} lane {lane} ends before it starts"
         )));
     }
+    let task = args.field("task").as_u64().unwrap_or(SpanRecord::NO_TASK);
     Ok(SpanRecord {
         node,
         lane,
         kind,
         start_ns,
         end_ns,
+        task,
     })
 }
 
@@ -211,6 +232,45 @@ mod tests {
         assert_eq!(t.spans[0].start_ns, 1_500);
         assert_eq!(t.spans[0].end_ns, 3_500);
         assert_eq!(t.spans[0].lane, 3);
+    }
+
+    #[test]
+    fn comm_lane_is_named_even_when_unregistered() {
+        // No register_kind calls at all: the comm lane must still export
+        // as "comm", not "kind1000", and the name must survive parsing.
+        let rec = Recorder::new();
+        let l = rec.local();
+        l.task(0, 0, 0, 0, 10);
+        l.comm(0, 2, 10, 20);
+        let t = rec.drain();
+        assert!(t.kinds.is_empty());
+
+        let text = to_chrome_json(&t);
+        assert!(text.contains("\"name\":\"comm\""));
+        assert!(!text.contains("kind1000"));
+
+        let back = from_chrome_json(&text).unwrap();
+        assert_eq!(back.spans, t.spans);
+        assert_eq!(
+            back.kinds.get(&crate::KIND_COMM).map(String::as_str),
+            Some("comm")
+        );
+        // Re-export of the parsed trace still names the comm lane.
+        assert!(to_chrome_json(&back).contains("\"name\":\"comm\""));
+    }
+
+    #[test]
+    fn task_instance_ids_round_trip() {
+        let rec = Recorder::new();
+        let l = rec.local();
+        l.task_instance(0, 1, 0, 0xdead_beef, 0, 100);
+        l.task(0, 0, 0, 0, 50);
+        let t = rec.drain();
+        let back = from_chrome_json(&to_chrome_json(&t)).unwrap();
+        assert_eq!(back.spans, t.spans);
+        let ids: Vec<Option<u64>> = back.spans.iter().map(|s| s.task_instance()).collect();
+        assert!(ids.contains(&Some(0xdead_beef)));
+        assert!(ids.contains(&None));
     }
 
     #[test]

@@ -44,26 +44,28 @@ pub struct NodeOccupancy {
 /// Analyze one node over `lanes` worker lanes up to `horizon_ns`.
 /// Spans on lanes `>= lanes` (the comm lane) count toward per-kind
 /// statistics but not toward occupancy, matching the paper's definition
-/// of CPU occupancy.
+/// of CPU occupancy. Busy time is clamped at the horizon so spans that
+/// cross it cannot push occupancy above 1.
 pub fn analyze_node(trace: &Trace, node: u32, lanes: u32, horizon_ns: u64) -> NodeOccupancy {
     let mut by_kind: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
     let mut busy_ns = 0u64;
     for s in trace.node_spans(node) {
         by_kind.entry(s.kind).or_default().push(s.duration_ns());
         if s.lane < lanes {
-            busy_ns += s.duration_ns();
+            let end = s.end_ns.min(horizon_ns);
+            busy_ns += end - s.start_ns.min(end);
         }
     }
     let kinds = by_kind
         .into_iter()
         .map(|(kind, mut durations)| {
-            durations.sort_unstable();
             let count = durations.len();
             let total_ns: u64 = durations.iter().sum();
+            let (lower, &mut upper, _) = durations.select_nth_unstable(count / 2);
             let median_ns = if count % 2 == 1 {
-                durations[count / 2] as f64
+                upper as f64
             } else {
-                (durations[count / 2 - 1] + durations[count / 2]) as f64 / 2.0
+                (lower.iter().copied().max().unwrap_or(upper) + upper) as f64 / 2.0
             };
             KindStat {
                 kind,
@@ -164,6 +166,46 @@ mod tests {
         assert_eq!(p.kinds[0].count, 2);
         assert!((p.kinds[0].median_ns - 20.0).abs() < 1e-12);
         assert!((p.kinds[0].mean_ns - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spans_crossing_horizon_are_clamped() {
+        let rec = Recorder::new();
+        let l = rec.local();
+        // Fully inside, straddling, and fully beyond the 100ns horizon.
+        l.task(0, 0, 0, 0, 50);
+        l.task(0, 0, 0, 80, 150);
+        l.task(0, 0, 0, 200, 300);
+        let p = analyze_node(&rec.drain(), 0, 1, 100);
+        assert_eq!(p.busy_ns, 50 + 20);
+        assert!(p.occupancy <= 1.0, "occ = {}", p.occupancy);
+        // Per-kind totals keep full durations (kernel time is kernel time).
+        assert_eq!(p.kinds[0].total_ns, 50 + 70 + 100);
+    }
+
+    #[test]
+    fn median_matches_full_sort_on_larger_samples() {
+        for n in 1..=9u64 {
+            let rec = Recorder::new();
+            let l = rec.local();
+            // Durations n, n-1, ..., 1 recorded in descending order.
+            for i in 0..n {
+                l.task(0, 0, 7, 1000 * i, 1000 * i + (n - i));
+            }
+            let p = analyze_node(&rec.drain(), 0, 1, 10_000);
+            let mut sorted: Vec<u64> = (1..=n).collect();
+            sorted.sort_unstable();
+            let want = if n % 2 == 1 {
+                sorted[n as usize / 2] as f64
+            } else {
+                (sorted[n as usize / 2 - 1] + sorted[n as usize / 2]) as f64 / 2.0
+            };
+            assert!(
+                (p.kinds[0].median_ns - want).abs() < 1e-12,
+                "n={n}: got {} want {want}",
+                p.kinds[0].median_ns
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Log-bucketed duration histograms: fixed-size, mergeable, and cheap
+//! enough to keep one per `(node, kind)` pair while draining a trace.
+//!
+//! Values are bucketed into 8 linear sub-buckets per power of two, so any
+//! quantile read is within 12.5 % of the true value; count, sum, min and
+//! max are tracked exactly. This is the storage behind the per-kind
+//! p50/p90/p99 tables in the `insight` diagnosis report.
+
+use serde::Serialize;
+
+/// Sub-buckets per octave (8): bounds relative quantile error to 1/8.
+const SUB_BITS: u32 = 3;
+const SUB: u64 = 1 << SUB_BITS;
+/// Bucket count covering the full `u64` range at 8 sub-buckets/octave.
+const BUCKETS: usize = (SUB as usize) + (64 - SUB_BITS as usize) * SUB as usize;
+
+fn bucket_of(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let top = 63 - v.leading_zeros(); // floor(log2 v), >= SUB_BITS
+    let group = (top - SUB_BITS) as usize;
+    let sub = ((v >> (top - SUB_BITS)) - SUB) as usize;
+    SUB as usize + group * SUB as usize + sub
+}
+
+/// Lower bound of a bucket — the value reported for quantiles landing in it.
+fn bucket_floor(bucket: usize) -> u64 {
+    if bucket < SUB as usize {
+        return bucket as u64;
+    }
+    let group = (bucket - SUB as usize) / SUB as usize;
+    let sub = ((bucket - SUB as usize) % SUB as usize) as u64;
+    (SUB + sub) << group
+}
+
+/// A log-bucketed histogram of `u64` samples (typically span durations in
+/// nanoseconds). Recording is O(1); memory is a fixed ~4 KB.
+#[derive(Clone)]
+pub struct LogHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Exact minimum sample; 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum sample; 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) to bucket resolution (≤ 12.5 %
+    /// relative error), clamped into `[min, max]`; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        if rank >= self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (bucket, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_floor(bucket).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Condense into the fixed set of summary scalars used in reports.
+    pub fn summary(&self) -> DurationSummary {
+        DurationSummary {
+            count: self.count,
+            mean_ns: self.mean(),
+            p50_ns: self.quantile(0.50),
+            p90_ns: self.quantile(0.90),
+            p99_ns: self.quantile(0.99),
+            max_ns: self.max(),
+        }
+    }
+
+    /// Occupied buckets as `(lower_bound, count)` pairs, for rendering.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (bucket_floor(b), c))
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("p50", &self.quantile(0.5))
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+/// The report-facing digest of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DurationSummary {
+    /// Sample count.
+    pub count: u64,
+    /// Exact mean, nanoseconds.
+    pub mean_ns: f64,
+    /// Median to bucket resolution, nanoseconds.
+    pub p50_ns: u64,
+    /// 90th percentile to bucket resolution, nanoseconds.
+    pub p90_ns: u64,
+    /// 99th percentile to bucket resolution, nanoseconds.
+    pub p99_ns: u64,
+    /// Exact maximum, nanoseconds.
+    pub max_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        // Bucket index is monotone and floors invert the mapping.
+        for v in [0u64, 1, 7, 8, 9, 15, 16, 100, 1 << 20, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(b < BUCKETS, "v={v} bucket {b}");
+            assert!(bucket_floor(b) <= v);
+            if b + 1 < BUCKETS {
+                assert!(bucket_floor(b + 1) > v, "v={v}");
+            }
+        }
+        // Small values are exact.
+        for v in 0..8u64 {
+            assert_eq!(bucket_floor(bucket_of(v)), v);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.summary().p99_ns, 0);
+    }
+
+    #[test]
+    fn quantiles_within_bucket_resolution() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1µs .. 1ms
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5) as f64;
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p50 - 500_000.0).abs() / 500_000.0 <= 0.125, "p50={p50}");
+        assert!((p99 - 990_000.0).abs() / 990_000.0 <= 0.125, "p99={p99}");
+        assert_eq!(h.max(), 1_000_000);
+        assert_eq!(h.min(), 1000);
+        assert!((h.mean() - 500_500.0).abs() < 1e-6);
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let mut h = LogHistogram::new();
+        h.record(136_000_000); // the paper's 136ms median kernel
+        assert_eq!(h.quantile(0.5), 136_000_000);
+        assert_eq!(h.quantile(0.99), 136_000_000);
+        assert_eq!(h.summary().count, 1);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for v in 1..100u64 {
+            if v % 2 == 0 { &mut a } else { &mut b }.record(v * 7);
+            whole.record(v * 7);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+        assert_eq!(a.buckets().count(), whole.buckets().count());
+    }
+}

@@ -29,8 +29,10 @@ mod recorder;
 
 pub mod chrome;
 pub mod fig10;
+pub mod hist;
 pub mod jsonl;
 
+pub use hist::{DurationSummary, LogHistogram};
 pub use metrics::{names, Counter, ExpectedCounters, Gauge, GaugeValue, Metrics, MetricsSnapshot};
 pub use recorder::{LocalRecorder, Recorder, SpanRecord, Trace, WallClock};
 

@@ -23,12 +23,25 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Exclusive end, nanoseconds.
     pub end_ns: u64,
+    /// Task-instance id (the runtime's `TaskKey::instance_id` hash)
+    /// joining this span to the statically unfolded task graph, or
+    /// [`SpanRecord::NO_TASK`] for spans with no task identity (comm
+    /// activity, foreign traces).
+    pub task: u64,
 }
 
 impl SpanRecord {
+    /// Sentinel `task` value for spans not tied to a task instance.
+    pub const NO_TASK: u64 = u64::MAX;
+
     /// Span length in nanoseconds.
     pub fn duration_ns(&self) -> u64 {
         self.end_ns - self.start_ns
+    }
+
+    /// The task-instance id, when one was stamped.
+    pub fn task_instance(&self) -> Option<u64> {
+        (self.task != Self::NO_TASK).then_some(self.task)
     }
 }
 
@@ -230,14 +243,29 @@ impl LocalRecorder {
         }
     }
 
-    /// Record a task-execution span.
+    /// Record a task-execution span with no task identity.
     pub fn task(&self, node: u32, lane: u32, kind: u32, start_ns: u64, end_ns: u64) {
+        self.task_instance(node, lane, kind, SpanRecord::NO_TASK, start_ns, end_ns);
+    }
+
+    /// Record a task-execution span stamped with a task-instance id, so
+    /// downstream analysis can join the span to the unfolded task graph.
+    pub fn task_instance(
+        &self,
+        node: u32,
+        lane: u32,
+        kind: u32,
+        task: u64,
+        start_ns: u64,
+        end_ns: u64,
+    ) {
         self.record(SpanRecord {
             node,
             lane,
             kind,
             start_ns,
             end_ns,
+            task,
         });
     }
 
@@ -249,6 +277,7 @@ impl LocalRecorder {
             kind: crate::KIND_COMM,
             start_ns,
             end_ns,
+            task: SpanRecord::NO_TASK,
         });
     }
 }
@@ -367,7 +396,21 @@ mod tests {
             kind,
             start_ns: start,
             end_ns: end,
+            task: SpanRecord::NO_TASK,
         }
+    }
+
+    #[test]
+    fn task_instance_ids_survive_drain() {
+        let rec = Recorder::new();
+        let l = rec.local();
+        l.task_instance(0, 0, 1, 42, 0, 10);
+        l.task(0, 0, 1, 10, 20);
+        l.comm(0, 2, 0, 5);
+        let t = rec.drain();
+        let ids: Vec<Option<u64>> = t.spans.iter().map(|s| s.task_instance()).collect();
+        assert!(ids.contains(&Some(42)));
+        assert_eq!(ids.iter().filter(|i| i.is_none()).count(), 2);
     }
 
     #[test]

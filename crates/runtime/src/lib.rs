@@ -11,8 +11,8 @@
 //! * [`pending`] — dynamic DAG unfolding by activation counting
 //!   ([`PendingTable`]);
 //! * [`unfold`] — static enumeration of the whole DAG as data
-//!   ([`UnfoldedDag`]), the substrate of the `analyze` crate's passes;
-//!   the old [`validate`] API survives as a deprecated shim over it;
+//!   ([`UnfoldedDag`]), the substrate of the `analyze` crate's passes and
+//!   the graph the `insight` crate joins dynamic spans against;
 //! * [`exec`] — **the single entry point**: [`run`] dispatches a
 //!   [`Program`] to any engine selected by a builder-style [`RunConfig`]
 //!   ([`ExecMode::SharedMemory`], [`ExecMode::MultiProcess`],
@@ -57,7 +57,6 @@ pub mod real_exec;
 pub mod sim_exec;
 pub mod task;
 pub mod unfold;
-pub mod validate;
 
 pub use dtd::{DtdBuilder, DtdTaskId};
 pub use exec::{
@@ -65,16 +64,9 @@ pub use exec::{
     SharedMemoryExecutor, SimulatedExecutor,
 };
 pub use halo::{build_halo_program, HaloSpec};
-#[allow(deprecated)]
-pub use mp_exec::{run_multiprocess, MpRunReport};
 pub use pending::{PendingTable, ReadyTask};
-#[allow(deprecated)]
-pub use real_exec::{run_shared_memory, RealRunReport};
-#[allow(deprecated)]
-pub use sim_exec::{run_simulated, SchedulerPolicy, SimConfig, SimRunReport, KIND_COMM};
+pub use sim_exec::{SchedulerPolicy, SimConfig, KIND_COMM};
 pub use task::{
     ClassId, FlowData, OutputDep, Params, Program, Rect, TaskClass, TaskGraph, TaskKey, WriteRegion,
 };
 pub use unfold::{assert_consistent, EdgeRef, StructuralFault, UnfoldedDag};
-#[allow(deprecated)]
-pub use validate::{assert_valid, validate_program, GraphError};

@@ -25,18 +25,6 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-/// Outcome of a multi-process-semantics run (legacy shape; superseded by
-/// [`RunReport`]).
-#[derive(Debug, Clone, Copy)]
-pub struct MpRunReport {
-    /// Wall-clock time of the parallel section, seconds.
-    pub wall_time: f64,
-    /// Tasks executed.
-    pub tasks_executed: u64,
-    /// Flows that crossed between nodes (through the comm threads).
-    pub cross_node_flows: u64,
-}
-
 enum WorkItem {
     Task(ReadyTask),
     Shutdown,
@@ -107,7 +95,14 @@ impl<'p> Cluster<'p> {
         let kind = self.program.graph.kind_of(ready.key);
         let start_ns = self.clock.now_ns();
         let outputs = class.execute(ready.key.params, &mut ready.inputs);
-        local.task(node as u32, lane, kind, start_ns, self.clock.now_ns());
+        local.task_instance(
+            node as u32,
+            lane,
+            kind,
+            ready.key.instance_id(),
+            start_ns,
+            self.clock.now_ns(),
+        );
         for dep in class.outputs(ready.key.params) {
             let data = outputs
                 .get(dep.flow)
@@ -292,22 +287,6 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
     )
 }
 
-/// Run `program` over `nodes` node-local thread pools of
-/// `threads_per_node` workers each, plus one comm thread per node.
-#[deprecated(note = "use runtime::run with RunConfig::multi_process")]
-pub fn run_multiprocess(program: &Program, nodes: u32, threads_per_node: usize) -> MpRunReport {
-    let r = execute(program, &RunConfig::multi_process(nodes, threads_per_node));
-    let cross_node_flows = match r.ext {
-        ModeExt::MultiProcess { cross_node_flows } => cross_node_flows,
-        _ => unreachable!("multi-process ext"),
-    };
-    MpRunReport {
-        wall_time: r.makespan,
-        tasks_executed: r.tasks_executed,
-        cross_node_flows,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,17 +359,5 @@ mod tests {
             .iter()
             .filter(|s| s.kind == obs::KIND_COMM)
             .all(|s| s.lane == 2));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_shim_maps_fields() {
-        let mut b = DtdBuilder::new();
-        let root = b.insert(0, 0.0, &[]);
-        let _ = b.insert(1, 0.0, &[root]);
-        let p = b.build();
-        let r = run_multiprocess(&p, 2, 1);
-        assert_eq!(r.tasks_executed, 2);
-        assert_eq!(r.cross_node_flows, 1);
     }
 }

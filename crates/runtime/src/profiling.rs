@@ -47,6 +47,7 @@ pub fn to_obs_trace(trace: &TraceBuffer) -> obs::Trace {
             kind: s.kind,
             start_ns: s.start.as_nanos(),
             end_ns: s.end.as_nanos(),
+            task: obs::SpanRecord::NO_TASK,
         }));
     out
 }
@@ -193,6 +194,7 @@ mod tests {
             kind: obs::KIND_COMM,
             start_ns: 2_000_000,
             end_ns: 8_000_000,
+            task: obs::SpanRecord::NO_TASK,
         });
         let rows = ascii_gantt(&t, 0, 2, 10_000_000, 20);
         assert_eq!(rows.len(), 3);

@@ -24,19 +24,6 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-/// Outcome of a shared-memory run (legacy shape; superseded by
-/// [`RunReport`]).
-#[derive(Debug, Clone, Copy)]
-pub struct RealRunReport {
-    /// Wall-clock time of the parallel section, seconds.
-    pub wall_time: f64,
-    /// Tasks executed (always equals the program's `total_tasks` on
-    /// successful return).
-    pub tasks_executed: u64,
-    /// Total flows delivered between tasks.
-    pub flows_delivered: u64,
-}
-
 enum WorkItem {
     Task(ReadyTask),
     Shutdown,
@@ -60,7 +47,14 @@ impl<'p> Shared<'p> {
         let kind = self.program.graph.kind_of(ready.key);
         let start_ns = self.clock.now_ns();
         let outputs = class.execute(ready.key.params, &mut ready.inputs);
-        local.task(0, lane, kind, start_ns, self.clock.now_ns());
+        local.task_instance(
+            0,
+            lane,
+            kind,
+            ready.key.instance_id(),
+            start_ns,
+            self.clock.now_ns(),
+        );
         for dep in class.outputs(ready.key.params) {
             let data = outputs
                 .get(dep.flow)
@@ -214,24 +208,8 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
     )
 }
 
-/// Run `program` to completion on `threads` worker threads, executing all
-/// task bodies, and report wall-clock time.
-///
-/// Panics if the program is empty, has no roots, or deadlocks.
-#[deprecated(note = "use runtime::run with RunConfig::shared_memory")]
-pub fn run_shared_memory(program: &Program, threads: usize) -> RealRunReport {
-    let r = execute(program, &RunConfig::shared_memory(threads));
-    let flows_delivered = r.flows_delivered().expect("shared-memory ext");
-    RealRunReport {
-        wall_time: r.makespan,
-        tasks_executed: r.tasks_executed,
-        flows_delivered,
-    }
-}
-
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::exec::{run, RunConfig};
     use crate::task::testutil::ExplicitDag;
     use crate::task::{Program, TaskGraph, TaskKey};
@@ -332,16 +310,6 @@ mod tests {
             .spans
             .windows(2)
             .all(|w| w[0].start_ns <= w[1].start_ns));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_shim_maps_fields() {
-        let p = chain_program(10);
-        let r = run_shared_memory(&p, 2);
-        assert_eq!(r.tasks_executed, 10);
-        assert_eq!(r.flows_delivered, 9);
-        assert!(r.wall_time >= 0.0);
     }
 
     #[test]

@@ -25,9 +25,7 @@ use crate::exec::{assemble_report, ExecMode, ModeExt, RunConfig, RunReport};
 use crate::pending::{PendingTable, ReadyTask};
 use crate::ready_queue::ReadyQueue;
 use crate::task::{FlowData, Program, TaskKey};
-use desim::{
-    Engine, Model, Scheduler, Span, TimeWeighted, TraceBuffer, VirtualDuration, VirtualTime,
-};
+use desim::{Engine, Model, Scheduler, TimeWeighted, VirtualDuration, VirtualTime};
 use machine::MachineProfile;
 use netsim::NetworkModel;
 use obs::{names, LocalRecorder, Metrics, Recorder};
@@ -65,8 +63,6 @@ pub struct SimConfig {
     /// Execute task bodies (verifies numerics) or skip them (performance
     /// only).
     pub execute_bodies: bool,
-    /// Record per-task spans for Figure 10-style analysis.
-    pub capture_trace: bool,
     /// Ready-queue discipline.
     pub scheduler: SchedulerPolicy,
     /// Parallel send engines per node (1 = the paper's single dedicated
@@ -81,7 +77,6 @@ impl SimConfig {
             profile,
             nodes,
             execute_bodies: false,
-            capture_trace: false,
             scheduler: SchedulerPolicy::Fifo,
             comm_engines: 1,
         }
@@ -96,12 +91,6 @@ impl SimConfig {
     /// Enable body execution.
     pub fn with_bodies(mut self) -> Self {
         self.execute_bodies = true;
-        self
-    }
-
-    /// Enable trace capture.
-    pub fn with_trace(mut self) -> Self {
-        self.capture_trace = true;
         self
     }
 
@@ -121,28 +110,6 @@ impl SimConfig {
         self.comm_engines = n;
         self
     }
-}
-
-/// Outcome of a simulated run (legacy shape; superseded by [`RunReport`]).
-#[derive(Debug)]
-pub struct SimRunReport {
-    /// Virtual time of the last task completion, seconds.
-    pub makespan: f64,
-    /// Tasks executed.
-    pub tasks_executed: u64,
-    /// Messages that crossed the network.
-    pub remote_messages: u64,
-    /// Bytes that crossed the network.
-    pub remote_bytes: u64,
-    /// Flows delivered node-locally.
-    pub local_flows: u64,
-    /// Per-node mean busy worker lanes divided by lane count, over the
-    /// makespan (the paper's "CPU occupancy").
-    pub node_occupancy: Vec<f64>,
-    /// Per-node communication-engine utilization over the makespan.
-    pub comm_utilization: Vec<f64>,
-    /// Captured spans, when requested.
-    pub trace: Option<TraceBuffer>,
 }
 
 /// Work item for a node's communication engine. Both directions cost
@@ -176,8 +143,6 @@ struct NodeState {
     running: HashMap<TaskKey, Running>,
     comm_queue: VecDeque<CommJob>,
     comm_active: usize,
-    busy: TimeWeighted,
-    busy_now: u32,
     comm_busy: TimeWeighted,
 }
 
@@ -214,7 +179,6 @@ struct Sim {
     remote_messages: u64,
     remote_bytes: u64,
     local_flows: u64,
-    trace: TraceBuffer,
     local: LocalRecorder,
     metrics: Metrics,
 }
@@ -238,8 +202,6 @@ impl Sim {
             }
             let ready = st.ready.pop().expect("nonempty");
             let lane = st.free_lanes.pop().expect("nonempty");
-            st.busy.record(now, st.busy_now as f64);
-            st.busy_now += 1;
             let cost = self
                 .program
                 .graph
@@ -348,8 +310,14 @@ impl Sim {
             .unwrap_or_else(|| panic!("{key:?} completed but was not running"));
 
         let kind = self.program.graph.kind_of(key);
-        self.local
-            .task(node, run.lane, kind, run.start.as_nanos(), now.as_nanos());
+        self.local.task_instance(
+            node,
+            run.lane,
+            kind,
+            key.instance_id(),
+            run.start.as_nanos(),
+            now.as_nanos(),
+        );
         self.metrics.counter(names::TASKS_EXECUTED).inc();
         let redundant = self
             .program
@@ -359,16 +327,6 @@ impl Sim {
         if redundant > 0 {
             self.metrics.counter(names::REDUNDANT_FLOPS).add(redundant);
         }
-        if self.cfg.capture_trace {
-            self.trace.push(Span {
-                node,
-                lane: run.lane,
-                kind,
-                start: run.start,
-                end: now,
-            });
-        }
-
         // Produce outputs: real bodies or size-only placeholders.
         let deps = class.outputs(key.params);
         let bodies: Option<Vec<FlowData>> = if self.cfg.execute_bodies {
@@ -408,10 +366,8 @@ impl Sim {
             }
         }
 
-        // Free the lane and keep the node busy.
+        // Free the lane so the dispatcher can reuse it.
         let st = &mut self.nodes[node as usize];
-        st.busy.record(now, st.busy_now as f64);
-        st.busy_now -= 1;
         st.free_lanes.push(run.lane);
 
         self.completed += 1;
@@ -454,15 +410,6 @@ impl Model for Sim {
                     started.as_nanos(),
                     now.as_nanos(),
                 );
-                if self.cfg.capture_trace {
-                    self.trace.push(Span {
-                        node,
-                        lane: self.lanes_per_node, // the comm lane
-                        kind: KIND_COMM,
-                        start: started,
-                        end: now,
-                    });
-                }
                 if let Some((consumer, slot, data)) = deliver {
                     self.deliver(consumer, slot, data, sched);
                 }
@@ -496,9 +443,7 @@ struct SimOutcome {
     remote_bytes: u64,
     local_flows: u64,
     activations: u64,
-    node_occupancy_tw: Vec<f64>,
     comm_utilization: Vec<f64>,
-    trace_buffer: TraceBuffer,
 }
 
 /// Run the event loop to completion.
@@ -526,8 +471,6 @@ fn simulate(
             running: HashMap::new(),
             comm_queue: VecDeque::new(),
             comm_active: 0,
-            busy: TimeWeighted::new(),
-            busy_now: 0,
             comm_busy: TimeWeighted::new(),
         })
         .collect();
@@ -550,7 +493,6 @@ fn simulate(
         remote_messages: 0,
         remote_bytes: 0,
         local_flows: 0,
-        trace: TraceBuffer::new(),
         local: recorder.local(),
         metrics: metrics.clone(),
     };
@@ -575,11 +517,6 @@ fn simulate(
     }
 
     let makespan_t = sim.last_task_done;
-    let node_occupancy_tw = sim
-        .nodes
-        .iter()
-        .map(|n| n.busy.mean_until(makespan_t, n.busy_now as f64) / lanes as f64)
-        .collect();
     let comm_utilization = sim
         .nodes
         .iter()
@@ -597,9 +534,7 @@ fn simulate(
         remote_bytes: sim.remote_bytes,
         local_flows: sim.local_flows,
         activations: sim.pending.flows_delivered(),
-        node_occupancy_tw,
         comm_utilization,
-        trace_buffer: sim.trace,
     }
 }
 
@@ -615,7 +550,6 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
         profile,
         nodes: cfg.nodes,
         execute_bodies: cfg.execute_bodies,
-        capture_trace: false, // obs records spans; the legacy buffer is off
         scheduler: cfg.scheduler,
         comm_engines: cfg.comm_engines,
     };
@@ -640,29 +574,6 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
             comm_utilization: outcome.comm_utilization,
         },
     )
-}
-
-/// Run `program` on the simulated cluster described by `cfg`.
-///
-/// Panics when the run deadlocks (tasks remain pending after the event
-/// queue drains) — run `analyze::assert_clean` (or
-/// [`crate::unfold::assert_consistent`]) on a scaled-down instance to
-/// debug the graph.
-#[deprecated(note = "use runtime::run with RunConfig::simulated")]
-pub fn run_simulated(program: &Program, cfg: SimConfig) -> SimRunReport {
-    let recorder = Recorder::disabled();
-    let metrics = Metrics::new();
-    let outcome = simulate(program, &cfg, &recorder, &metrics);
-    SimRunReport {
-        makespan: outcome.makespan.as_secs_f64(),
-        tasks_executed: outcome.tasks_executed,
-        remote_messages: outcome.remote_messages,
-        remote_bytes: outcome.remote_bytes,
-        local_flows: outcome.local_flows,
-        node_occupancy: outcome.node_occupancy_tw,
-        comm_utilization: outcome.comm_utilization,
-        trace: cfg.capture_trace.then_some(outcome.trace_buffer),
-    }
 }
 
 #[cfg(test)]
@@ -870,18 +781,16 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_shim_maps_fields_and_buffer_trace() {
+    fn obs_trace_has_full_duration_spans_with_ids() {
         let p = program(&[(0, 1, 0)], &[(1, 1)], &[], &[0], 2, 1e-3, 8);
-        let r = run_simulated(&p, SimConfig::new(MachineProfile::nacl(), 1).with_trace());
+        let r = run(&p, &cfg(1).with_trace());
         assert_eq!(r.tasks_executed, 2);
         assert!((r.makespan - 2e-3).abs() < 1e-8);
         let trace = r.trace.unwrap();
-        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.task_spans().count(), 2);
         assert!(trace
-            .spans()
-            .iter()
-            .all(|s| s.duration().as_secs_f64() > 0.9e-3));
+            .task_spans()
+            .all(|s| s.duration_ns() > 900_000 && s.task_instance().is_some()));
     }
 
     #[test]

@@ -38,6 +38,32 @@ impl TaskKey {
     pub fn new(class: ClassId, params: Params) -> Self {
         TaskKey { class, params }
     }
+
+    /// Stable 64-bit id of this task instance: an FNV-1a hash over the
+    /// class id and parameters. Executors stamp it into trace spans
+    /// (`obs::SpanRecord::task`) and analysis joins those spans back to
+    /// the same key in an [`crate::UnfoldedDag`] — both sides derive the
+    /// id from this one function, so the join is exact. Collisions are
+    /// astronomically unlikely at the ≤ 10⁷-task scales this workspace
+    /// enumerates; [`obs::SpanRecord::NO_TASK`] (`u64::MAX`) is avoided.
+    pub fn instance_id(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h = (h ^ byte as u64).wrapping_mul(PRIME);
+            }
+        };
+        mix(self.class as u64);
+        for p in self.params {
+            mix(p as u32 as u64);
+        }
+        if h == obs::SpanRecord::NO_TASK {
+            h = 0;
+        }
+        h
+    }
 }
 
 impl fmt::Debug for TaskKey {

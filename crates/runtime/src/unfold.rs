@@ -9,8 +9,9 @@
 //! ([`StructuralFault`]) along the way.
 //!
 //! This module is the substrate of the `analyze` crate's passes (cycle
-//! detection, write races, communication volume, critical path); the
-//! deprecated [`crate::validate`] API is now a thin shim over it.
+//! detection, write races, communication volume, critical path) and the
+//! graph that the `insight` crate joins dynamic trace spans against via
+//! [`crate::TaskKey::instance_id`].
 
 use crate::task::{Program, TaskGraph, TaskKey};
 use netsim::NodeId;
