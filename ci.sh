@@ -21,11 +21,12 @@ step cargo build --workspace --release
 step cargo test --workspace -q
 
 # Sanitizers. The loom model tests exercise the runtime's concurrent
-# structures (ready queue, pending table) under the loom scheduler when
-# the real crate is vendored; under the stub they still run as plain
-# threaded tests. Miri is optional tooling: warn-skip when absent.
+# structures (ready queue, pending table) and the telemetry SPSC span
+# ring under the loom scheduler when the real crate is vendored; under
+# the stub they still run as plain threaded tests. Miri is optional
+# tooling: warn-skip when absent.
 loom_test() {
-    RUSTFLAGS="--cfg loom" cargo test -q -p runtime --lib loom_model
+    RUSTFLAGS="--cfg loom" cargo test -q -p runtime -p obs --lib loom_model
 }
 step loom_test
 
@@ -44,6 +45,11 @@ if [ -f BENCH_stencil.json ]; then
 else
     echo "WARNING: BENCH_stencil.json not found; skipping stencil-doctor --check"
 fi
+
+# Telemetry smoke: one frame of the reference workload with streaming
+# telemetry on; exits nonzero if the tracer overruns its 2 % self-overhead
+# budget, drops spans, or publishes no live samples.
+step ./target/release/stencil-top --once
 
 if cargo fmt --version >/dev/null 2>&1; then
     step cargo fmt --all -- --check

@@ -3,7 +3,9 @@
 //! the whole-cluster span trace as Chrome `trace_event` JSON to
 //! `fig10_<version>.trace.json` (load it in Perfetto or
 //! `chrome://tracing`); prints the occupancy/median digest and drops the
-//! run's `obs` metrics as JSON lines.
+//! run's `obs` metrics as JSON lines plus a Prometheus-style text
+//! exposition (`fig10_<version>.prom`) with the final live gauges and
+//! tracer overhead.
 
 use std::io::Write;
 
@@ -26,6 +28,8 @@ fn main() {
         let doctor = format!("fig10_{version}.doctor.txt");
         std::fs::write(&doctor, &r.reports[i]).expect("write doctor report");
         println!("wrote diagnosis to {doctor}");
+
+        bench::report::write_prom(&format!("fig10_{version}"), &r.proms[i]);
     }
     bench::report::write_metrics("fig10");
 }

@@ -16,6 +16,7 @@ use ca_stencil::{build_base, build_ca, kind_names, Problem, StencilConfig, KIND_
 use insight::{advise_step, Baseline, RunDiagnosis, SchemeBaseline, StepAdvice};
 use machine::MachineProfile;
 use netsim::ProcessGrid;
+use obs::{LiveSample, TracerOverhead};
 use runtime::RunConfig;
 
 /// The doctor's run parameters (mirrors `stencil-lint`'s flags).
@@ -82,6 +83,12 @@ pub struct DoctorScheme {
     pub diagnosis: RunDiagnosis,
     /// Step-size recommendation from the measured symptoms.
     pub advice: StepAdvice,
+    /// Tracer self-overhead of the run (streaming telemetry enabled):
+    /// record attempts times the calibrated per-event cost over total
+    /// worker-lane time.
+    pub overhead: TracerOverhead,
+    /// Live samples the runtime published while the run executed.
+    pub samples: Vec<LiveSample>,
 }
 
 impl DoctorScheme {
@@ -154,10 +161,15 @@ pub fn run(dc: &DoctorConfig) -> DoctorRun {
         let dag = analyze::unfold(&program, &acfg);
         let cols = statics::predict_dag(&dag, lanes);
 
+        // Streaming telemetry on the reference config: sampling reads
+        // state only, so the virtual-time results are bit-identical to a
+        // sampling-off run (the baseline below stays valid), while the
+        // doctor additionally measures the tracer's own overhead.
         let report = runtime::run(
             &program,
             &RunConfig::simulated(profile.clone(), nodes)
                 .with_trace()
+                .with_sampling(RunConfig::DEFAULT_SAMPLE_PERIOD_NS)
                 .with_kind_names(kind_names()),
         );
         let trace = report.trace.as_ref().expect("trace requested");
@@ -200,6 +212,8 @@ pub fn run(dc: &DoctorConfig) -> DoctorRun {
             median_kernel_ms,
             diagnosis,
             advice,
+            overhead: report.overhead,
+            samples: report.samples,
         });
     }
     DoctorRun {
@@ -227,6 +241,14 @@ pub fn print(run: &DoctorRun) {
             s.bound_ratio()
         );
         println!("useful throughput: {:.1} GFLOP/s", s.gflops);
+        println!(
+            "tracer: {} events at {:.1} ns each → {:.4} % of lane time (budget {:.0} %), {} live samples",
+            s.overhead.events,
+            s.overhead.per_event_ns,
+            100.0 * s.overhead.fraction(),
+            100.0 * TracerOverhead::BUDGET_FRACTION,
+            s.samples.len()
+        );
         println!("advice: {}", s.advice.reason);
     }
 }
@@ -277,6 +299,28 @@ mod tests {
         // Only the CA scheme pays redundant flops.
         assert_eq!(base.cols.redundant_flops, 0);
         assert!(ca.cols.redundant_flops > 0);
+    }
+
+    /// With streaming telemetry on the reference configuration, the
+    /// tracer's measured self-overhead stays inside its 2 % budget, the
+    /// runtime publishes live samples, and nothing is dropped on the
+    /// span rings.
+    #[test]
+    fn reference_run_keeps_tracer_overhead_inside_budget() {
+        let r = run(&DoctorConfig::default());
+        for s in &r.schemes {
+            assert!(s.overhead.events > 0, "{}: no events accounted", s.name);
+            assert!(
+                s.overhead.within_budget(),
+                "{}: tracer overhead {:.4} % exceeds {:.0} % budget ({:?})",
+                s.name,
+                100.0 * s.overhead.fraction(),
+                100.0 * TracerOverhead::BUDGET_FRACTION,
+                s.overhead
+            );
+            assert!(!s.samples.is_empty(), "{}: no live samples", s.name);
+            assert_eq!(s.diagnosis.dropped_events, 0, "{}", s.name);
+        }
     }
 
     /// The baseline written by one run checks clean against a rerun

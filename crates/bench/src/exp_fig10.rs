@@ -32,6 +32,9 @@ pub struct Fig10Side {
     /// Achieved makespan over the static critical-path/work lower bound
     /// (`analyze`); ≥ 1 for any correct simulation.
     pub bound_ratio: f64,
+    /// Spans the tracer dropped on ring overflow — 0 for a trustworthy
+    /// trace; any other value is called out under the table.
+    pub dropped: u64,
     /// Gantt rows (`lane start_ms end_ms kind`) of the profiled node.
     pub gantt: Vec<String>,
     /// ASCII rendering of the node's lanes over the whole run
@@ -61,6 +64,10 @@ pub struct Fig10Run {
     pub traces: Vec<obs::Trace>,
     /// Rendered `insight` diagnosis reports, parallel to `fig.sides`.
     pub reports: Vec<String>,
+    /// Prometheus-style text expositions (`obs::expo`), parallel to
+    /// `fig.sides`: final metric snapshot, last live sample per node,
+    /// and the tracer's measured self-overhead.
+    pub proms: Vec<String>,
 }
 
 impl Fig10Run {
@@ -91,6 +98,7 @@ pub fn run(node: u32) -> Fig10Run {
     let mut sides = Vec::new();
     let mut traces = Vec::new();
     let mut reports = Vec::new();
+    let mut proms = Vec::new();
     for (version, program) in [
         ("base", build_base(&cfg, false).program),
         ("CA", build_ca(&cfg, false).program),
@@ -101,13 +109,28 @@ pub fn run(node: u32) -> Fig10Run {
             &AnalyzeConfig::new().with_lanes(lanes).without_races(),
         );
         let cols = statics::predict_dag(&dag, lanes);
+        // Sampling only reads simulator state, so the virtual-time
+        // numbers are identical to a sampling-off run while the figure
+        // gains a live-gauge exposition and overhead accounting.
         let report = runtime::run(
             &program,
             &RunConfig::simulated(profile.clone(), nodes)
                 .with_trace()
+                .with_sampling(RunConfig::DEFAULT_SAMPLE_PERIOD_NS)
                 .with_kind_names(kind_names()),
         );
         crate::report::record(&format!("fig10/{version}"), &report);
+        // Exposition wants the freshest sample per node.
+        let mut latest = std::collections::BTreeMap::new();
+        for s in &report.samples {
+            latest.insert(s.node, s.clone());
+        }
+        proms.push(obs::expo::render(
+            &format!("fig10/{version}"),
+            &report.metrics,
+            &latest.into_values().collect::<Vec<_>>(),
+            Some(report.overhead),
+        ));
         let trace = report.trace.expect("trace requested");
         let diag = insight::diagnose(&trace, &dag, lanes);
         let horizon = trace.horizon_ns();
@@ -126,6 +149,7 @@ pub fn run(node: u32) -> Fig10Run {
             interior_median_ms: median_of(KIND_INTERIOR),
             comm_wait_fraction: diag.totals.comm_wait_fraction(),
             bound_ratio: report.makespan / cols.makespan_bound,
+            dropped: trace.dropped,
             gantt: profiling::gantt_rows(&trace, node),
             ascii: profiling::ascii_gantt(&trace, node, lanes, horizon, 100),
         });
@@ -136,6 +160,7 @@ pub fn run(node: u32) -> Fig10Run {
         fig: Fig10 { node, lanes, sides },
         traces,
         reports,
+        proms,
     }
 }
 
@@ -173,6 +198,14 @@ pub fn print(fig: &Fig10) {
         );
     }
     for s in &fig.sides {
+        if s.dropped > 0 {
+            println!(
+                "!! {}: tracer dropped {} spans on ring overflow — occupancy and medians above under-report the run",
+                s.version, s.dropped
+            );
+        }
+    }
+    for s in &fig.sides {
         println!("\n{} lanes over the whole run:", s.version);
         for row in &s.ascii {
             println!("  {row}");
@@ -198,7 +231,16 @@ mod tests {
     #[test]
     fn ca_has_higher_occupancy_and_is_faster() {
         std::env::set_var("REPRO_FAST", "1");
-        let fig = run(5).fig;
+        let r = run(5);
+        // Each side ships a Prometheus exposition with live gauges, and
+        // neither trace lost spans to ring overflow.
+        assert_eq!(r.proms.len(), 2);
+        for (side, prom) in r.fig.sides.iter().zip(&r.proms) {
+            assert_eq!(side.dropped, 0, "{}", side.version);
+            assert!(prom.contains("stencil_occupancy_window"), "{prom}");
+            assert!(prom.contains("stencil_tracer_overhead_fraction"), "{prom}");
+        }
+        let fig = r.fig;
         let base = &fig.sides[0];
         let ca = &fig.sides[1];
         assert!(ca.occupancy > base.occupancy, "{ca:?} vs {base:?}");

@@ -43,6 +43,7 @@ pub mod exp_krylov;
 pub mod exp_pa_variants;
 pub mod exp_roofline;
 pub mod exp_table1;
+pub mod exp_top;
 pub mod report;
 pub mod statics;
 

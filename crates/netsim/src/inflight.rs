@@ -1,0 +1,68 @@
+//! Live in-flight gauges: messages and bytes currently on the wire.
+//!
+//! The network model itself is a pure cost function; the executors that
+//! drive it bump an [`InFlight`] when a message is injected and release
+//! it on arrival, so live telemetry samplers can report how much traffic
+//! is airborne at any instant. Counters are atomics, so the gauge can be
+//! shared between the engine and a concurrent sampler thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Messages/bytes currently in flight between nodes.
+#[derive(Debug, Default)]
+pub struct InFlight {
+    msgs: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl InFlight {
+    /// Empty gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A message of `bytes` entered the network.
+    pub fn send(&self, bytes: u64) {
+        self.msgs.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// A message of `bytes` reached its destination.
+    pub fn arrive(&self, bytes: u64) {
+        self.msgs.fetch_sub(1, Ordering::Relaxed);
+        self.bytes.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Messages currently in flight.
+    pub fn msgs(&self) -> u64 {
+        self.msgs.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently in flight.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// `(messages, bytes)` in flight, read together.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (self.msgs(), self.bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_arrive_balance() {
+        let g = InFlight::new();
+        assert_eq!(g.snapshot(), (0, 0));
+        g.send(100);
+        g.send(28);
+        assert_eq!(g.snapshot(), (2, 128));
+        g.arrive(100);
+        assert_eq!(g.snapshot(), (1, 28));
+        g.arrive(28);
+        assert_eq!(g.snapshot(), (0, 0));
+    }
+}

@@ -18,12 +18,14 @@
 #![deny(missing_docs)]
 
 pub mod collective;
+pub mod inflight;
 pub mod message;
 pub mod model;
 pub mod netpipe;
 pub mod topology;
 
 pub use collective::CollectiveModel;
+pub use inflight::InFlight;
 pub use message::{Message, Tag};
 pub use model::NetworkModel;
 pub use netpipe::{netpipe_sweep, ping_pong, NetPipePoint};

@@ -1,0 +1,350 @@
+//! Prometheus-style text exposition of a run's metrics and live gauges.
+//!
+//! [`render`] produces the standard `name{labels} value` text format from
+//! a [`MetricsSnapshot`], the latest [`LiveSample`]s, and the tracer's
+//! [`TracerOverhead`]. The bench harness dumps it next to each figure as
+//! `<fig>.prom`; with the `expo-serve` feature a trivial TCP responder
+//! ([`serve`]) serves the same text over HTTP for a real Prometheus
+//! scraper — both sinks are views over the same render, so what a
+//! dashboard would see is exactly what lands on disk.
+
+use crate::{LiveSample, MetricsSnapshot, TracerOverhead};
+use std::fmt::Write as _;
+
+/// Metric-name prefix for everything this workspace exports.
+pub const PREFIX: &str = "stencil_";
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {PREFIX}{name} {help}");
+    let _ = writeln!(out, "# TYPE {PREFIX}{name} {kind}");
+}
+
+fn line(out: &mut String, name: &str, labels: &str, value: f64) {
+    // Prometheus floats: render integers without a fraction.
+    if value.fract() == 0.0 && value.abs() < 9e15 {
+        let _ = writeln!(out, "{PREFIX}{name}{{{labels}}} {}", value as i64);
+    } else {
+        let _ = writeln!(out, "{PREFIX}{name}{{{labels}}} {value}");
+    }
+}
+
+/// Render the exposition text for one run: counters and gauges from the
+/// metric registry, the latest live sample per node (pass
+/// `Live::latest_all()`), and the tracer self-overhead when measured.
+pub fn render(
+    run: &str,
+    snapshot: &MetricsSnapshot,
+    live: &[LiveSample],
+    overhead: Option<TracerOverhead>,
+) -> String {
+    let mut out = String::new();
+    let run_label = format!("run=\"{}\"", run.replace('"', "_"));
+
+    for (name, value) in &snapshot.counters {
+        let n = format!("{}_total", sanitize(name));
+        family(&mut out, &n, "counter", &format!("Counter {name}."));
+        line(&mut out, &n, &run_label, *value as f64);
+    }
+    for (name, gauge) in &snapshot.gauges {
+        let n = sanitize(name);
+        family(&mut out, &n, "gauge", &format!("Gauge {name}."));
+        line(&mut out, &n, &run_label, gauge.current as f64);
+        let nmax = format!("{n}_max");
+        family(
+            &mut out,
+            &nmax,
+            "gauge",
+            &format!("High-water mark of {name}."),
+        );
+        line(&mut out, &nmax, &run_label, gauge.max as f64);
+    }
+
+    if !live.is_empty() {
+        family(
+            &mut out,
+            "lane_busy",
+            "gauge",
+            "Per-worker busy fraction over the last sample window.",
+        );
+        for s in live {
+            for (lane, busy) in s.lane_busy.iter().enumerate() {
+                let labels = format!("{run_label},node=\"{}\",lane=\"{lane}\"", s.node);
+                line(&mut out, "lane_busy", &labels, *busy);
+            }
+        }
+        // Family name, HELP text, and the sample field it exposes.
+        type NodeGauge = (&'static str, &'static str, fn(&LiveSample) -> f64);
+        let per_node: &[NodeGauge] = &[
+            (
+                "occupancy_window",
+                "Mean worker occupancy over the last sample window.",
+                |s| s.occupancy(),
+            ),
+            ("ready_depth", "Ready-queue depth at sample time.", |s| {
+                s.ready_depth as f64
+            }),
+            ("pending_tasks", "Pending-table size at sample time.", |s| {
+                s.pending_tasks as f64
+            }),
+            (
+                "inflight_messages",
+                "Network messages in flight at sample time.",
+                |s| s.inflight_msgs as f64,
+            ),
+            (
+                "inflight_bytes",
+                "Network bytes in flight at sample time.",
+                |s| s.inflight_bytes as f64,
+            ),
+            (
+                "sample_time_ns",
+                "Engine-clock time of the last sample, nanoseconds.",
+                |s| s.t_ns as f64,
+            ),
+        ];
+        for (name, help, get) in per_node {
+            family(&mut out, name, "gauge", help);
+            for s in live {
+                let labels = format!("{run_label},node=\"{}\"", s.node);
+                line(&mut out, name, &labels, get(s));
+            }
+        }
+        family(
+            &mut out,
+            "dropped_events_total",
+            "counter",
+            "Telemetry spans dropped by full rings.",
+        );
+        for s in live {
+            let labels = format!("{run_label},node=\"{}\"", s.node);
+            line(
+                &mut out,
+                "dropped_events_total",
+                &labels,
+                s.dropped_events as f64,
+            );
+        }
+    }
+
+    if let Some(oh) = overhead {
+        family(
+            &mut out,
+            "tracer_events_total",
+            "counter",
+            "Span-record attempts over the run.",
+        );
+        line(
+            &mut out,
+            "tracer_events_total",
+            &run_label,
+            oh.events as f64,
+        );
+        family(
+            &mut out,
+            "tracer_per_event_ns",
+            "gauge",
+            "Calibrated cost of one span record, nanoseconds.",
+        );
+        line(&mut out, "tracer_per_event_ns", &run_label, oh.per_event_ns);
+        family(
+            &mut out,
+            "tracer_overhead_fraction",
+            "gauge",
+            "Instrumentation time as a fraction of total lane time.",
+        );
+        line(
+            &mut out,
+            "tracer_overhead_fraction",
+            &run_label,
+            oh.fraction(),
+        );
+    }
+    out
+}
+
+/// Trivial HTTP responder serving the exposition text, behind the
+/// `expo-serve` feature (uses only `std::net`). One thread, one request
+/// at a time — enough for a scraper or a `curl` while a bench runs.
+#[cfg(feature = "expo-serve")]
+pub mod serve {
+    use std::io::{Read, Write};
+    use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::thread::JoinHandle;
+    use std::time::Duration;
+
+    /// Handle to a running exposition server; dropping it stops the
+    /// thread.
+    pub struct ExpoServer {
+        addr: SocketAddr,
+        stop: Arc<AtomicBool>,
+        handle: Option<JoinHandle<()>>,
+    }
+
+    impl ExpoServer {
+        /// The bound address (useful with port 0).
+        pub fn addr(&self) -> SocketAddr {
+            self.addr
+        }
+
+        /// Stop the server thread and wait for it.
+        pub fn shutdown(mut self) {
+            self.stop_and_join();
+        }
+
+        fn stop_and_join(&mut self) {
+            self.stop.store(true, Ordering::Release);
+            if let Some(h) = self.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+
+    impl Drop for ExpoServer {
+        fn drop(&mut self) {
+            self.stop_and_join();
+        }
+    }
+
+    /// Bind `addr` and serve `render()`'s output to every connection as
+    /// an HTTP 200 `text/plain` response. The render closure runs per
+    /// request, so scrapes always see current gauges.
+    pub fn spawn<F>(addr: impl ToSocketAddrs, render: F) -> std::io::Result<ExpoServer>
+    where
+        F: Fn() -> String + Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_thread = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stop_thread.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((mut conn, _)) => {
+                        let _ = conn.set_read_timeout(Some(Duration::from_millis(200)));
+                        // Drain (and ignore) the request line + headers.
+                        let mut buf = [0u8; 1024];
+                        let _ = conn.read(&mut buf);
+                        let body = render();
+                        let _ = write!(
+                            conn,
+                            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{}",
+                            body.len(),
+                            body
+                        );
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(ExpoServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{names, Metrics};
+
+    fn sample(node: u32) -> LiveSample {
+        LiveSample {
+            t_ns: 1_000,
+            window_ns: 500,
+            node,
+            lane_busy: vec![0.5, 1.0],
+            ready_depth: 3,
+            pending_tasks: 7,
+            inflight_msgs: 2,
+            inflight_bytes: 8192,
+            dropped_events: 0,
+        }
+    }
+
+    #[test]
+    fn render_emits_wellformed_exposition() {
+        let m = Metrics::new();
+        m.counter(names::TASKS_EXECUTED).add(42);
+        m.gauge(names::QUEUE_DEPTH).add(5);
+        let oh = TracerOverhead {
+            events: 100,
+            per_event_ns: 25.0,
+            total_ns: 2_500,
+            lane_time_ns: 1_000_000,
+        };
+        let text = render("base", &m.snapshot(), &[sample(0), sample(1)], Some(oh));
+
+        assert!(text.contains("stencil_tasks_executed_total{run=\"base\"} 42"));
+        assert!(text.contains("stencil_queue_depth{run=\"base\"} 5"));
+        assert!(text.contains("stencil_lane_busy{run=\"base\",node=\"0\",lane=\"1\"} 1"));
+        assert!(text.contains("stencil_ready_depth{run=\"base\",node=\"1\"} 3"));
+        assert!(text.contains("stencil_inflight_bytes{run=\"base\",node=\"0\"} 8192"));
+        assert!(text.contains("stencil_tracer_overhead_fraction{run=\"base\"} 0.0025"));
+
+        // Every non-comment line is `name{labels} value` with a numeric
+        // value, and every family has HELP + TYPE.
+        for l in text.lines() {
+            if l.starts_with('#') {
+                assert!(l.starts_with("# HELP ") || l.starts_with("# TYPE "), "{l}");
+                continue;
+            }
+            let (name, value) = l.rsplit_once(' ').expect("metric line");
+            assert!(name.starts_with(PREFIX), "{l}");
+            assert!(name.contains('{') && name.ends_with('}'), "{l}");
+            assert!(value.parse::<f64>().is_ok(), "{l}");
+        }
+        for l in text.lines().filter(|l| !l.starts_with('#')) {
+            let fam = l.split('{').next().unwrap();
+            assert!(
+                text.contains(&format!("# TYPE {fam} ")),
+                "family {fam} typed"
+            );
+        }
+    }
+
+    #[test]
+    fn render_without_live_or_overhead_is_metrics_only() {
+        let m = Metrics::new();
+        m.counter("a.b c").add(1);
+        let text = render("x", &m.snapshot(), &[], None);
+        assert!(text.contains("stencil_a_b_c_total{run=\"x\"} 1"), "{text}");
+        assert!(!text.contains("lane_busy"));
+        assert!(!text.contains("tracer_"));
+    }
+
+    #[cfg(feature = "expo-serve")]
+    #[test]
+    fn serve_responds_with_exposition_text() {
+        use std::io::{Read, Write};
+        let server =
+            serve::spawn("127.0.0.1:0", || "stencil_up{run=\"t\"} 1\n".to_string()).expect("bind");
+        let addr = server.addr();
+        let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+        conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        conn.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.0 200 OK"), "{resp}");
+        assert!(resp.contains("stencil_up{run=\"t\"} 1"), "{resp}");
+        server.shutdown();
+    }
+}

@@ -21,6 +21,24 @@ pub fn render(run: &str, snapshot: &MetricsSnapshot, trace: Option<&Trace>) -> S
     }
     push_line(&mut out, Value::Object(header));
 
+    // Dropped spans get an explicit counter line (not just the header
+    // field) whenever a ring overflowed, so truncation is visible to the
+    // same tooling that reads the metric counters and can't masquerade as
+    // idle time downstream.
+    if let Some(t) = trace {
+        if t.dropped > 0 {
+            push_line(
+                &mut out,
+                Value::Object(vec![
+                    ("record".into(), Value::Str("counter".into())),
+                    ("run".into(), Value::Str(run.into())),
+                    ("name".into(), Value::Str("dropped_events".into())),
+                    ("value".into(), Value::Num(Number::U(t.dropped))),
+                ]),
+            );
+        }
+    }
+
     for (name, value) in &snapshot.counters {
         push_line(
             &mut out,
@@ -157,6 +175,28 @@ mod tests {
         assert_eq!(parsed[1].0, "a");
         assert_eq!(parsed[0].1.counter("x"), 1);
         assert_eq!(parsed[1].1.counter("x"), 2);
+    }
+
+    #[test]
+    fn dropped_spans_surface_as_counter_line() {
+        let m = Metrics::new();
+        let rec = Recorder::with_capacity(2);
+        let l = rec.local();
+        for i in 0..6u64 {
+            l.task(0, 0, 0, i, i + 1);
+        }
+        let trace = rec.drain();
+        assert!(trace.dropped > 0, "overflow expected");
+        let text = render("r", &m.snapshot(), Some(&trace));
+        assert!(text.contains("\"dropped_events\""));
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed[0].1.counter("dropped_events"), trace.dropped);
+
+        // A complete trace emits no such counter line.
+        let rec = Recorder::new();
+        rec.local().task(0, 0, 0, 0, 1);
+        let text = render("r", &m.snapshot(), Some(&rec.drain()));
+        assert!(!text.contains("\"dropped_events\""));
     }
 
     #[test]

@@ -1,10 +1,36 @@
-//! Span recording: per-thread ring buffers of timestamped activity spans,
-//! drained into an analyzable [`Trace`].
+//! Span recording: per-thread lock-free ring buffers of timestamped
+//! activity spans, streamed into a collector store and drained into an
+//! analyzable [`Trace`].
+//!
+//! # Streaming architecture
+//!
+//! Every recording thread ([`LocalRecorder`]) owns the producer half of a
+//! bounded SPSC ring ([`crate::ring`]); the shared [`Recorder`] keeps the
+//! consumer halves plus a central **store** of already-collected spans.
+//! Recording is wait-free: a full ring drops the span and counts it
+//! instead of blocking the worker. Collection ([`Recorder::collect`], or
+//! the periodic samplers the executors run) moves ring contents into the
+//! store while producers keep recording, which is what makes live
+//! telemetry possible — the store can be observed mid-run, not only after
+//! the run returns.
+//!
+//! # The quiesce contract
+//!
+//! [`Recorder::drain`] promises a *complete* trace, so it must only be
+//! called once every producer has quiesced (worker threads joined, the
+//! simulator dropped its handle). Collection itself is safe concurrently
+//! with live producers — the SPSC protocol guarantees that — but a drain
+//! racing a producer would silently miss the spans still being written.
+//! `drain` therefore carries a debug assertion that no producer is
+//! mid-record; executors uphold the contract by draining only after
+//! joining their worker scope. Use [`Recorder::with_collected`] for live
+//! (possibly incomplete) views during a run.
 
+use crate::ring::{self, RingConsumer, RingProducer};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// One recorded activity: a half-open interval `[start_ns, end_ns)` of
@@ -73,60 +99,119 @@ impl Default for WallClock {
     }
 }
 
-/// Bounded span buffer: keeps the most recent `capacity` spans, counting
-/// evictions so truncation is visible in the drained trace.
-struct Ring {
-    spans: VecDeque<SpanRecord>,
-    capacity: usize,
+/// The measured cost of the tracer itself over one run: how many events
+/// were recorded, what one record costs on this machine (calibrated once
+/// per process), and the lane time the total is compared against.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct TracerOverhead {
+    /// Record attempts over the run (dropped events included — their cost
+    /// is paid regardless).
+    pub events: u64,
+    /// Calibrated cost of one record on this machine, nanoseconds.
+    pub per_event_ns: f64,
+    /// Estimated total instrumentation time: `events × per_event_ns`.
+    pub total_ns: u64,
+    /// Total worker-lane time of the run (`horizon × lanes × nodes`),
+    /// nanoseconds, on the engine's clock.
+    pub lane_time_ns: u64,
 }
 
-impl Ring {
-    fn push(&mut self, span: SpanRecord) -> bool {
-        let evicted = self.spans.len() == self.capacity;
-        if evicted {
-            self.spans.pop_front();
+impl TracerOverhead {
+    /// Instrumentation time as a fraction of lane time (0 when lane time
+    /// is 0). The executors' budget for this is
+    /// [`TracerOverhead::BUDGET_FRACTION`].
+    pub fn fraction(&self) -> f64 {
+        if self.lane_time_ns == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.lane_time_ns as f64
         }
-        self.spans.push_back(span);
-        evicted
+    }
+
+    /// The tracer self-overhead budget asserted by `ci.sh`'s
+    /// `stencil-top --once` smoke: 2% of total lane time.
+    pub const BUDGET_FRACTION: f64 = 0.02;
+
+    /// True when the measured overhead stays under the budget.
+    pub fn within_budget(&self) -> bool {
+        self.fraction() < Self::BUDGET_FRACTION
     }
 }
 
+/// Calibrate the per-event record cost once per process: time a burst of
+/// records into a scratch ring. The result feeds every
+/// [`TracerOverhead`] this process reports.
+pub fn per_event_cost_ns() -> f64 {
+    static COST: OnceLock<f64> = OnceLock::new();
+    *COST.get_or_init(|| {
+        let (producer, _consumer) = ring::spsc(1 << 13);
+        let n = 4096u64;
+        let start = Instant::now();
+        for i in 0..n {
+            producer.push(SpanRecord {
+                node: 0,
+                lane: 0,
+                kind: 0,
+                start_ns: i,
+                end_ns: i + 1,
+                task: SpanRecord::NO_TASK,
+            });
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        (elapsed / n as f64).max(1.0)
+    })
+}
+
 struct Shared {
-    buffers: Mutex<Vec<Arc<Mutex<Ring>>>>,
+    /// Consumer halves of every registered lane, taken by collection.
+    lanes: Mutex<Vec<RingConsumer>>,
+    /// Spans already moved out of the rings. Grows monotonically; `drain`
+    /// is a sorted view over it, so draining twice yields the same spans.
+    store: Mutex<Vec<SpanRecord>>,
     kinds: Mutex<BTreeMap<u32, String>>,
-    dropped: AtomicU64,
+    /// Drops by producers whose lane has already been deregistered (none
+    /// today, kept for forward-compat) plus a scratch counter for the
+    /// disabled recorder.
+    dropped_extra: AtomicU64,
     capacity: usize,
     enabled: bool,
 }
 
 /// Span recorder shared by all threads of a run. Clone it freely; all
-/// clones feed the same drain.
+/// clones feed the same store.
 ///
 /// Each recording thread obtains its own [`LocalRecorder`] via
-/// [`Recorder::local`], writing into a private ring buffer — the only
-/// cross-thread contention is at registration and drain time.
+/// [`Recorder::local`], writing into a private lock-free SPSC ring — the
+/// hot path takes no lock and never blocks; cross-thread coordination
+/// happens only at registration and collection time.
 #[derive(Clone)]
 pub struct Recorder {
     shared: Arc<Shared>,
 }
 
 impl Recorder {
-    /// Default per-thread capacity: one million spans (~24 MB/thread at
-    /// most), far above any workload in this workspace.
-    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+    /// Default per-thread capacity: 64 Ki spans (~2.6 MB/thread). The
+    /// collector drains lanes continuously, so only spans in flight
+    /// between two collections must fit — far fewer than this for every
+    /// workload in the workspace. Kept modest so eagerly allocating one
+    /// ring per worker does not delay thread start-up.
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
 
     /// Recorder with the default per-thread ring capacity.
     pub fn new() -> Self {
         Recorder::with_capacity(Self::DEFAULT_CAPACITY)
     }
 
-    /// Recorder whose per-thread rings keep at most `capacity` spans.
+    /// Recorder whose per-thread rings hold at most `capacity` in-flight
+    /// spans (rounded up to a power of two). A span pushed into a full
+    /// ring is dropped and counted, never blocked on.
     pub fn with_capacity(capacity: usize) -> Self {
         Recorder {
             shared: Arc::new(Shared {
-                buffers: Mutex::new(Vec::new()),
+                lanes: Mutex::new(Vec::new()),
+                store: Mutex::new(Vec::new()),
                 kinds: Mutex::new(BTreeMap::new()),
-                dropped: AtomicU64::new(0),
+                dropped_extra: AtomicU64::new(0),
                 capacity: capacity.max(1),
                 enabled: true,
             }),
@@ -138,9 +223,10 @@ impl Recorder {
     pub fn disabled() -> Self {
         Recorder {
             shared: Arc::new(Shared {
-                buffers: Mutex::new(Vec::new()),
+                lanes: Mutex::new(Vec::new()),
+                store: Mutex::new(Vec::new()),
                 kinds: Mutex::new(BTreeMap::new()),
-                dropped: AtomicU64::new(0),
+                dropped_extra: AtomicU64::new(0),
                 capacity: 1,
                 enabled: false,
             }),
@@ -152,26 +238,19 @@ impl Recorder {
         self.shared.enabled
     }
 
-    /// Obtain a per-thread recording handle.
+    /// Obtain a per-thread recording handle (one producer lane).
     pub fn local(&self) -> LocalRecorder {
         if !self.shared.enabled {
-            return LocalRecorder {
-                shared: Arc::clone(&self.shared),
-                ring: None,
-            };
+            return LocalRecorder { producer: None };
         }
-        let ring = Arc::new(Mutex::new(Ring {
-            spans: VecDeque::new(),
-            capacity: self.shared.capacity,
-        }));
+        let (producer, consumer) = ring::spsc(self.shared.capacity);
         self.shared
-            .buffers
+            .lanes
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .push(Arc::clone(&ring));
+            .push(consumer);
         LocalRecorder {
-            shared: Arc::clone(&self.shared),
-            ring: Some(ring),
+            producer: Some(producer),
         }
     }
 
@@ -185,26 +264,81 @@ impl Recorder {
             .or_insert_with(|| name.to_string());
     }
 
+    /// Move everything currently visible in the lane rings into the
+    /// store. Safe to call while producers are live (the collector thread
+    /// does, at its cadence); spans still being written simply show up at
+    /// the next collection.
+    pub fn collect(&self) {
+        let mut lanes = self.shared.lanes.lock().unwrap_or_else(|e| e.into_inner());
+        let mut store = self.shared.store.lock().unwrap_or_else(|e| e.into_inner());
+        for lane in lanes.iter_mut() {
+            lane.drain_into(&mut store);
+        }
+    }
+
+    /// Collect, then run `f` over the store — the live view the samplers
+    /// use mid-run. The store is unsorted and may be incomplete (spans
+    /// mid-record appear at a later collection).
+    pub fn with_collected<R>(&self, f: impl FnOnce(&[SpanRecord]) -> R) -> R {
+        self.collect();
+        let store = self.shared.store.lock().unwrap_or_else(|e| e.into_inner());
+        f(&store)
+    }
+
+    /// Spans dropped so far because a lane ring was full.
+    pub fn dropped(&self) -> u64 {
+        let lanes = self.shared.lanes.lock().unwrap_or_else(|e| e.into_inner());
+        lanes.iter().map(|l| l.dropped()).sum::<u64>()
+            + self.shared.dropped_extra.load(Ordering::Relaxed)
+    }
+
+    /// Record attempts so far across all lanes (dropped events included).
+    pub fn events_recorded(&self) -> u64 {
+        let lanes = self.shared.lanes.lock().unwrap_or_else(|e| e.into_inner());
+        lanes.iter().map(|l| l.attempts()).sum()
+    }
+
+    /// The tracer's measured self-overhead against `lane_time_ns` of
+    /// worker-lane time (see [`TracerOverhead`]).
+    pub fn overhead(&self, lane_time_ns: u64) -> TracerOverhead {
+        let events = self.events_recorded();
+        let per_event_ns = per_event_cost_ns();
+        TracerOverhead {
+            events,
+            per_event_ns,
+            total_ns: (events as f64 * per_event_ns) as u64,
+            lane_time_ns,
+        }
+    }
+
     /// Collect every span recorded so far into a [`Trace`], sorted by
-    /// start time (ties by node, lane). Buffers are left intact, so
+    /// start time (ties by node, lane). The store is retained, so
     /// draining twice yields the same spans.
+    ///
+    /// # Quiesce contract
+    ///
+    /// A complete trace requires every producer to have quiesced (threads
+    /// joined / handles dropped) — this is asserted in debug builds. For
+    /// a live mid-run view use [`Recorder::with_collected`] instead.
     pub fn drain(&self) -> Trace {
-        let mut spans = Vec::new();
-        for ring in self
+        self.collect();
+        #[cfg(debug_assertions)]
+        {
+            let lanes = self.shared.lanes.lock().unwrap_or_else(|e| e.into_inner());
+            for (i, lane) in lanes.iter().enumerate() {
+                debug_assert!(
+                    !lane.producer_recording(),
+                    "Recorder::drain while lane {i}'s producer is mid-record: \
+                     the quiesce contract requires all workers joined before drain"
+                );
+            }
+        }
+        let mut spans = self
             .shared
-            .buffers
+            .store
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .iter()
-        {
-            spans.extend(
-                ring.lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .spans
-                    .iter()
-                    .copied(),
-            );
-        }
+            .clone();
         spans.sort_by_key(|s| (s.start_ns, s.node, s.lane, s.end_ns));
         Trace {
             spans,
@@ -214,7 +348,7 @@ impl Recorder {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .clone(),
-            dropped: self.shared.dropped.load(Ordering::Relaxed),
+            dropped: self.dropped(),
         }
     }
 }
@@ -225,21 +359,19 @@ impl Default for Recorder {
     }
 }
 
-/// Per-thread handle writing spans into a private ring buffer.
+/// Per-thread handle writing spans into a private lock-free ring.
 pub struct LocalRecorder {
-    shared: Arc<Shared>,
-    ring: Option<Arc<Mutex<Ring>>>,
+    producer: Option<RingProducer>,
 }
 
 impl LocalRecorder {
-    /// Record one span. No-op on a disabled recorder; `end_ns` must not
+    /// Record one span. No-op on a disabled recorder; on a full ring the
+    /// span is dropped and counted (never blocks). `end_ns` must not
     /// precede `start_ns`.
     pub fn record(&self, span: SpanRecord) {
         debug_assert!(span.end_ns >= span.start_ns, "span ends before it starts");
-        if let Some(ring) = &self.ring {
-            if ring.lock().unwrap_or_else(|e| e.into_inner()).push(span) {
-                self.shared.dropped.fetch_add(1, Ordering::Relaxed);
-            }
+        if let Some(producer) = &self.producer {
+            producer.push(span);
         }
     }
 
@@ -290,7 +422,7 @@ pub struct Trace {
     pub spans: Vec<SpanRecord>,
     /// Kind tag → human-readable name, for exporters.
     pub kinds: BTreeMap<u32, String>,
-    /// Spans evicted from full ring buffers (0 means the trace is complete).
+    /// Spans dropped by full lane rings (0 means the trace is complete).
     pub dropped: u64,
 }
 
@@ -429,6 +561,20 @@ mod tests {
     }
 
     #[test]
+    fn drain_twice_yields_same_spans() {
+        let rec = Recorder::new();
+        let l = rec.local();
+        l.task(0, 0, 1, 0, 10);
+        l.task(0, 0, 1, 10, 20);
+        let first = rec.drain();
+        let second = rec.drain();
+        assert_eq!(first.spans, second.spans);
+        // spans recorded after a drain show up in the next one
+        l.task(0, 0, 1, 20, 30);
+        assert_eq!(rec.drain().len(), 3);
+    }
+
+    #[test]
     fn disabled_recorder_keeps_nothing() {
         let rec = Recorder::disabled();
         let l = rec.local();
@@ -436,20 +582,29 @@ mod tests {
         l.comm(0, 4, 0, 1);
         assert!(rec.drain().is_empty());
         assert!(!rec.is_enabled());
+        assert_eq!(rec.events_recorded(), 0);
     }
 
     #[test]
-    fn ring_evicts_oldest_and_counts_drops() {
+    fn full_ring_drops_and_counts_without_blocking() {
         let rec = Recorder::with_capacity(4);
         let l = rec.local();
         for i in 0..10u64 {
             l.task(0, 0, 0, i, i + 1);
         }
         let t = rec.drain();
+        // Overflow drops the *newest* spans (the push fails; nothing is
+        // evicted) — the survivors are the oldest four.
         assert_eq!(t.len(), 4);
         assert_eq!(t.dropped, 6);
-        // the survivors are the most recent four
-        assert_eq!(t.spans[0].start_ns, 6);
+        assert_eq!(t.spans[0].start_ns, 0);
+        assert_eq!(rec.events_recorded(), 10);
+        // Continuous collection empties the ring, so a collected recorder
+        // keeps accepting spans past its in-flight capacity.
+        rec.collect();
+        l.task(0, 0, 0, 100, 101);
+        let t = rec.drain();
+        assert_eq!(t.len(), 5);
     }
 
     #[test]
@@ -466,6 +621,50 @@ mod tests {
             }
         });
         assert_eq!(rec.drain().len(), 4000);
+        assert_eq!(rec.events_recorded(), 4000);
+    }
+
+    #[test]
+    fn live_collection_while_producers_run() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let rec = Recorder::with_capacity(64);
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let local = rec.local();
+            let done = &done;
+            s.spawn(move || {
+                for i in 0..10_000u64 {
+                    local.task(0, 0, 1, i, i + 1);
+                }
+                done.store(true, Ordering::Release);
+            });
+            // Collect continuously while the producer runs: the live view
+            // is coherent mid-run, and every span ends up either in the
+            // store or in the drop counter — never silently lost.
+            while !done.load(Ordering::Acquire) {
+                rec.collect();
+                std::thread::yield_now();
+            }
+        });
+        let t = rec.drain();
+        assert_eq!(t.len() as u64 + t.dropped, 10_000, "no span lost");
+    }
+
+    #[test]
+    fn overhead_reports_calibrated_cost() {
+        let rec = Recorder::new();
+        let l = rec.local();
+        for i in 0..100u64 {
+            l.task(0, 0, 0, i, i + 1);
+        }
+        let oh = rec.overhead(1_000_000_000);
+        assert_eq!(oh.events, 100);
+        assert!(oh.per_event_ns >= 1.0);
+        assert_eq!(oh.total_ns, (100.0 * oh.per_event_ns) as u64);
+        assert!(oh.fraction() > 0.0);
+        // Zero lane time degrades to zero fraction, not a NaN.
+        assert_eq!(rec.overhead(0).fraction(), 0.0);
+        assert!(per_event_cost_ns() < 100_000.0, "per-event cost sane");
     }
 
     #[test]

@@ -29,7 +29,7 @@
 use crate::sim_exec::SchedulerPolicy;
 use crate::task::Program;
 use machine::MachineProfile;
-use obs::{Metrics, MetricsSnapshot, Recorder, Trace};
+use obs::{Live, LiveSample, Metrics, MetricsSnapshot, Recorder, Trace, TracerOverhead};
 
 /// Which engine executes the program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +69,17 @@ pub struct RunConfig {
     pub comm_engines: usize,
     /// Human-readable names for application span kinds, for exporters.
     pub kind_names: Vec<(u32, String)>,
+    /// Live-sampler cadence in nanoseconds on the engine's clock
+    /// (wall-clock for the real engines, virtual for the simulator).
+    /// `None` disables sampling unless a [`RunConfig::with_live`] board
+    /// is attached, which turns it on at
+    /// [`RunConfig::DEFAULT_SAMPLE_PERIOD_NS`].
+    pub sample_period_ns: Option<u64>,
+    /// External live board to publish samples to, so a concurrent
+    /// observer (`stencil-top`, the `obs::expo` responder) can watch the
+    /// run. When sampling is on without a board, the engine creates a
+    /// private one and the samples still land in the report.
+    pub live: Option<Live>,
 }
 
 impl RunConfig {
@@ -84,6 +95,8 @@ impl RunConfig {
             scheduler: SchedulerPolicy::Fifo,
             comm_engines: 1,
             kind_names: Vec::new(),
+            sample_period_ns: None,
+            live: None,
         }
     }
 
@@ -100,6 +113,8 @@ impl RunConfig {
             scheduler: SchedulerPolicy::Fifo,
             comm_engines: 1,
             kind_names: Vec::new(),
+            sample_period_ns: None,
+            live: None,
         }
     }
 
@@ -116,6 +131,8 @@ impl RunConfig {
             scheduler: SchedulerPolicy::Fifo,
             comm_engines: 1,
             kind_names: Vec::new(),
+            sample_period_ns: None,
+            live: None,
         }
     }
 
@@ -159,6 +176,44 @@ impl RunConfig {
         self.kind_names
             .extend(names.into_iter().map(|(k, s)| (k, s.into())));
         self
+    }
+
+    /// Default sampler cadence when a live board is attached without an
+    /// explicit period: 10 ms on the engine's clock.
+    pub const DEFAULT_SAMPLE_PERIOD_NS: u64 = 10_000_000;
+
+    /// Enable live sampling at `period_ns` on the engine's clock
+    /// (wall-clock nanoseconds for the real engines, virtual nanoseconds
+    /// for the simulator). Samples land in [`RunReport::samples`].
+    pub fn with_sampling(mut self, period_ns: u64) -> Self {
+        self.sample_period_ns = Some(period_ns.max(1));
+        self
+    }
+
+    /// Publish live samples to `live` so a concurrent observer can watch
+    /// the run; implies sampling (at
+    /// [`RunConfig::DEFAULT_SAMPLE_PERIOD_NS`] unless
+    /// [`RunConfig::with_sampling`] chose a cadence).
+    pub fn with_live(mut self, live: Live) -> Self {
+        self.live = Some(live);
+        self
+    }
+
+    /// The effective sampler cadence: the explicit period, the default
+    /// when only a board was attached, `None` when sampling is off.
+    pub fn sample_period(&self) -> Option<u64> {
+        self.sample_period_ns
+            .or(self.live.as_ref().map(|_| Self::DEFAULT_SAMPLE_PERIOD_NS))
+    }
+
+    /// The board the engine should publish samples to: the attached one,
+    /// or a fresh private board when sampling is on without an external
+    /// observer. `None` when sampling is off.
+    pub(crate) fn live_board(&self) -> Option<Live> {
+        if let Some(live) = &self.live {
+            return Some(live.clone());
+        }
+        self.sample_period_ns.map(|_| Live::new())
     }
 
     /// Build the run's recorder with the configured kind names registered.
@@ -215,6 +270,13 @@ pub struct RunReport {
     pub metrics: MetricsSnapshot,
     /// Full span trace, when [`RunConfig::with_trace`] was set.
     pub trace: Option<Trace>,
+    /// Live samples collected during the run, when sampling was enabled
+    /// (see [`RunConfig::with_sampling`]); empty otherwise.
+    pub samples: Vec<LiveSample>,
+    /// The tracer's measured self-overhead over this run: record attempts
+    /// times the calibrated per-event cost, against total worker-lane
+    /// time. The budget is [`TracerOverhead::BUDGET_FRACTION`].
+    pub overhead: TracerOverhead,
     /// Mode-specific extras.
     pub ext: ModeExt,
 }
@@ -291,8 +353,13 @@ pub(crate) fn assemble_report(
     tasks_executed: u64,
     recorder: &Recorder,
     metrics: &Metrics,
+    samples: Vec<LiveSample>,
     ext: ModeExt,
 ) -> RunReport {
+    // Overhead is accounted before drain() so the drain itself (an
+    // analysis step, not instrumentation) stays out of the figure.
+    let lane_time_ns = horizon_ns * lanes as u64 * cfg.nodes as u64;
+    let overhead = recorder.overhead(lane_time_ns);
     let trace = recorder.drain();
     let node_occupancy = (0..cfg.nodes)
         .map(|n| trace.occupancy(n, lanes, horizon_ns))
@@ -304,6 +371,8 @@ pub(crate) fn assemble_report(
         node_occupancy,
         metrics: metrics.snapshot(),
         trace: cfg.capture_trace.then_some(trace),
+        samples,
+        overhead,
         ext,
     }
 }
@@ -437,6 +506,41 @@ mod tests {
             } => assert_eq!(remote_messages, 0),
             ref other => panic!("wrong ext {other:?}"),
         }
+    }
+
+    #[test]
+    fn sampling_reaches_report_on_every_engine() {
+        let p = diamond(1);
+        for cfg in [
+            RunConfig::shared_memory(2),
+            RunConfig::multi_process(1, 2),
+            RunConfig::simulated(MachineProfile::nacl(), 1),
+        ] {
+            let mode = cfg.mode;
+            let r = run(&p, &cfg.with_sampling(1_000_000));
+            assert!(!r.samples.is_empty(), "{mode:?} published no samples");
+            assert!(r.overhead.events > 0, "{mode:?} overhead not measured");
+            assert!(r.overhead.per_event_ns > 0.0);
+            assert!(r.samples.iter().all(|s| s.window_ns > 0));
+        }
+        // Sampling off: no samples, but overhead is still accounted.
+        let r = run(&p, &RunConfig::shared_memory(2));
+        assert!(r.samples.is_empty());
+        assert!(r.overhead.events > 0);
+    }
+
+    #[test]
+    fn external_live_board_sees_the_run() {
+        let live = obs::Live::new();
+        let cfg = RunConfig::shared_memory(2).with_live(live.clone());
+        assert_eq!(
+            cfg.sample_period(),
+            Some(RunConfig::DEFAULT_SAMPLE_PERIOD_NS),
+            "attaching a board implies sampling"
+        );
+        let r = run(&diamond(1), &cfg);
+        assert!(!live.is_empty(), "board saw nothing");
+        assert_eq!(live.history().len(), r.samples.len());
     }
 
     #[test]

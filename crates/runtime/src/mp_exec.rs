@@ -20,7 +20,9 @@ use crate::exec::{assemble_report, ExecMode, ModeExt, RunConfig, RunReport};
 use crate::pending::{PendingTable, ReadyTask};
 use crate::task::{FlowData, Program, TaskKey};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use obs::{names, LocalRecorder, Metrics, WallClock};
+use obs::{
+    lane_busy_in_window, names, Live, LiveSample, LocalRecorder, Metrics, Recorder, WallClock,
+};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -199,6 +201,72 @@ fn comm_thread(cluster: &Cluster<'_>, node: usize, local: &LocalRecorder) {
     }
 }
 
+/// Periodic live sampler for the cluster: one [`LiveSample`] per node per
+/// tick. Per-node occupancy comes from the collected span store; queue
+/// depths are probed from the node's channels (its comm queue length
+/// doubles as "messages in flight" — a flow queued at the destination's
+/// comm thread is the wire here).
+fn sampler(cluster: &Cluster<'_>, recorder: &Recorder, live: &Live, period_ns: u64) {
+    let period = Duration::from_nanos(period_ns.max(1));
+    let slice = period.min(Duration::from_millis(5));
+    let lanes = cluster.workers_per_node as u32;
+    let total = cluster.program.total_tasks;
+    let mut w0 = cluster.clock.now_ns();
+    let mut elapsed = Duration::ZERO;
+    let mut last_seen = 0u64;
+    let mut last_progress = Instant::now();
+    while cluster.completed.load(Ordering::Acquire) < total {
+        std::thread::sleep(slice);
+        elapsed += slice;
+        let done = cluster.completed.load(Ordering::Acquire);
+        if done != last_seen {
+            last_seen = done;
+            last_progress = Instant::now();
+        } else if last_progress.elapsed() > Duration::from_secs(15) {
+            // A stalled or panicked run: stop sampling so the scope can
+            // propagate the real failure.
+            return;
+        }
+        if elapsed < period {
+            continue;
+        }
+        elapsed = Duration::ZERO;
+        let w1 = cluster.clock.now_ns();
+        publish_samples(cluster, recorder, live, lanes, w0, w1);
+        w0 = w1;
+    }
+    publish_samples(cluster, recorder, live, lanes, w0, cluster.clock.now_ns());
+}
+
+fn publish_samples(
+    cluster: &Cluster<'_>,
+    recorder: &Recorder,
+    live: &Live,
+    lanes: u32,
+    w0: u64,
+    w1: u64,
+) {
+    if w1 <= w0 {
+        return;
+    }
+    let dropped_events = recorder.dropped();
+    recorder.with_collected(|spans| {
+        for (n, node) in cluster.nodes.iter().enumerate() {
+            live.publish(LiveSample {
+                t_ns: w1,
+                window_ns: w1 - w0,
+                node: n as u32,
+                lane_busy: lane_busy_in_window(spans, n as u32, lanes, w0, w1),
+                ready_depth: node.work_rx.len(),
+                pending_tasks: node.pending.lock().len(),
+                inflight_msgs: node.comm_rx.len() as u64,
+                inflight_bytes: 0,
+                dropped_events,
+            });
+        }
+    });
+}
+
 /// Run `program` under `cfg` on the multi-process engine (entered through
 /// [`crate::run`]): `cfg.nodes` node-local thread pools of `cfg.threads`
 /// workers each, plus one comm thread per node.
@@ -242,6 +310,7 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
             .expect("fresh channel");
     }
 
+    let live = cfg.live_board();
     let start = Instant::now();
     crossbeam::thread::scope(|s| {
         for node in 0..nodes as usize {
@@ -253,6 +322,11 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
             let cluster = &cluster;
             let local = recorder.local();
             s.spawn(move |_| comm_thread(cluster, node, &local));
+        }
+        if let (Some(live), Some(period)) = (live.clone(), cfg.sample_period()) {
+            let cluster = &cluster;
+            let recorder = recorder.clone();
+            s.spawn(move |_| sampler(cluster, &recorder, &live, period));
         }
     })
     .expect("node thread panicked");
@@ -281,6 +355,7 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
         completed,
         &recorder,
         &cluster.metrics,
+        live.map(|l| l.history()).unwrap_or_default(),
         ModeExt::MultiProcess {
             cross_node_flows: cluster.cross_flows.load(Ordering::Relaxed),
         },

@@ -19,7 +19,9 @@ use crate::exec::{assemble_report, ExecMode, ModeExt, RunConfig, RunReport};
 use crate::pending::{PendingTable, ReadyTask};
 use crate::task::Program;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use obs::{names, LocalRecorder, Metrics, WallClock};
+use obs::{
+    lane_busy_in_window, names, Live, LiveSample, LocalRecorder, Metrics, Recorder, WallClock,
+};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -134,6 +136,69 @@ fn worker(
     }
 }
 
+/// Periodic live sampler: runs beside the workers inside the same scope,
+/// publishing one [`LiveSample`] per tick from the collected span store
+/// and the shared queues. Collection is safe concurrently with live
+/// producers (the SPSC rings guarantee it); only the final `drain()` —
+/// which happens after the scope joins — requires quiescence.
+fn sampler(shared: &Shared<'_>, recorder: &Recorder, live: &Live, period_ns: u64, lanes: u32) {
+    let period = Duration::from_nanos(period_ns.max(1));
+    let slice = period.min(Duration::from_millis(5));
+    let mut w0 = shared.clock.now_ns();
+    let mut elapsed = Duration::ZERO;
+    // Safety valve: if a worker panicked, `completed` never reaches the
+    // total; stop sampling after ~15 s without progress so this thread
+    // does not keep the scope from propagating the panic.
+    let total = shared.program.total_tasks;
+    let mut last_seen = 0u64;
+    let mut last_progress = Instant::now();
+    while shared.completed.load(Ordering::Acquire) < total {
+        std::thread::sleep(slice);
+        elapsed += slice;
+        let done = shared.completed.load(Ordering::Acquire);
+        if done != last_seen {
+            last_seen = done;
+            last_progress = Instant::now();
+        } else if last_progress.elapsed() > Duration::from_secs(15) {
+            return;
+        }
+        if elapsed < period {
+            continue;
+        }
+        elapsed = Duration::ZERO;
+        let w1 = shared.clock.now_ns();
+        publish_sample(shared, recorder, live, lanes, w0, w1);
+        w0 = w1;
+    }
+    // Tail window up to completion.
+    publish_sample(shared, recorder, live, lanes, w0, shared.clock.now_ns());
+}
+
+fn publish_sample(
+    shared: &Shared<'_>,
+    recorder: &Recorder,
+    live: &Live,
+    lanes: u32,
+    w0: u64,
+    w1: u64,
+) {
+    if w1 <= w0 {
+        return;
+    }
+    let lane_busy = recorder.with_collected(|spans| lane_busy_in_window(spans, 0, lanes, w0, w1));
+    live.publish(LiveSample {
+        t_ns: w1,
+        window_ns: w1 - w0,
+        node: 0,
+        lane_busy,
+        ready_depth: shared.rx.len(),
+        pending_tasks: shared.pending.lock().len(),
+        inflight_msgs: 0,
+        inflight_bytes: 0,
+        dropped_events: recorder.dropped(),
+    });
+}
+
 /// Run `program` under `cfg` on the shared-memory engine (entered through
 /// [`crate::run`]).
 ///
@@ -164,6 +229,7 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
             .expect("fresh channel");
     }
 
+    let live = cfg.live_board();
     let start = Instant::now();
     crossbeam::thread::scope(|s| {
         for lane in 0..threads {
@@ -171,6 +237,11 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
             let shared = &shared;
             let local = recorder.local();
             s.spawn(move |_| worker(&rx, shared, threads, lane as u32, &local));
+        }
+        if let (Some(live), Some(period)) = (live.clone(), cfg.sample_period()) {
+            let shared = &shared;
+            let recorder = recorder.clone();
+            s.spawn(move |_| sampler(shared, &recorder, &live, period, threads as u32));
         }
     })
     .expect("worker panicked");
@@ -204,6 +275,7 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
         completed,
         &recorder,
         &shared.metrics,
+        live.map(|l| l.history()).unwrap_or_default(),
         ModeExt::SharedMemory { flows_delivered },
     )
 }
