@@ -46,6 +46,16 @@ else
     echo "WARNING: BENCH_stencil.json not found; skipping stencil-doctor --check"
 fi
 
+# Scheduler portfolio gate: every portfolio scheduler must complete every
+# scheme (base/ca/pa2/dtd) deadlock-free and within the static bound on a
+# small sweep, and the committed baseline must be intact under the
+# default policy. Warn-skip mirrors the doctor gate above.
+if [ -f ./target/release/stencil-tournament ]; then
+    step ./target/release/stencil-tournament --check
+else
+    echo "WARNING: stencil-tournament not built; skipping stencil-tournament --check"
+fi
+
 # Telemetry smoke: one frame of the reference workload with streaming
 # telemetry on; exits nonzero if the tracer overruns its 2 % self-overhead
 # budget, drops spans, or publishes no live samples.

@@ -24,6 +24,10 @@
 //!   busiest-node work bound give a makespan no schedule can beat
 //!   ([`PathStats`]); the simulated executor's reported makespan must
 //!   never be below it.
+//! * **Rank export** — per-task upward/downward ranks and critical-path
+//!   membership ([`task_ranks`]), the static quantities
+//!   `runtime::scheduler`'s list schedulers order dispatch by, exported
+//!   as analysis data so scheduler tables can be cross-checked.
 //!
 //! ```
 //! # use analyze::{analyze_program, AnalyzeConfig};
@@ -39,10 +43,12 @@ mod deadlock;
 mod diag;
 mod path;
 mod race;
+mod ranks;
 
 pub use comm::{CommStats, FlopStats};
 pub use diag::Diagnostic;
 pub use path::PathStats;
+pub use ranks::{task_ranks, TaskRanks};
 
 use obs::ExpectedCounters;
 use runtime::{Program, StructuralFault, UnfoldedDag};

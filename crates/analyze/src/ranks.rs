@@ -1,0 +1,164 @@
+//! Static per-task rank export for schedulers.
+//!
+//! The list schedulers in [`runtime::scheduler`] order ready tasks by
+//! static ranks over the unfolded DAG; this module exports the same
+//! quantities as analysis data, so tools (and tests) can cross-check a
+//! scheduler's table against the verifier's independent sweep:
+//!
+//! * **upward rank** (bottom level): the longest cost-weighted chain from
+//!   a task through its successors, *including* its own cost —
+//!   communication-free, so it equals `runtime::HeftScheduler`'s rank
+//!   when no machine profile is bound;
+//! * **downward rank** (top level): the longest cost-weighted chain from
+//!   any root *up to but excluding* the task;
+//! * **critical flags**: tasks whose `upward + downward` reaches the
+//!   DAG's critical path — the chain every schedule is bound by
+//!   ([`crate::PathStats::critical_path`] equals the maximum of that sum).
+
+use runtime::UnfoldedDag;
+
+/// Static ranks of every task in one unfolded DAG, indexed like
+/// `dag.tasks`.
+#[derive(Debug, Clone)]
+pub struct TaskRanks {
+    /// Upward rank (bottom level), seconds, own cost included.
+    pub upward: Vec<f64>,
+    /// Downward rank (top level), seconds, own cost excluded.
+    pub downward: Vec<f64>,
+    /// True for tasks on a critical path (`upward + downward` reaches the
+    /// DAG's critical-path length, within 1 ppb relative tolerance).
+    pub critical: Vec<bool>,
+}
+
+impl TaskRanks {
+    /// Length of the critical path: the maximum `upward + downward`
+    /// (equivalently, the maximum upward rank of any root).
+    pub fn critical_path(&self) -> f64 {
+        self.upward
+            .iter()
+            .zip(&self.downward)
+            .map(|(u, d)| u + d)
+            .fold(0.0, f64::max)
+    }
+
+    /// Number of tasks flagged critical.
+    pub fn critical_tasks(&self) -> usize {
+        self.critical.iter().filter(|&&c| c).count()
+    }
+}
+
+/// Compute upward/downward ranks and critical flags for `dag`; `None`
+/// when the graph is cyclic (no topological order exists — the deadlock
+/// pass will name the cycle).
+pub fn task_ranks(dag: &UnfoldedDag) -> Option<TaskRanks> {
+    let topo = dag.topo_order()?;
+    let adj = dag.out_adjacency();
+    let n = dag.len();
+
+    let mut upward = vec![0.0f64; n];
+    for &i in topo.iter().rev() {
+        let mut tail = 0.0f64;
+        for &ei in &adj[i] {
+            tail = tail.max(upward[dag.edges[ei as usize].consumer]);
+        }
+        upward[i] = dag.cost_of(i) + tail;
+    }
+
+    let mut downward = vec![0.0f64; n];
+    for &i in &topo {
+        let reach = downward[i] + dag.cost_of(i);
+        for &ei in &adj[i] {
+            let c = dag.edges[ei as usize].consumer;
+            if reach > downward[c] {
+                downward[c] = reach;
+            }
+        }
+    }
+
+    let cp = upward
+        .iter()
+        .zip(&downward)
+        .map(|(u, d)| u + d)
+        .fold(0.0, f64::max);
+    let tol = cp * 1e-9;
+    let critical = upward
+        .iter()
+        .zip(&downward)
+        .map(|(u, d)| u + d >= cp - tol)
+        .collect();
+
+    Some(TaskRanks {
+        upward,
+        downward,
+        critical,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{unfold, AnalyzeConfig};
+    use runtime::dtd::DtdBuilder;
+    use runtime::scheduler::{HeftScheduler, SchedContext, Scheduler};
+    use runtime::UnfoldedDag;
+
+    /// root(1ms) -> {a(3ms), b(1ms)} -> sink(1ms): critical path through
+    /// `a` is 5 ms.
+    fn diamond() -> runtime::Program {
+        let mut b = DtdBuilder::new();
+        let root = b.insert(0, 1e-3, &[]);
+        let a = b.insert(0, 3e-3, &[root]);
+        let bb = b.insert(0, 1e-3, &[root]);
+        let _sink = b.insert(0, 1e-3, &[a, bb]);
+        b.build()
+    }
+
+    #[test]
+    fn ranks_match_hand_computation() {
+        let p = diamond();
+        let dag = UnfoldedDag::enumerate(&p);
+        let r = task_ranks(&dag).expect("acyclic");
+        // dag.tasks order follows BFS from the root: root, a, b, sink.
+        assert!((r.upward[0] - 5e-3).abs() < 1e-12, "root {}", r.upward[0]);
+        assert!((r.upward[3] - 1e-3).abs() < 1e-12, "sink {}", r.upward[3]);
+        assert!((r.downward[0]).abs() < 1e-12);
+        assert!((r.downward[3] - 4e-3).abs() < 1e-12, "{}", r.downward[3]);
+        assert!((r.critical_path() - 5e-3).abs() < 1e-12);
+        // root, a, sink are critical; b (upward 2ms, downward 1ms) is not.
+        assert_eq!(r.critical, vec![true, true, false, true]);
+        assert_eq!(r.critical_tasks(), 3);
+    }
+
+    #[test]
+    fn critical_path_agrees_with_path_stats() {
+        let p = diamond();
+        let analysis = crate::analyze_program(&p, &AnalyzeConfig::new());
+        let dag = unfold(&p, &AnalyzeConfig::new());
+        let r = task_ranks(&dag).unwrap();
+        let path = analysis.path.expect("acyclic");
+        assert!((r.critical_path() - path.critical_path).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heft_without_profile_equals_upward_rank() {
+        // The scheduler's integer rank table must be exactly the
+        // verifier's upward ranks scaled to nanoseconds: two independent
+        // implementations of the same recurrence.
+        let p = diamond();
+        let dag = unfold(&p, &AnalyzeConfig::new());
+        let r = task_ranks(&dag).unwrap();
+        let sel = HeftScheduler.instance(&SchedContext {
+            program: &p,
+            profile: None,
+            nodes: 1,
+            lanes: 1,
+        });
+        for (i, &key) in dag.tasks.iter().enumerate() {
+            assert_eq!(
+                sel.rank(key),
+                (r.upward[i] * 1e9).round() as i64,
+                "task {i} ({key:?})"
+            );
+        }
+    }
+}

@@ -68,6 +68,10 @@ impl DoctorConfig {
 pub struct DoctorScheme {
     /// Scheme name (`base` or `ca`).
     pub name: String,
+    /// Active scheduler name (`runtime::RunReport::scheduler`). Printed
+    /// in the report header; deliberately *not* part of the regression
+    /// baseline, whose scalars identify the run by config alone.
+    pub scheduler: String,
     /// Simulated makespan, seconds.
     pub makespan_s: f64,
     /// Useful GFLOP/s (nominal flops over makespan, as the paper counts).
@@ -205,6 +209,7 @@ pub fn run(dc: &DoctorConfig) -> DoctorRun {
 
         schemes.push(DoctorScheme {
             name: name.to_string(),
+            scheduler: report.scheduler.clone(),
             makespan_s: report.makespan,
             gflops: cfg.gflops(report.makespan),
             cols,
@@ -231,7 +236,7 @@ pub fn print(run: &DoctorRun) {
         run.lanes
     );
     for s in &run.schemes {
-        println!("\n=== {} ===", s.name);
+        println!("\n=== {} (scheduler {}) ===", s.name, s.scheduler);
         print!("{}", s.diagnosis.render());
         println!(
             "static: {} messages, {} redundant flops, bound {:.6} s → achieved/bound {:.3}",
@@ -266,6 +271,9 @@ mod tests {
         let r = run(&DoctorConfig::default());
         let base = &r.schemes[0];
         let ca = &r.schemes[1];
+        for s in &r.schemes {
+            assert_eq!(s.scheduler, "fifo", "baseline runs use the default policy");
+        }
         assert!(
             ca.diagnosis.occupancy() > base.diagnosis.occupancy(),
             "CA occupancy {} vs base {}",

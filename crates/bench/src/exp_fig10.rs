@@ -49,6 +49,9 @@ pub struct Fig10 {
     pub node: u32,
     /// Worker lanes per node.
     pub lanes: u32,
+    /// Active scheduler name (`runtime::RunReport::scheduler`) — both
+    /// sides run under the same policy.
+    pub scheduler: String,
     /// Both sides.
     pub sides: Vec<Fig10Side>,
 }
@@ -95,6 +98,7 @@ pub fn run(node: u32) -> Fig10Run {
     .with_profile(profile.clone());
 
     let lanes = profile.compute_threads();
+    let mut scheduler = String::new();
     let mut sides = Vec::new();
     let mut traces = Vec::new();
     let mut reports = Vec::new();
@@ -120,6 +124,7 @@ pub fn run(node: u32) -> Fig10Run {
                 .with_kind_names(kind_names()),
         );
         crate::report::record(&format!("fig10/{version}"), &report);
+        scheduler = report.scheduler.clone();
         // Exposition wants the freshest sample per node.
         let mut latest = std::collections::BTreeMap::new();
         for s in &report.samples {
@@ -157,7 +162,12 @@ pub fn run(node: u32) -> Fig10Run {
         traces.push(trace);
     }
     Fig10Run {
-        fig: Fig10 { node, lanes, sides },
+        fig: Fig10 {
+            node,
+            lanes,
+            scheduler,
+            sides,
+        },
         traces,
         reports,
         proms,
@@ -168,8 +178,8 @@ pub fn run(node: u32) -> Fig10Run {
 /// files).
 pub fn print(fig: &Fig10) {
     println!(
-        "FIGURE 10: one node's profile (node {}, {} worker lanes), 16 NaCL nodes, ratio 0.4, s = 15",
-        fig.node, fig.lanes
+        "FIGURE 10: one node's profile (node {}, {} worker lanes), 16 NaCL nodes, ratio 0.4, s = 15, scheduler {}",
+        fig.node, fig.lanes, fig.scheduler
     );
     println!(
         "{:>6} {:>12} {:>12} {:>16} {:>16} {:>10} {:>11} {:>7}",
@@ -241,6 +251,7 @@ mod tests {
             assert!(prom.contains("stencil_tracer_overhead_fraction"), "{prom}");
         }
         let fig = r.fig;
+        assert_eq!(fig.scheduler, "fifo", "default policy is FIFO");
         let base = &fig.sides[0];
         let ca = &fig.sides[1];
         assert!(ca.occupancy > base.occupancy, "{ca:?} vs {base:?}");

@@ -50,8 +50,15 @@ thread_local! {
 
 /// Append one executor run's `obs` snapshot (and trace digest, when the
 /// run captured one) to the pending metric log under the label `run`.
+/// The run header carries the report's scheduler name, so logs from
+/// different policies stay distinguishable when diffed.
 pub fn record(run: &str, report: &runtime::RunReport) {
-    let text = obs::jsonl::render(run, &report.metrics, report.trace.as_ref());
+    let text = obs::jsonl::render_with_scheduler(
+        run,
+        Some(&report.scheduler),
+        &report.metrics,
+        report.trace.as_ref(),
+    );
     METRICS_LOG.with(|log| log.borrow_mut().push_str(&text));
 }
 

@@ -1,0 +1,68 @@
+//! Per-scheduler attribution: score one diagnosed run for the
+//! scheme × scheduler tournament.
+//!
+//! A [`SchedulerScore`] condenses a [`crate::RunDiagnosis`] into the
+//! judged quantities the `stencil-tournament` bench compares across
+//! scheduling policies on one scheme:
+//!
+//! * **makespan** and its ratio to `analyze`'s static lower bound — how
+//!   much of the theoretically available speed the schedule realized;
+//! * **daylight** — the inter-task wait along the *realized* critical
+//!   path ([`crate::RealizedPath::wait_ns`]): time where the chain that
+//!   actually determined the makespan sat waiting rather than computing.
+//!   A better dispatch order shrinks daylight without touching any task
+//!   cost, which is exactly the lever a scheduler controls;
+//! * **occupancy** — mean worker-lane busy fraction (the paper's Fig-10
+//!   CPU-occupancy axis).
+
+use crate::RunDiagnosis;
+use serde::Serialize;
+
+/// The judged quantities of one (scheme, scheduler) tournament cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct SchedulerScore {
+    /// Stable scheduler name (from `runtime::RunReport::scheduler`).
+    pub scheduler: String,
+    /// Achieved makespan, seconds.
+    pub makespan_s: f64,
+    /// `makespan / makespan_lower_bound` — 1.0 is unbeatable.
+    pub bound_ratio: f64,
+    /// Inter-task wait on the realized critical path, seconds.
+    pub daylight_s: f64,
+    /// Fraction of the realized critical path spent waiting.
+    pub daylight_fraction: f64,
+    /// Mean worker-lane occupancy over the run.
+    pub occupancy: f64,
+}
+
+impl SchedulerScore {
+    /// Score a diagnosed run against the scheme's static makespan lower
+    /// bound (`analyze::PathStats::makespan_lower_bound`, seconds).
+    pub fn from_diagnosis(scheduler: &str, diag: &RunDiagnosis, bound_s: f64) -> Self {
+        let makespan_s = diag.achieved_s();
+        let (daylight_s, daylight_fraction) = diag
+            .critical_path
+            .as_ref()
+            .map(|p| (p.wait_ns as f64 / 1e9, p.wait_fraction()))
+            .unwrap_or((0.0, 0.0));
+        SchedulerScore {
+            scheduler: scheduler.to_string(),
+            makespan_s,
+            bound_ratio: if bound_s > 0.0 {
+                makespan_s / bound_s
+            } else {
+                f64::INFINITY
+            },
+            daylight_s,
+            daylight_fraction,
+            occupancy: diag.occupancy(),
+        }
+    }
+
+    /// True when this score strictly improves on `other` in makespan or
+    /// occupancy — the tournament's victory condition (a policy that only
+    /// reshuffles ties changes neither).
+    pub fn beats(&self, other: &SchedulerScore) -> bool {
+        self.makespan_s < other.makespan_s || self.occupancy > other.occupancy
+    }
+}

@@ -22,11 +22,16 @@
 //!   measured comm-wait fraction and redundant-flop counters;
 //! * **Regression baselines** ([`baseline`]) — key scalars per scheme,
 //!   written and checked with tolerance bands by the `stencil-doctor`
-//!   bench binary.
+//!   bench binary;
+//! * **Scheduler attribution** ([`attribution`]) — a per-policy score
+//!   (makespan vs static bound, realized-critical-path "daylight",
+//!   occupancy) judging the `stencil-tournament` scheme × scheduler
+//!   sweep.
 
 #![deny(missing_docs)]
 
 pub mod advisor;
+pub mod attribution;
 pub mod baseline;
 pub mod critpath;
 pub mod gaps;
@@ -35,6 +40,7 @@ pub mod gaps;
 mod tests;
 
 pub use advisor::{advise_step, StepAdvice};
+pub use attribution::SchedulerScore;
 pub use baseline::{Baseline, SchemeBaseline, Tolerance};
 pub use critpath::RealizedPath;
 pub use gaps::{ClassifiedGap, GapCause, GapTotals};

@@ -9,11 +9,27 @@ use serde::{Number, Value};
 /// lines. The first line is a `run` header; each counter and gauge gets
 /// its own line tagged with the run name.
 pub fn render(run: &str, snapshot: &MetricsSnapshot, trace: Option<&Trace>) -> String {
+    render_with_scheduler(run, None, snapshot, trace)
+}
+
+/// [`render`] with the active scheduler's name stamped into the run
+/// header (a `"scheduler"` field), so exported metrics from different
+/// scheduling policies stay distinguishable. [`parse`] ignores unknown
+/// header fields, so old readers keep working.
+pub fn render_with_scheduler(
+    run: &str,
+    scheduler: Option<&str>,
+    snapshot: &MetricsSnapshot,
+    trace: Option<&Trace>,
+) -> String {
     let mut out = String::new();
     let mut header = vec![
         ("record".into(), Value::Str("run".into())),
         ("run".into(), Value::Str(run.into())),
     ];
+    if let Some(s) = scheduler {
+        header.push(("scheduler".into(), Value::Str(s.into())));
+    }
     if let Some(t) = trace {
         header.push(("spans".into(), Value::Num(Number::U(t.len() as u64))));
         header.push(("horizon_ns".into(), Value::Num(Number::U(t.horizon_ns()))));
@@ -197,6 +213,21 @@ mod tests {
         rec.local().task(0, 0, 0, 0, 1);
         let text = render("r", &m.snapshot(), Some(&rec.drain()));
         assert!(!text.contains("\"dropped_events\""));
+    }
+
+    #[test]
+    fn scheduler_header_survives_round_trip() {
+        let m = Metrics::new();
+        m.counter("x").add(7);
+        let text = render_with_scheduler("r", Some("heft"), &m.snapshot(), None);
+        let header = text.lines().next().unwrap();
+        assert!(header.contains("\"scheduler\":\"heft\""), "{header}");
+        // Old readers ignore the extra header field.
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed[0].1.counter("x"), 7);
+        // And render() itself never emits one.
+        let plain = render("r", &m.snapshot(), None);
+        assert!(!plain.contains("scheduler"));
     }
 
     #[test]

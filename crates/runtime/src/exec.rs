@@ -26,7 +26,7 @@
 //! full span [`Trace`] ready for Chrome/Perfetto export via
 //! `obs::chrome::to_chrome_json`.
 
-use crate::sim_exec::SchedulerPolicy;
+use crate::scheduler::{SchedulerHandle, SchedulerPolicy};
 use crate::task::Program;
 use machine::MachineProfile;
 use obs::{Live, LiveSample, Metrics, MetricsSnapshot, Recorder, Trace, TracerOverhead};
@@ -62,9 +62,9 @@ pub struct RunConfig {
     pub execute_bodies: bool,
     /// Attach the full span [`Trace`] to the report.
     pub capture_trace: bool,
-    /// Ready-queue discipline (simulator only; the real engines dispatch
-    /// FIFO through their channels).
-    pub scheduler: SchedulerPolicy,
+    /// The scheduling policy every engine consults for task selection
+    /// and placement (see [`crate::scheduler`]).
+    pub scheduler: SchedulerHandle,
     /// Parallel send engines per node (simulator only).
     pub comm_engines: usize,
     /// Human-readable names for application span kinds, for exporters.
@@ -92,7 +92,7 @@ impl RunConfig {
             profile: None,
             execute_bodies: true,
             capture_trace: false,
-            scheduler: SchedulerPolicy::Fifo,
+            scheduler: SchedulerHandle::default(),
             comm_engines: 1,
             kind_names: Vec::new(),
             sample_period_ns: None,
@@ -110,7 +110,7 @@ impl RunConfig {
             profile: None,
             execute_bodies: true,
             capture_trace: false,
-            scheduler: SchedulerPolicy::Fifo,
+            scheduler: SchedulerHandle::default(),
             comm_engines: 1,
             kind_names: Vec::new(),
             sample_period_ns: None,
@@ -128,7 +128,7 @@ impl RunConfig {
             profile: Some(profile),
             execute_bodies: false,
             capture_trace: false,
-            scheduler: SchedulerPolicy::Fifo,
+            scheduler: SchedulerHandle::default(),
             comm_engines: 1,
             kind_names: Vec::new(),
             sample_period_ns: None,
@@ -142,9 +142,19 @@ impl RunConfig {
         self
     }
 
-    /// Select the scheduler policy.
-    pub fn with_policy(mut self, policy: SchedulerPolicy) -> Self {
-        self.scheduler = policy;
+    /// Select one of the classic queue disciplines (compatibility shim
+    /// over [`RunConfig::with_scheduler`]).
+    pub fn with_policy(self, policy: SchedulerPolicy) -> Self {
+        self.with_scheduler(policy)
+    }
+
+    /// Select the scheduling policy: any [`crate::Scheduler`]
+    /// implementation, an existing [`SchedulerHandle`], or a plain
+    /// [`SchedulerPolicy`] variant. Every engine consults the resulting
+    /// selector for task selection (and placement, when it overrides
+    /// owner-computes).
+    pub fn with_scheduler(mut self, scheduler: impl Into<SchedulerHandle>) -> Self {
+        self.scheduler = scheduler.into();
         self
     }
 
@@ -258,6 +268,10 @@ pub enum ModeExt {
 pub struct RunReport {
     /// The engine that produced this report.
     pub mode: ExecMode,
+    /// Stable name of the scheduler that drove the run (see
+    /// [`crate::Scheduler::name`]), so traces from different policies stay
+    /// distinguishable downstream.
+    pub scheduler: String,
     /// Tasks executed (equals the program's `total_tasks` on success).
     pub tasks_executed: u64,
     /// End-to-end time in seconds: wall-clock for the real engines,
@@ -366,6 +380,7 @@ pub(crate) fn assemble_report(
         .collect();
     RunReport {
         mode,
+        scheduler: cfg.scheduler.name().to_string(),
         tasks_executed,
         makespan,
         node_occupancy,

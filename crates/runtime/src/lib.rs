@@ -29,6 +29,11 @@
 //!   execution, trace capture (Figures 7–10);
 //! * [`profiling`] — Figure 10-style occupancy/Gantt analysis (a thin
 //!   consumer of `obs::fig10`);
+//! * [`scheduler`] — the pluggable scheduling surface: the [`Scheduler`]
+//!   /[`TaskSelector`] traits every engine consults for task selection
+//!   and placement, the [`SchedulerPolicy`] compatibility shim, and a
+//!   portfolio of static list schedulers (HEFT, PEFT, DLS, lookahead)
+//!   ranking over the statically unfolded DAG;
 //! * [`dtd`] — the Dynamic Task Discovery insertion API (PaRSEC's second
 //!   DSL) as an alternative front-end;
 //! * [`halo`] — the paper's future-work feature: a generic
@@ -39,7 +44,7 @@
 //! with `ca_stencil::StencilConfig`): a constructor fixes the required
 //! dimensions — [`RunConfig::shared_memory`], [`RunConfig::multi_process`],
 //! [`RunConfig::simulated`] — and chainable `with_*` methods set
-//! everything optional (`with_profile`, `with_policy`, `with_bodies`,
+//! everything optional (`with_profile`, `with_scheduler`, `with_bodies`,
 //! `with_trace`, `with_comm_engines`, `with_kind_names`).
 
 #![deny(missing_docs)]
@@ -54,6 +59,7 @@ pub mod pending;
 pub mod profiling;
 pub mod ready_queue;
 pub mod real_exec;
+pub mod scheduler;
 pub mod sim_exec;
 pub mod task;
 pub mod unfold;
@@ -65,7 +71,12 @@ pub use exec::{
 };
 pub use halo::{build_halo_program, HaloSpec};
 pub use pending::{PendingTable, ReadyTask};
-pub use sim_exec::{SchedulerPolicy, SimConfig, KIND_COMM};
+pub use scheduler::{
+    DlsScheduler, FifoSelector, HeftScheduler, LifoSelector, LookaheadScheduler, PeftScheduler,
+    SchedContext, Scheduler, SchedulerHandle, SchedulerPolicy, SelectMode, StaticRanks,
+    TaskSelector,
+};
+pub use sim_exec::{SimConfig, KIND_COMM};
 pub use task::{
     ClassId, FlowData, OutputDep, Params, Program, Rect, TaskClass, TaskGraph, TaskKey, WriteRegion,
 };

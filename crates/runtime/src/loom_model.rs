@@ -9,11 +9,11 @@
 //! * [`PendingTable::deliver`] hands a task to **exactly one** caller, no
 //!   matter how concurrent deliveries of its input flows interleave.
 //! * [`ReadyQueue`] conserves tasks: everything pushed is popped exactly
-//!   once, across policies.
+//!   once, across selection disciplines.
 
 use crate::pending::{PendingTable, ReadyTask};
 use crate::ready_queue::ReadyQueue;
-use crate::sim_exec::SchedulerPolicy;
+use crate::scheduler::{FifoSelector, LifoSelector, StaticRanks, TaskSelector};
 use crate::task::testutil::ExplicitDag;
 use crate::task::{FlowData, TaskGraph, TaskKey};
 use loom::sync::{Arc, Mutex};
@@ -70,12 +70,18 @@ fn concurrent_deliveries_fire_task_exactly_once() {
 #[test]
 fn ready_queue_conserves_tasks_under_concurrent_pushes() {
     loom::model(|| {
-        for policy in [
-            SchedulerPolicy::Fifo,
-            SchedulerPolicy::Lifo,
-            SchedulerPolicy::Priority,
-        ] {
-            let queue = Arc::new(Mutex::new(ReadyQueue::new(policy)));
+        // Rank the keys the producers will push, so the rank discipline
+        // exercises its heap path.
+        let ranks: HashMap<TaskKey, i64> = (0..2)
+            .flat_map(|p| (0..2).map(move |i| (TaskKey::new(0, [p, i, 0, 0]), i as i64)))
+            .collect();
+        let selectors: [std::sync::Arc<dyn TaskSelector>; 3] = [
+            std::sync::Arc::new(FifoSelector),
+            std::sync::Arc::new(LifoSelector),
+            std::sync::Arc::new(StaticRanks::new(ranks)),
+        ];
+        for selector in selectors {
+            let queue = Arc::new(Mutex::new(ReadyQueue::new(selector)));
             let handles: Vec<_> = (0..2i32)
                 .map(|producer| {
                     let queue = Arc::clone(&queue);
@@ -85,7 +91,7 @@ fn ready_queue_conserves_tasks_under_concurrent_pushes() {
                                 key: TaskKey::new(0, [producer, i, 0, 0]),
                                 inputs: Vec::new(),
                             };
-                            queue.lock().unwrap().push(task, i);
+                            queue.lock().unwrap().push(task);
                         }
                     })
                 })

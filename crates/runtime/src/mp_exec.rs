@@ -18,6 +18,8 @@
 
 use crate::exec::{assemble_report, ExecMode, ModeExt, RunConfig, RunReport};
 use crate::pending::{PendingTable, ReadyTask};
+use crate::ready_queue::ReadyQueue;
+use crate::scheduler::{SchedContext, TaskSelector};
 use crate::task::{FlowData, Program, TaskKey};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use obs::{
@@ -25,10 +27,13 @@ use obs::{
 };
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 enum WorkItem {
-    Task(ReadyTask),
+    /// One ready task sits in the node's [`ReadyQueue`]; the woken worker
+    /// pops whichever task the selector ranks highest right now.
+    Token,
     Shutdown,
 }
 
@@ -43,6 +48,7 @@ enum CommItem {
 
 struct Node {
     pending: Mutex<PendingTable>,
+    ready: Mutex<ReadyQueue>,
     work_tx: Sender<WorkItem>,
     work_rx: Receiver<WorkItem>,
     comm_tx: Sender<CommItem>,
@@ -51,6 +57,7 @@ struct Node {
 
 struct Cluster<'p> {
     program: &'p Program,
+    selector: Arc<dyn TaskSelector>,
     nodes: Vec<Node>,
     completed: AtomicU64,
     cross_flows: AtomicU64,
@@ -61,13 +68,28 @@ struct Cluster<'p> {
 
 impl<'p> Cluster<'p> {
     fn node_of(&self, key: TaskKey) -> usize {
-        let n = self.program.graph.class(key.class).node_of(key.params) as usize;
+        let n = self
+            .selector
+            .place(key)
+            .map(|n| n as usize)
+            .unwrap_or_else(|| self.program.graph.class(key.class).node_of(key.params) as usize);
         assert!(
             n < self.nodes.len(),
             "{key:?} placed on node {n} of {}",
             self.nodes.len()
         );
         n
+    }
+
+    /// Queue a ready task on `node`, then wake one of its workers. The
+    /// push happens-before the token send, so a received token always
+    /// finds a task to pop.
+    fn enqueue(&self, node: usize, task: ReadyTask) {
+        self.nodes[node].ready.lock().push(task);
+        self.nodes[node]
+            .work_tx
+            .send(WorkItem::Token)
+            .expect("work channel closed");
     }
 
     /// Deliver a flow on its destination node; enqueue the task if ready.
@@ -78,10 +100,7 @@ impl<'p> Cluster<'p> {
                 .lock()
                 .deliver(&self.program.graph, consumer, slot, data);
         if let Some(t) = ready {
-            self.nodes[node]
-                .work_tx
-                .send(WorkItem::Task(t))
-                .expect("work channel closed");
+            self.enqueue(node, t);
         }
     }
 
@@ -157,8 +176,13 @@ fn worker(cluster: &Cluster<'_>, node: usize, lane: u32, local: &LocalRecorder) 
     let mut idle = 0u32;
     loop {
         match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(WorkItem::Task(t)) => {
+            Ok(WorkItem::Token) => {
                 idle = 0;
+                let t = cluster.nodes[node]
+                    .ready
+                    .lock()
+                    .pop()
+                    .expect("token implies a queued task");
                 if cluster.run_task(node, t, lane, local) {
                     cluster.shutdown_all();
                 }
@@ -257,7 +281,7 @@ fn publish_samples(
                 window_ns: w1 - w0,
                 node: n as u32,
                 lane_busy: lane_busy_in_window(spans, n as u32, lanes, w0, w1),
-                ready_depth: node.work_rx.len(),
+                ready_depth: node.ready.lock().len(),
                 pending_tasks: node.pending.lock().len(),
                 inflight_msgs: node.comm_rx.len() as u64,
                 inflight_bytes: 0,
@@ -278,12 +302,19 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
     assert!(program.total_tasks > 0, "empty program");
 
     let recorder = cfg.recorder();
+    let selector = cfg.scheduler.instance(&SchedContext {
+        program,
+        profile: cfg.profile.as_ref(),
+        nodes,
+        lanes: threads_per_node as u32,
+    });
     let node_states: Vec<Node> = (0..nodes)
         .map(|_| {
             let (work_tx, work_rx) = unbounded();
             let (comm_tx, comm_rx) = unbounded();
             Node {
                 pending: Mutex::new(PendingTable::new()),
+                ready: Mutex::new(ReadyQueue::new(Arc::clone(&selector))),
                 work_tx,
                 work_rx,
                 comm_tx,
@@ -293,6 +324,7 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
         .collect();
     let cluster = Cluster {
         program,
+        selector,
         nodes: node_states,
         completed: AtomicU64::new(0),
         cross_flows: AtomicU64::new(0),
@@ -303,11 +335,7 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
 
     for &root in &program.roots {
         let node = cluster.node_of(root);
-        let ready = PendingTable::root(&program.graph, root);
-        cluster.nodes[node]
-            .work_tx
-            .send(WorkItem::Task(ready))
-            .expect("fresh channel");
+        cluster.enqueue(node, PendingTable::root(&program.graph, root));
     }
 
     let live = cfg.live_board();

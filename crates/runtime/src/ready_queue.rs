@@ -1,25 +1,28 @@
-//! The node-local ready queue, parameterized by scheduling policy.
+//! The node-local ready queue, parameterized by a scheduling oracle.
 //!
 //! PaRSEC's schedulers differ in which ready task a worker picks; the
-//! policies here are the ones the experiments ablate: FIFO (breadth-first,
-//! fair), LIFO (depth-first, cache-friendly), and priority order (e.g.
-//! boundary tiles first, so their strips reach the communication thread
-//! as early as possible — a standard PaRSEC trick for hiding latency).
+//! queue itself only knows three disciplines — FIFO (breadth-first,
+//! fair), LIFO (depth-first, cache-friendly), and rank order (highest
+//! [`TaskSelector::rank`] first, FIFO within a level). Everything
+//! policy-specific — class priorities, HEFT/PEFT upward ranks, lookahead
+//! — lives behind the [`TaskSelector`] the queue is built with; see
+//! [`crate::scheduler`].
 
 use crate::pending::ReadyTask;
-use crate::sim_exec::SchedulerPolicy;
+use crate::scheduler::{SelectMode, TaskSelector};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 struct Entry {
-    priority: i32,
+    rank: i64,
     seq: u64,
     task: ReadyTask,
 }
 
 impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
-        self.priority == other.priority && self.seq == other.seq
+        self.rank == other.rank && self.seq == other.seq
     }
 }
 impl Eq for Entry {}
@@ -30,54 +33,55 @@ impl PartialOrd for Entry {
 }
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // max-heap: higher priority first, FIFO (lower seq) within a level
-        self.priority
-            .cmp(&other.priority)
+        // max-heap: higher rank first, FIFO (lower seq) within a level
+        self.rank
+            .cmp(&other.rank)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
-/// A policy-aware ready queue.
+/// A selector-aware ready queue. Ranks are computed once, at push time —
+/// the selector contract (pure, static) makes the value at pop time
+/// identical, and it keeps `pop` O(log n) regardless of the selector.
 pub struct ReadyQueue {
-    policy: SchedulerPolicy,
+    mode: SelectMode,
+    selector: Arc<dyn TaskSelector>,
     deque: VecDeque<ReadyTask>,
     heap: BinaryHeap<Entry>,
     seq: u64,
 }
 
 impl ReadyQueue {
-    /// Empty queue with the given policy.
-    pub fn new(policy: SchedulerPolicy) -> Self {
+    /// Empty queue consulting the given selector.
+    pub fn new(selector: Arc<dyn TaskSelector>) -> Self {
         ReadyQueue {
-            policy,
+            mode: selector.mode(),
+            selector,
             deque: VecDeque::new(),
             heap: BinaryHeap::new(),
             seq: 0,
         }
     }
 
-    /// Enqueue a ready task with its priority (ignored by FIFO/LIFO).
-    pub fn push(&mut self, task: ReadyTask, priority: i32) {
-        match self.policy {
-            SchedulerPolicy::Fifo | SchedulerPolicy::Lifo => self.deque.push_back(task),
-            SchedulerPolicy::Priority => {
+    /// Enqueue a ready task.
+    pub fn push(&mut self, task: ReadyTask) {
+        match self.mode {
+            SelectMode::Fifo | SelectMode::Lifo => self.deque.push_back(task),
+            SelectMode::Rank => {
+                let rank = self.selector.rank(task.key);
                 let seq = self.seq;
                 self.seq += 1;
-                self.heap.push(Entry {
-                    priority,
-                    seq,
-                    task,
-                });
+                self.heap.push(Entry { rank, seq, task });
             }
         }
     }
 
-    /// Take the next task per the policy.
+    /// Take the next task per the selector's discipline.
     pub fn pop(&mut self) -> Option<ReadyTask> {
-        match self.policy {
-            SchedulerPolicy::Fifo => self.deque.pop_front(),
-            SchedulerPolicy::Lifo => self.deque.pop_back(),
-            SchedulerPolicy::Priority => self.heap.pop().map(|e| e.task),
+        match self.mode {
+            SelectMode::Fifo => self.deque.pop_front(),
+            SelectMode::Lifo => self.deque.pop_back(),
+            SelectMode::Rank => self.heap.pop().map(|e| e.task),
         }
     }
 
@@ -95,13 +99,23 @@ impl ReadyQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheduler::{FifoSelector, LifoSelector, StaticRanks};
     use crate::task::TaskKey;
+    use std::collections::HashMap;
 
     fn task(i: i32) -> ReadyTask {
         ReadyTask {
             key: TaskKey::new(0, [i, 0, 0, 0]),
             inputs: Vec::new(),
         }
+    }
+
+    fn ranked(ranks: &[(i32, i64)]) -> Arc<dyn TaskSelector> {
+        let table: HashMap<TaskKey, i64> = ranks
+            .iter()
+            .map(|&(i, r)| (TaskKey::new(0, [i, 0, 0, 0]), r))
+            .collect();
+        Arc::new(StaticRanks::new(table))
     }
 
     fn drain_ids(q: &mut ReadyQueue) -> Vec<i32> {
@@ -114,9 +128,9 @@ mod tests {
 
     #[test]
     fn fifo_order() {
-        let mut q = ReadyQueue::new(SchedulerPolicy::Fifo);
+        let mut q = ReadyQueue::new(Arc::new(FifoSelector));
         for i in 0..4 {
-            q.push(task(i), 0);
+            q.push(task(i));
         }
         assert_eq!(q.len(), 4);
         assert_eq!(drain_ids(&mut q), vec![0, 1, 2, 3]);
@@ -125,27 +139,33 @@ mod tests {
 
     #[test]
     fn lifo_order() {
-        let mut q = ReadyQueue::new(SchedulerPolicy::Lifo);
+        let mut q = ReadyQueue::new(Arc::new(LifoSelector));
         for i in 0..4 {
-            q.push(task(i), 0);
+            q.push(task(i));
         }
         assert_eq!(drain_ids(&mut q), vec![3, 2, 1, 0]);
     }
 
     #[test]
-    fn priority_order_with_fifo_ties() {
-        let mut q = ReadyQueue::new(SchedulerPolicy::Priority);
-        q.push(task(0), 0);
-        q.push(task(1), 5);
-        q.push(task(2), 0);
-        q.push(task(3), 5);
-        q.push(task(4), -1);
+    fn rank_order_with_fifo_ties() {
+        let mut q = ReadyQueue::new(ranked(&[(0, 0), (1, 5), (2, 0), (3, 5), (4, -1)]));
+        for i in 0..5 {
+            q.push(task(i));
+        }
         assert_eq!(drain_ids(&mut q), vec![1, 3, 0, 2, 4]);
     }
 
     #[test]
+    fn unranked_tasks_default_to_zero() {
+        let mut q = ReadyQueue::new(ranked(&[(1, 1)]));
+        q.push(task(0)); // not in the table -> rank 0
+        q.push(task(1));
+        assert_eq!(drain_ids(&mut q), vec![1, 0]);
+    }
+
+    #[test]
     fn empty_pop_is_none() {
-        let mut q = ReadyQueue::new(SchedulerPolicy::Priority);
+        let mut q = ReadyQueue::new(ranked(&[]));
         assert!(q.pop().is_none());
     }
 }

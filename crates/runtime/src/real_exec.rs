@@ -4,11 +4,14 @@
 //! This is the runtime the paper's single-node experiments exercise
 //! (Figure 6's tile-size tuning runs PaRSEC "on a single node (no network
 //! communication)"). All tasks execute in one address space; inter-task
-//! flows are `Arc` hand-offs through the activation table. Worker threads
-//! pull ready tasks from a shared MPMC channel — tasks here are
-//! coarse-grained (hundreds of microseconds and up), so a channel's
-//! per-task overhead is noise, and FIFO dispatch matches the simulated
-//! executor's default scheduler.
+//! flows are `Arc` hand-offs through the activation table. Ready tasks
+//! land in a shared [`ReadyQueue`] ordered by the configured
+//! [`crate::Scheduler`]; workers block on an MPMC token channel and pop
+//! the queue on wake-up, so each dispatch picks the best-ranked task
+//! ready *at that moment* (dynamic list scheduling). Tasks here are
+//! coarse-grained (hundreds of microseconds and up), so the extra lock
+//! per dispatch is noise; under the default FIFO policy the behavior is
+//! exactly the old channel order.
 //!
 //! Every task execution is recorded as a span (worker index = lane, node
 //! 0) through the `obs` recorder, and runtime events feed the metric
@@ -17,6 +20,8 @@
 
 use crate::exec::{assemble_report, ExecMode, ModeExt, RunConfig, RunReport};
 use crate::pending::{PendingTable, ReadyTask};
+use crate::ready_queue::ReadyQueue;
+use crate::scheduler::SchedContext;
 use crate::task::Program;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use obs::{
@@ -27,13 +32,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 enum WorkItem {
-    Task(ReadyTask),
+    /// One ready task sits in the shared [`ReadyQueue`]; the woken worker
+    /// pops whichever task the selector ranks highest right now.
+    Token,
     Shutdown,
 }
 
 struct Shared<'p> {
     program: &'p Program,
     pending: Mutex<PendingTable>,
+    ready: Mutex<ReadyQueue>,
     tx: Sender<WorkItem>,
     rx: Receiver<WorkItem>,
     completed: AtomicU64,
@@ -42,6 +50,13 @@ struct Shared<'p> {
 }
 
 impl<'p> Shared<'p> {
+    /// Queue a ready task, then wake one worker. The push happens-before
+    /// the token send, so a received token always finds a task to pop.
+    fn enqueue(&self, task: ReadyTask) {
+        self.ready.lock().push(task);
+        self.tx.send(WorkItem::Token).expect("channel closed");
+    }
+
     /// Execute one ready task and deliver its outputs; returns true when
     /// this was the final task.
     fn run_task(&self, mut ready: ReadyTask, lane: u32, local: &LocalRecorder) -> bool {
@@ -74,7 +89,7 @@ impl<'p> Shared<'p> {
                     .lock()
                     .deliver(&self.program.graph, dep.consumer, dep.slot, data);
             if let Some(t) = now_ready {
-                self.tx.send(WorkItem::Task(t)).expect("channel closed");
+                self.enqueue(t);
             }
         }
         self.metrics.counter(names::TASKS_EXECUTED).inc();
@@ -103,8 +118,13 @@ fn worker(
     let mut last_seen = shared.completed.load(Ordering::Acquire);
     loop {
         match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(WorkItem::Task(t)) => {
+            Ok(WorkItem::Token) => {
                 idle_rounds = 0;
+                let t = shared
+                    .ready
+                    .lock()
+                    .pop()
+                    .expect("token implies a queued task");
                 if shared.run_task(t, lane, local) {
                     for _ in 0..threads {
                         shared.tx.send(WorkItem::Shutdown).expect("channel closed");
@@ -191,7 +211,7 @@ fn publish_sample(
         window_ns: w1 - w0,
         node: 0,
         lane_busy,
-        ready_depth: shared.rx.len(),
+        ready_depth: shared.ready.lock().len(),
         pending_tasks: shared.pending.lock().len(),
         inflight_msgs: 0,
         inflight_bytes: 0,
@@ -210,10 +230,17 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
     assert!(!program.roots.is_empty(), "program has no root tasks");
 
     let recorder = cfg.recorder();
+    let selector = cfg.scheduler.instance(&SchedContext {
+        program,
+        profile: cfg.profile.as_ref(),
+        nodes: 1,
+        lanes: threads as u32,
+    });
     let (tx, rx) = unbounded::<WorkItem>();
     let shared = Shared {
         program,
         pending: Mutex::new(PendingTable::new()),
+        ready: Mutex::new(ReadyQueue::new(selector)),
         tx,
         rx: rx.clone(),
         completed: AtomicU64::new(0),
@@ -222,11 +249,7 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
     };
 
     for &root in &program.roots {
-        let ready = PendingTable::root(&program.graph, root);
-        shared
-            .tx
-            .send(WorkItem::Task(ready))
-            .expect("fresh channel");
+        shared.enqueue(PendingTable::root(&program.graph, root));
     }
 
     let live = cfg.live_board();

@@ -24,32 +24,22 @@
 use crate::exec::{assemble_report, ExecMode, ModeExt, RunConfig, RunReport};
 use crate::pending::{PendingTable, ReadyTask};
 use crate::ready_queue::ReadyQueue;
+use crate::scheduler::{SchedContext, SchedulerHandle, TaskSelector};
 use crate::task::{FlowData, Program, TaskKey};
 use desim::{Engine, Model, Scheduler, TimeWeighted, VirtualDuration, VirtualTime};
 use machine::MachineProfile;
 use netsim::{InFlight, NetworkModel};
 use obs::{lane_busy_in_window, names, Live, LiveSample, LocalRecorder, Metrics, Recorder};
-use serde::Serialize;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+
+// The policy enum historically lived here; it now sits with the rest of
+// the scheduling surface.
+pub use crate::scheduler::SchedulerPolicy;
 
 /// Trace kind used for communication-engine spans (task kinds are
 /// application-defined and small). Equals [`obs::KIND_COMM`].
 pub const KIND_COMM: u32 = obs::KIND_COMM;
-
-/// Ready-queue discipline of the node-local scheduler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
-pub enum SchedulerPolicy {
-    /// Oldest ready task first (default; matches the real executor).
-    Fifo,
-    /// Newest ready task first (depth-first; PaRSEC's default locality
-    /// heuristic).
-    Lifo,
-    /// Highest [`crate::task::TaskClass::priority`] first, FIFO within a
-    /// level (e.g. boundary tiles before interior tiles, so their strips
-    /// reach the comm thread early).
-    Priority,
-}
 
 /// Configuration of one simulated run, builder-style like
 /// [`crate::exec::RunConfig`]: a constructor fixes the cluster, `with_*`
@@ -63,8 +53,8 @@ pub struct SimConfig {
     /// Execute task bodies (verifies numerics) or skip them (performance
     /// only).
     pub execute_bodies: bool,
-    /// Ready-queue discipline.
-    pub scheduler: SchedulerPolicy,
+    /// The scheduling policy (see [`crate::scheduler`]).
+    pub scheduler: SchedulerHandle,
     /// Parallel send engines per node (1 = the paper's single dedicated
     /// communication thread).
     pub comm_engines: usize,
@@ -77,7 +67,7 @@ impl SimConfig {
             profile,
             nodes,
             execute_bodies: false,
-            scheduler: SchedulerPolicy::Fifo,
+            scheduler: SchedulerHandle::default(),
             comm_engines: 1,
         }
     }
@@ -94,15 +84,17 @@ impl SimConfig {
         self
     }
 
-    /// Select the scheduler policy.
-    pub fn with_policy(mut self, policy: SchedulerPolicy) -> Self {
-        self.scheduler = policy;
-        self
+    /// Select one of the classic queue disciplines (compatibility shim
+    /// over [`SimConfig::with_scheduler`]).
+    pub fn with_policy(self, policy: SchedulerPolicy) -> Self {
+        self.with_scheduler(policy)
     }
 
-    /// Select the scheduler policy (alias of [`SimConfig::with_policy`]).
-    pub fn with_scheduler(self, policy: SchedulerPolicy) -> Self {
-        self.with_policy(policy)
+    /// Select the scheduling policy: any [`crate::Scheduler`], an existing
+    /// [`SchedulerHandle`], or a plain [`SchedulerPolicy`] variant.
+    pub fn with_scheduler(mut self, scheduler: impl Into<SchedulerHandle>) -> Self {
+        self.scheduler = scheduler.into();
+        self
     }
 
     /// Use `n` parallel send engines per node.
@@ -140,6 +132,9 @@ struct Running {
 struct NodeState {
     free_lanes: Vec<u32>,
     ready: ReadyQueue,
+    /// A coalesced [`Ev::Dispatch`] is already scheduled for this node at
+    /// the current timestamp, so further ready arrivals need not add one.
+    dispatch_scheduled: bool,
     running: HashMap<TaskKey, Running>,
     comm_queue: VecDeque<CommJob>,
     comm_active: usize,
@@ -148,6 +143,13 @@ struct NodeState {
 
 enum Ev {
     Ready(ReadyTask),
+    /// Drain `node`'s ready queue into its free lanes. Ready arrivals at
+    /// one timestamp coalesce into a single Dispatch, so a rank selector
+    /// orders the whole simultaneously-ready batch rather than seeing
+    /// tasks one by one.
+    Dispatch {
+        node: u32,
+    },
     TaskDone {
         key: TaskKey,
     },
@@ -174,6 +176,7 @@ enum Ev {
 struct Sim {
     program: Arc<Program>,
     cfg: SimConfig,
+    selector: Arc<dyn TaskSelector>,
     net: NetworkModel,
     lanes_per_node: u32,
     pending: PendingTable,
@@ -212,13 +215,26 @@ impl Sim {
     }
 
     fn node_of(&self, key: TaskKey) -> u32 {
-        let n = self.program.graph.class(key.class).node_of(key.params);
+        let n = self
+            .selector
+            .place(key)
+            .unwrap_or_else(|| self.program.graph.class(key.class).node_of(key.params));
         assert!(
             n < self.cfg.nodes,
             "{key:?} placed on node {n} but the run has {} nodes",
             self.cfg.nodes
         );
         n
+    }
+
+    /// Schedule a coalesced [`Ev::Dispatch`] for `node` at the current
+    /// timestamp unless one is already queued.
+    fn request_dispatch(&mut self, node: u32, sched: &mut Scheduler<Ev>) {
+        let st = &mut self.nodes[node as usize];
+        if !st.dispatch_scheduled {
+            st.dispatch_scheduled = true;
+            sched.schedule_now(Ev::Dispatch { node });
+        }
     }
 
     fn dispatch(&mut self, node: u32, now: VirtualTime, sched: &mut Scheduler<Ev>) {
@@ -459,15 +475,14 @@ impl Model for Sim {
         match ev {
             Ev::Ready(ready) => {
                 let node = self.node_of(ready.key);
-                let priority = self
-                    .program
-                    .graph
-                    .class(ready.key.class)
-                    .priority(ready.key.params);
-                self.nodes[node as usize].ready.push(ready, priority);
+                self.nodes[node as usize].ready.push(ready);
                 self.metrics
                     .gauge(names::QUEUE_DEPTH)
                     .set(self.nodes[node as usize].ready.len() as i64);
+                self.request_dispatch(node, sched);
+            }
+            Ev::Dispatch { node } => {
+                self.nodes[node as usize].dispatch_scheduled = false;
                 self.dispatch(node, now, sched);
             }
             Ev::TaskDone { key } => self.finish_task(key, now, sched),
@@ -555,10 +570,19 @@ fn simulate(
 
     let lanes = cfg.profile.compute_threads();
     let net = NetworkModel::from_profile(&cfg.profile);
+    // Instantiate the per-run selector before any event fires: this is
+    // where a list scheduler unfolds the DAG and computes static ranks.
+    let selector = cfg.scheduler.instance(&SchedContext {
+        program,
+        profile: Some(&cfg.profile),
+        nodes: cfg.nodes,
+        lanes,
+    });
     let nodes = (0..cfg.nodes)
         .map(|_| NodeState {
             free_lanes: (0..lanes).rev().collect(),
-            ready: ReadyQueue::new(cfg.scheduler),
+            ready: ReadyQueue::new(Arc::clone(&selector)),
+            dispatch_scheduled: false,
             running: HashMap::new(),
             comm_queue: VecDeque::new(),
             comm_active: 0,
@@ -575,6 +599,7 @@ fn simulate(
     let sim = Sim {
         program: Arc::clone(&program),
         cfg: cfg.clone(),
+        selector,
         net,
         lanes_per_node: lanes,
         pending: PendingTable::new(),
@@ -653,7 +678,7 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
         profile,
         nodes: cfg.nodes,
         execute_bodies: cfg.execute_bodies,
-        scheduler: cfg.scheduler,
+        scheduler: cfg.scheduler.clone(),
         comm_engines: cfg.comm_engines,
     };
     let recorder = cfg.recorder();

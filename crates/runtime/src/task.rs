@@ -238,7 +238,7 @@ pub trait TaskClass: Send + Sync {
     }
 
     /// Scheduling priority (higher runs first under
-    /// [`crate::sim_exec::SchedulerPolicy::Priority`]). PaRSEC codes
+    /// [`crate::scheduler::SchedulerPolicy::Priority`]). PaRSEC codes
     /// typically raise the priority of tasks whose outputs feed remote
     /// consumers, so communication starts as early as possible.
     fn priority(&self, p: Params) -> i32 {

@@ -1,0 +1,153 @@
+//! The pluggable scheduler API across crates: portfolio determinism on
+//! the simulated executor, FIFO-by-seq tie-breaking for every policy, and
+//! cross-executor agreement on dispatch order under a fixed scheduler.
+
+use ca_stencil::build_ca;
+use integration::scrambled_config;
+use machine::MachineProfile;
+use netsim::ProcessGrid;
+use runtime::ready_queue::ReadyQueue;
+use runtime::{
+    run, DtdBuilder, Program, ReadyTask, RunConfig, SchedContext, SchedulerHandle, SelectMode,
+    TaskKey,
+};
+
+/// Same policy + same config ⇒ bit-identical simulated reports: makespan,
+/// counters, and the full span trace, for every portfolio scheduler.
+#[test]
+fn every_portfolio_scheduler_is_deterministic_in_simulation() {
+    let cfg = scrambled_config(16, 4, 6, ProcessGrid::new(2, 2), 2, 5);
+    let program = build_ca(&cfg, false).program;
+    for sched in SchedulerHandle::portfolio() {
+        let sim = || {
+            run(
+                &program,
+                &RunConfig::simulated(MachineProfile::nacl(), 4)
+                    .with_scheduler(sched.clone())
+                    .with_trace(),
+            )
+        };
+        let (a, b) = (sim(), sim());
+        assert_eq!(a.scheduler, sched.name());
+        assert_eq!(b.scheduler, sched.name());
+        assert_eq!(
+            a.makespan.to_bits(),
+            b.makespan.to_bits(),
+            "{}: {} vs {}",
+            sched.name(),
+            a.makespan,
+            b.makespan
+        );
+        assert_eq!(a.tasks_executed, b.tasks_executed, "{}", sched.name());
+        assert_eq!(
+            a.counter(obs::names::MESSAGES_SENT),
+            b.counter(obs::names::MESSAGES_SENT),
+            "{}",
+            sched.name()
+        );
+        let (ta, tb) = (a.trace.unwrap(), b.trace.unwrap());
+        assert_eq!(ta.spans, tb.spans, "{}: traces diverge", sched.name());
+    }
+}
+
+/// Six independent equal-cost tasks: every rank-mode policy ranks them
+/// identically, so the ready queue must fall back to FIFO-by-seq; only
+/// LIFO (whose contract *is* reversal) pops in reverse.
+#[test]
+fn equal_ranks_resolve_fifo_by_seq_for_every_policy() {
+    let mut b = DtdBuilder::new();
+    for _ in 0..6 {
+        b.insert(0, 1e-3, &[]);
+    }
+    let program = b.build();
+    let keys: Vec<TaskKey> = (0..6).map(|i| TaskKey::new(0, [i, 0, 0, 0])).collect();
+    for sched in SchedulerHandle::portfolio() {
+        let selector = sched.instance(&SchedContext {
+            program: &program,
+            profile: None,
+            nodes: 1,
+            lanes: 1,
+        });
+        let lifo = selector.mode() == SelectMode::Lifo;
+        let mut q = ReadyQueue::new(selector);
+        for &key in &keys {
+            q.push(ReadyTask {
+                key,
+                inputs: Vec::new(),
+            });
+        }
+        let popped: Vec<TaskKey> = std::iter::from_fn(|| q.pop()).map(|t| t.key).collect();
+        let expected: Vec<TaskKey> = if lifo {
+            keys.iter().rev().copied().collect()
+        } else {
+            keys.clone()
+        };
+        assert_eq!(popped, expected, "{}", sched.name());
+    }
+}
+
+/// One root fanning out to five children with distinct costs, one worker
+/// lane: the ready-queue order fully determines execution order, so a
+/// fixed scheduler must produce the same task-start sequence on the
+/// simulated and shared-memory executors (timestamps differ — virtual vs
+/// wall clock — but the order may not).
+#[test]
+fn fixed_scheduler_orders_dispatch_identically_across_executors() {
+    // Children 1..=5 cost 1, 5, 3, 2, 4 ms: insertion order differs from
+    // rank order, so FIFO and HEFT must disagree with each other while
+    // each agrees with itself across executors.
+    let build = || {
+        let mut b = DtdBuilder::new();
+        let root = b.insert(0, 1e-4, &[]);
+        for cost_ms in [1.0, 5.0, 3.0, 2.0, 4.0] {
+            b.insert(0, cost_ms * 1e-3, &[root]);
+        }
+        b.build()
+    };
+    let ids: Vec<u64> = (0..6)
+        .map(|i| TaskKey::new(0, [i, 0, 0, 0]).instance_id())
+        .collect();
+    // localhost(2, ..) reserves one core for comm, leaving 1 worker lane —
+    // matching shared_memory(1)'s single worker.
+    let profile = MachineProfile::localhost(2, 40e9, 10e9);
+    for (sched, expected) in [
+        (
+            SchedulerHandle::by_name("fifo").unwrap(),
+            vec![0, 1, 2, 3, 4, 5],
+        ),
+        // HEFT rank of a leaf is its own cost: descending-cost order.
+        (
+            SchedulerHandle::by_name("heft").unwrap(),
+            vec![0, 2, 5, 3, 4, 1],
+        ),
+    ] {
+        for cfg in [
+            RunConfig::simulated(profile.clone(), 1),
+            RunConfig::shared_memory(1),
+        ] {
+            let program: Program = build();
+            let report = run(&program, &cfg.with_scheduler(sched.clone()).with_trace());
+            let order = start_order(&report.trace.unwrap(), &ids);
+            assert_eq!(order, expected, "{} on {:?}", sched.name(), report.mode);
+        }
+    }
+}
+
+/// Task ids in start order: stable sort by start time, so spans sharing a
+/// wall-clock timestamp keep the single worker lane's recorded order.
+fn start_order(trace: &obs::Trace, ids: &[u64]) -> Vec<usize> {
+    let mut spans: Vec<&obs::SpanRecord> = trace
+        .spans
+        .iter()
+        .filter(|s| s.task_instance().is_some())
+        .collect();
+    spans.sort_by_key(|s| s.start_ns);
+    spans
+        .iter()
+        .map(|s| {
+            ids.iter()
+                .position(|&id| id == s.task)
+                .expect("span joins a known task")
+        })
+        .collect()
+}
