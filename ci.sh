@@ -32,8 +32,11 @@ step loom_test
 
 if cargo miri --version >/dev/null 2>&1; then
     step cargo miri test -p desim -p ca-stencil
+    # hard-fail: the analyze crate's rect algebra is pure pointer-free
+    # code and must be UB-clean whenever miri is available
+    step cargo miri test -p analyze
 else
-    echo "WARNING: miri not installed; skipping cargo miri test -p desim -p ca-stencil"
+    echo "WARNING: miri not installed; skipping cargo miri test (desim, ca-stencil, analyze)"
 fi
 
 # Bench regression gate: diagnose the reference stencil configuration and
@@ -55,6 +58,22 @@ if [ -f ./target/release/stencil-tournament ]; then
 else
     echo "WARNING: stencil-tournament not built; skipping stencil-tournament --check"
 fi
+
+# Region-dataflow gate: the halo-coverage proof and dead-transfer
+# accounting must pass for all four schemes (base/ca/pa2/dtd) in
+# steady-state mode, and the deliberately halo-shrunk CA build must make
+# the proof FAIL — a mutation test that the coverage check has teeth.
+step ./target/release/stencil-lint --n 128 --tile 32 --iters 9 --steps 4 --grid 2 \
+    --dataflow --steady-state --check
+lint_mutation_gate() {
+    if ./target/release/stencil-lint --n 128 --tile 32 --iters 9 --steps 4 --grid 2 \
+        --mutate-ca --check >/dev/null 2>&1; then
+        echo "mutation NOT caught: shrunk CA halo passed the coverage proof"
+        return 1
+    fi
+    echo "mutation caught: shrunk CA halo fails the coverage proof"
+}
+step lint_mutation_gate
 
 # Telemetry smoke: one frame of the reference workload with streaming
 # telemetry on; exits nonzero if the tracer overruns its 2 % self-overhead

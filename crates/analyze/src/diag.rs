@@ -1,6 +1,6 @@
 //! The analyzer's diagnostic vocabulary.
 
-use runtime::StructuralFault;
+use runtime::{Rect, StructuralFault};
 
 /// One defect found by static analysis. Every variant carries a concrete
 /// witness naming the offending task(s), so a report is actionable
@@ -30,6 +30,23 @@ pub enum Diagnostic {
         /// The shared address space id.
         space: u64,
     },
+    /// A task's declared read footprint contains cells that no prior
+    /// write in its space, no in-edge's delivered region, and no pinned
+    /// (time-invariant) region accounts for: the task would consume
+    /// uninitialized or stale memory. Found by the region-dataflow pass
+    /// ([`crate::dataflow`]).
+    UncoveredRead {
+        /// The reading task.
+        task: String,
+        /// The task's trace kind (see the scheme's kind constants).
+        kind: u32,
+        /// The address space the read lives in.
+        space: u64,
+        /// Total uncovered cells across the read footprint.
+        cells: u64,
+        /// The largest uncovered rectangle, as a concrete witness.
+        witness: Rect,
+    },
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -46,6 +63,21 @@ impl std::fmt::Display for Diagnostic {
             } => write!(
                 f,
                 "write race: {first} and {second} write overlapping regions of space {space} unordered"
+            ),
+            Diagnostic::UncoveredRead {
+                task,
+                kind,
+                space,
+                cells,
+                witness,
+            } => write!(
+                f,
+                "uncovered read: {task} (kind {kind}) reads {cells} cell(s) of space {space} \
+                 never written, delivered, or pinned before use; e.g. rows {}..{} x cols {}..{}",
+                witness.row,
+                witness.row + witness.rows as i64,
+                witness.col,
+                witness.col + witness.cols as i64,
             ),
         }
     }
@@ -72,5 +104,15 @@ mod tests {
             reachable: 3,
         });
         assert!(s.to_string().starts_with("structural:"));
+        let u = Diagnostic::UncoveredRead {
+            task: "ca(0,1,4,0)".into(),
+            kind: 1,
+            space: 4,
+            cells: 96,
+            witness: Rect::new(-3, -1, 1, 34),
+        };
+        let text = u.to_string();
+        assert!(text.contains("96 cell(s) of space 4"), "{text}");
+        assert!(text.contains("rows -3..-2 x cols -1..33"), "{text}");
     }
 }

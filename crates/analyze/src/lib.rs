@@ -39,16 +39,20 @@
 #![deny(missing_docs)]
 
 mod comm;
+pub mod dataflow;
 mod deadlock;
 mod diag;
 mod path;
 mod race;
 mod ranks;
+pub mod rectset;
 
 pub use comm::{CommStats, FlopStats};
+pub use dataflow::{DataflowMode, DataflowReport};
 pub use diag::Diagnostic;
 pub use path::PathStats;
 pub use ranks::{task_ranks, TaskRanks};
+pub use rectset::RectSet;
 
 use obs::ExpectedCounters;
 use runtime::{Program, StructuralFault, UnfoldedDag};
@@ -59,16 +63,18 @@ pub struct AnalyzeConfig {
     lanes: u32,
     task_limit: usize,
     races: bool,
+    dataflow: Option<DataflowMode>,
 }
 
 impl AnalyzeConfig {
     /// Defaults: one worker lane per node, the runtime's default task
-    /// limit, and the race pass enabled.
+    /// limit, the race pass enabled, and the region-dataflow pass off.
     pub fn new() -> Self {
         AnalyzeConfig {
             lanes: 1,
             task_limit: runtime::unfold::DEFAULT_TASK_LIMIT,
             races: true,
+            dataflow: None,
         }
     }
 
@@ -90,6 +96,16 @@ impl AnalyzeConfig {
     /// pass) for bench-scale programs.
     pub fn without_races(mut self) -> Self {
         self.races = false;
+        self
+    }
+
+    /// Enable the region-dataflow pass (halo-coverage proof, dead
+    /// transfers, steady-state verification) in the given mode. Off by
+    /// default: it only makes sense for programs declaring read/delivered
+    /// footprints, and [`assert_clean`] deliberately keeps the seed
+    /// behavior.
+    pub fn with_dataflow(mut self, mode: DataflowMode) -> Self {
+        self.dataflow = Some(mode);
         self
     }
 }
@@ -116,6 +132,10 @@ pub struct Analysis {
     /// Critical-path statistics; `None` when the DAG was cyclic or
     /// truncated (no topological order to sweep).
     pub path: Option<PathStats>,
+    /// Region-dataflow results; `None` unless enabled via
+    /// [`AnalyzeConfig::with_dataflow`] (and the DAG was acyclic and
+    /// untruncated, like the other ordering-sensitive passes).
+    pub dataflow: Option<DataflowReport>,
 }
 
 impl Analysis {
@@ -195,6 +215,14 @@ pub fn analyze_dag(dag: &UnfoldedDag, config: &AnalyzeConfig) -> Analysis {
             diagnostics.extend(race::find_races(dag, topo));
         }
     }
+    let mut dataflow_report = None;
+    if let Some(mode) = config.dataflow {
+        if let Some(topo) = &topo {
+            let (dx, report) = dataflow::run(dag, topo, mode);
+            diagnostics.extend(dx);
+            dataflow_report = Some(report);
+        }
+    }
 
     Analysis {
         tasks: dag.len(),
@@ -203,6 +231,7 @@ pub fn analyze_dag(dag: &UnfoldedDag, config: &AnalyzeConfig) -> Analysis {
         comm: comm::account_comm(dag),
         flops: comm::account_flops(dag),
         path: topo.map(|t| path::critical_path(dag, &t, config.lanes)),
+        dataflow: dataflow_report,
     }
 }
 

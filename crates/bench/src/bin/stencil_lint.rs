@@ -5,17 +5,29 @@
 //! crate unfolds the parameterized task graph and checks structural
 //! consistency, deadlock freedom and write-race freedom, then reports the
 //! static communication volume, the redundant flops, and the critical-path
-//! makespan lower bound. Exit code 1 if any diagnostic fires.
+//! makespan lower bound. With `--dataflow` it additionally runs the
+//! region-dataflow pass: a halo-coverage proof over every declared read
+//! footprint, and dead-transfer detection (bytes on the wire no read ever
+//! touches). Exit code 1 if any diagnostic fires.
 //!
 //! ```text
-//! cargo run -p bench --bin stencil-lint -- --n 256 --tile 32 --iters 20 --steps 8 --grid 2
+//! cargo run -p bench --bin stencil-lint -- --n 256 --tile 32 --iters 20 --steps 8 --grid 2 \
+//!     --dataflow --steady-state
 //! ```
+//!
+//! Flags beyond the geometry:
+//!
+//! * `--dataflow` — enable the region-dataflow checks.
+//! * `--steady-state` — verify prologue + one period instead of sweeping
+//!   the full unfolded DAG (prints the detected period).
+//! * `--check` — quiet mode for CI: print one line per scheme.
+//! * `--mutate-ca` — lint the deliberately halo-shrunk CA build; the run
+//!   is then expected to exit 1 with an uncovered-read witness.
 
-use analyze::{analyze_program, AnalyzeConfig};
-use ca_stencil::{build_base, build_base_dtd, build_ca, build_pa2, Problem, StencilConfig};
+use bench::lint::{lint_schemes, LintOptions};
+use ca_stencil::{Problem, StencilConfig};
 use machine::MachineProfile;
 use netsim::ProcessGrid;
-use runtime::Program;
 
 struct Args {
     n: usize,
@@ -23,6 +35,10 @@ struct Args {
     iters: u32,
     steps: usize,
     grid: u32,
+    dataflow: bool,
+    steady_state: bool,
+    check: bool,
+    mutate_ca: bool,
 }
 
 fn parse_args() -> Args {
@@ -32,6 +48,10 @@ fn parse_args() -> Args {
         iters: 20,
         steps: 8,
         grid: 2,
+        dataflow: false,
+        steady_state: false,
+        check: false,
+        mutate_ca: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -45,8 +65,18 @@ fn parse_args() -> Args {
             "--iters" => args.iters = value().parse().expect("--iters takes an integer"),
             "--steps" => args.steps = value().parse().expect("--steps takes an integer"),
             "--grid" => args.grid = value().parse().expect("--grid takes an integer"),
+            "--dataflow" => args.dataflow = true,
+            "--steady-state" => args.steady_state = true,
+            "--check" => args.check = true,
+            "--mutate-ca" => {
+                args.mutate_ca = true;
+                args.dataflow = true;
+            }
             other => {
-                eprintln!("unknown flag {other}; flags: --n --tile --iters --steps --grid");
+                eprintln!(
+                    "unknown flag {other}; flags: --n --tile --iters --steps --grid \
+                     --dataflow --steady-state --check --mutate-ca"
+                );
                 std::process::exit(2);
             }
         }
@@ -64,50 +94,90 @@ fn main() {
     )
     .with_steps(a.steps);
     let profile = MachineProfile::nacl();
-    let lanes = profile.compute_threads();
-    println!(
-        "stencil-lint: n={} tile={} iters={} steps={} grid={}x{} (lanes/node={lanes})",
-        a.n, a.tile, a.iters, a.steps, a.grid, a.grid
-    );
-
-    let mut schemes: Vec<(&str, Program)> = vec![
-        ("base", build_base(&cfg, false).program),
-        ("ca", build_ca(&cfg, false).program),
-        ("dtd", build_base_dtd(&cfg)),
-    ];
-    if a.steps <= a.tile / 2 {
-        schemes.insert(2, ("pa2", build_pa2(&cfg, false).program));
-    } else {
-        println!("(pa2 skipped: steps {} > tile/2 = {})", a.steps, a.tile / 2);
+    let opts = LintOptions {
+        dataflow: a.dataflow,
+        steady_state: a.steady_state,
+        lanes: profile.compute_threads(),
+        mutate_ca: a.mutate_ca,
+    };
+    if !a.check {
+        println!(
+            "stencil-lint: n={} tile={} iters={} steps={} grid={}x{} (lanes/node={})",
+            a.n, a.tile, a.iters, a.steps, a.grid, a.grid, opts.lanes
+        );
     }
 
-    println!(
-        "{:>6} {:>9} {:>9} {:>10} {:>12} {:>12} {:>11} {:>11} {:>6}",
-        "scheme", "tasks", "edges", "msgs", "bytes", "red flops", "crit path", "bound", "diags"
-    );
+    let (lints, skipped) = lint_schemes(&cfg, &opts);
+    for s in &skipped {
+        println!("({s})");
+    }
+
+    if !a.check {
+        println!(
+            "{:>6} {:>9} {:>9} {:>10} {:>12} {:>12} {:>11} {:>12} {:>9} {:>6}",
+            "scheme",
+            "tasks",
+            "edges",
+            "msgs",
+            "bytes",
+            "red flops",
+            "crit path",
+            "dead bytes",
+            "period",
+            "diags"
+        );
+    }
     let mut dirty = false;
-    for (name, program) in &schemes {
-        let analysis = analyze_program(program, &AnalyzeConfig::new().with_lanes(lanes));
-        let (cp, bound) = analysis
+    for lint in &lints {
+        let analysis = &lint.analysis;
+        let cp = analysis
             .path
             .as_ref()
-            .map(|p| (p.critical_path, p.makespan_lower_bound))
-            .unwrap_or((f64::NAN, f64::NAN));
-        println!(
-            "{:>6} {:>9} {:>9} {:>10} {:>12} {:>12} {:>10.4}s {:>10.4}s {:>6}",
-            name,
-            analysis.tasks,
-            analysis.edges,
-            analysis.comm.cross_messages,
-            analysis.comm.cross_bytes,
-            analysis.flops.redundant,
-            cp,
-            bound,
-            analysis.diagnostics.len(),
-        );
-        if !analysis.is_clean() {
+            .map(|p| p.critical_path)
+            .unwrap_or(f64::NAN);
+        let (dead, period) = analysis
+            .dataflow
+            .as_ref()
+            .map(|d| {
+                let period = match d.period {
+                    Some(p) => format!("{}+{}", d.prologue, p),
+                    None => "full".to_string(),
+                };
+                (d.dead_bytes.to_string(), period)
+            })
+            .unwrap_or_else(|| ("-".to_string(), "-".to_string()));
+        if a.check {
+            println!(
+                "{}: {} diagnostic(s), dead bytes {}, period {}",
+                lint.name,
+                analysis.diagnostics.len(),
+                dead,
+                period
+            );
+        } else {
+            println!(
+                "{:>6} {:>9} {:>9} {:>10} {:>12} {:>12} {:>10.4}s {:>12} {:>9} {:>6}",
+                lint.name,
+                analysis.tasks,
+                analysis.edges,
+                analysis.comm.cross_messages,
+                analysis.comm.cross_bytes,
+                analysis.flops.redundant,
+                cp,
+                dead,
+                period,
+                analysis.diagnostics.len(),
+            );
+        }
+        if !lint.is_clean() {
             dirty = true;
-            println!("{name}: {}", analysis.report());
+            for d in &lint.deduped {
+                let kind = d.kind.map(|k| format!(" kind {k}")).unwrap_or_default();
+                println!(
+                    "{}: [{}{}] x{}: {}",
+                    lint.name, d.check, kind, d.count, d.example
+                );
+            }
         }
     }
     if dirty {

@@ -50,6 +50,7 @@ pub mod exp_roofline;
 pub mod exp_table1;
 pub mod exp_top;
 pub mod exp_tournament;
+pub mod lint;
 pub mod report;
 pub mod statics;
 

@@ -5,7 +5,8 @@
 
 use crate::config::{StencilBuild, StencilConfig};
 use crate::flows::{
-    slot_of_side, OutFlow, KIND_BOUNDARY, KIND_INIT, KIND_INTERIOR, NUM_SLOTS_BASE, SLOT_SELF,
+    cross_rects, slot_of_side, OutFlow, KIND_BOUNDARY, KIND_INIT, KIND_INTERIOR, NUM_SLOTS_BASE,
+    SLOT_SELF,
 };
 use crate::geometry::{Side, StencilGeometry};
 use crate::problem::Operator;
@@ -13,7 +14,9 @@ use crate::store::TileStore;
 use crate::tile::Extents;
 use machine::StencilCostModel;
 use netsim::NodeId;
-use runtime::{FlowData, OutputDep, Params, Program, TaskClass, TaskGraph, TaskKey, WriteRegion};
+use runtime::{
+    FlowData, OutputDep, Params, Program, ReadRegion, TaskClass, TaskGraph, TaskKey, WriteRegion,
+};
 use std::sync::Arc;
 
 /// The builders register exactly one class per program, so consumer keys
@@ -164,12 +167,43 @@ impl TaskClass for BaseStencil {
     }
 
     fn write_region(&self, p: Params) -> Option<WriteRegion> {
-        let (tx, ty, t) = Self::decode(p);
-        // iterate-0 emission only reads the initial state
-        (t > 0).then(|| WriteRegion {
+        let (tx, ty, _) = Self::decode(p);
+        // The iterate-0 emission "writes" the tile interior in the sense
+        // the dataflow pass needs: it certifies the store's initial fill
+        // of exactly the tile rectangle as valid. Deliberately NOT the
+        // ghost ring — ghost validity must come from deliveries (or the
+        // pinned Dirichlet frame), so a shrunken halo declaration shows
+        // up as an uncovered read instead of hiding behind init.
+        Some(WriteRegion {
             space: self.geo.tile_space(tx, ty),
             rect: self.geo.tile_rect(tx, ty),
         })
+    }
+
+    fn read_region(&self, p: Params) -> Option<ReadRegion> {
+        let (tx, ty, t) = Self::decode(p);
+        // t = 0 reads only the initial state it certifies itself: exempt.
+        (t > 0).then(|| ReadRegion {
+            space: self.geo.tile_space(tx, ty),
+            rects: cross_rects(self.geo.tile_rect(tx, ty)).to_vec(),
+        })
+    }
+
+    fn pinned_region(&self, p: Params) -> Option<ReadRegion> {
+        let (tx, ty, _) = Self::decode(p);
+        let rects = self.geo.dirichlet_rects(tx, ty, 1);
+        (!rects.is_empty()).then(|| ReadRegion {
+            space: self.geo.tile_space(tx, ty),
+            rects,
+        })
+    }
+
+    fn delivered_region(&self, p: Params, flow: usize) -> Option<ReadRegion> {
+        let (tx, ty, _) = Self::decode(p);
+        let (of, consumer, _) = self.enumerate_out(p).into_iter().nth(flow)?;
+        let rect = of.region(self.geo.tile_origin(tx, ty), self.geo.tile)?;
+        let (cx, cy) = (consumer.params[0] as usize, consumer.params[1] as usize);
+        Some(ReadRegion::single(self.geo.tile_space(cx, cy), rect))
     }
 
     fn flops(&self, p: Params) -> f64 {

@@ -19,8 +19,8 @@
 
 use crate::config::{StencilBuild, StencilConfig};
 use crate::flows::{
-    slot_of_corner, slot_of_side, OutFlow, KIND_BOUNDARY, KIND_INIT, KIND_INTERIOR, NUM_SLOTS_CA,
-    SLOT_SELF,
+    cross_rects, slot_of_corner, slot_of_side, OutFlow, KIND_BOUNDARY, KIND_INIT, KIND_INTERIOR,
+    NUM_SLOTS_CA, SLOT_SELF,
 };
 use crate::geometry::{Corner, Side, StencilGeometry};
 use crate::problem::Operator;
@@ -29,7 +29,8 @@ use crate::tile::Extents;
 use machine::StencilCostModel;
 use netsim::NodeId;
 use runtime::{
-    FlowData, OutputDep, Params, Program, Rect, TaskClass, TaskGraph, TaskKey, WriteRegion,
+    FlowData, OutputDep, Params, Program, ReadRegion, Rect, TaskClass, TaskGraph, TaskKey,
+    WriteRegion,
 };
 use std::sync::Arc;
 
@@ -44,6 +45,9 @@ pub struct CaStencil {
     iterations: u32,
     steps: usize,
     ratio: f64,
+    /// [`build_ca_shrunk`]'s fault injection: mis-declare deep South
+    /// strips one layer shallower than the wire actually carries.
+    shrunk: bool,
 }
 
 impl CaStencil {
@@ -89,6 +93,23 @@ impl CaStencil {
             west: on(Side::West),
             east: on(Side::East),
         }
+    }
+
+    /// The rectangle task `(tx, ty, t)` updates: the tile, extended by
+    /// the current extents into the private ghost ring for boundary
+    /// tiles. Shared by `write_region` and `read_region`.
+    fn update_rect(&self, tx: usize, ty: usize, t: u32) -> Rect {
+        let mut rect = self.geo.tile_rect(tx, ty);
+        if self.is_boundary(tx, ty) {
+            let ext = self.extents(tx, ty, t);
+            rect = Rect::new(
+                rect.row - ext.north as i64,
+                rect.col - ext.west as i64,
+                rect.rows + (ext.north + ext.south) as u32,
+                rect.cols + (ext.west + ext.east) as u32,
+            );
+        }
+        rect
     }
 
     /// Apply one Jacobi step on a tile with the given update extents,
@@ -308,28 +329,73 @@ impl TaskClass for CaStencil {
 
     fn write_region(&self, p: Params) -> Option<WriteRegion> {
         let (tx, ty, t) = Self::decode(p);
-        if t == 0 {
-            return None;
-        }
-        // Boundary tiles also update their halo: the written rectangle
-        // extends beyond the tile by the current extents. Those global
-        // coordinates overlap the neighbours' rectangles, but the space is
-        // the tile's private buffer — the recompute writes its own ghost
-        // ring, never the neighbour's cells — so no race is declared.
-        let mut rect = self.geo.tile_rect(tx, ty);
-        if self.is_boundary(tx, ty) {
-            let ext = self.extents(tx, ty, t);
-            rect = Rect::new(
-                rect.row - ext.north as i64,
-                rect.col - ext.west as i64,
-                rect.rows + (ext.north + ext.south) as u32,
-                rect.cols + (ext.west + ext.east) as u32,
-            );
-        }
+        // The iterate-0 emission certifies the store's initial fill of
+        // the tile rectangle — never the ghost ring, so ghost validity
+        // must be proven from deliveries (see base.rs for the rationale).
+        //
+        // Boundary tiles at t > 0 also update their halo: the written
+        // rectangle extends beyond the tile by the current extents. Those
+        // global coordinates overlap the neighbours' rectangles, but the
+        // space is the tile's private buffer — the recompute writes its
+        // own ghost ring, never the neighbour's cells — so no race is
+        // declared.
+        let rect = if t == 0 {
+            self.geo.tile_rect(tx, ty)
+        } else {
+            self.update_rect(tx, ty, t)
+        };
         Some(WriteRegion {
             space: self.geo.tile_space(tx, ty),
             rect,
         })
+    }
+
+    fn read_region(&self, p: Params) -> Option<ReadRegion> {
+        let (tx, ty, t) = Self::decode(p);
+        // t = 0 reads only the initial state it certifies itself: exempt.
+        (t > 0).then(|| ReadRegion {
+            space: self.geo.tile_space(tx, ty),
+            rects: cross_rects(self.update_rect(tx, ty, t)).to_vec(),
+        })
+    }
+
+    fn pinned_region(&self, p: Params) -> Option<ReadRegion> {
+        let (tx, ty, _) = Self::decode(p);
+        // The Dirichlet frame is pre-filled through the whole ghost ring:
+        // `steps` deep on boundary tiles, 1 on interior ones.
+        let depth = if self.is_boundary(tx, ty) {
+            self.steps
+        } else {
+            1
+        };
+        let rects = self.geo.dirichlet_rects(tx, ty, depth);
+        (!rects.is_empty()).then(|| ReadRegion {
+            space: self.geo.tile_space(tx, ty),
+            rects,
+        })
+    }
+
+    fn delivered_region(&self, p: Params, flow: usize) -> Option<ReadRegion> {
+        let (tx, ty, _) = Self::decode(p);
+        let (of, consumer, _) = self.enumerate_out(p).into_iter().nth(flow)?;
+        let mut rect = of.region(self.geo.tile_origin(tx, ty), self.geo.tile)?;
+        if self.shrunk && self.steps > 1 {
+            if let OutFlow::Strip {
+                side: Side::South,
+                depth,
+            } = of
+            {
+                if depth == self.steps {
+                    // Fault injection: claim one layer less than the wire
+                    // carries — the consumer's deepest north-ghost row
+                    // (`rect.row`) goes undeclared, which the coverage
+                    // proof must expose as an uncovered read.
+                    rect = Rect::new(rect.row + 1, rect.col, rect.rows - 1, rect.cols);
+                }
+            }
+        }
+        let (cx, cy) = (consumer.params[0] as usize, consumer.params[1] as usize);
+        Some(ReadRegion::single(self.geo.tile_space(cx, cy), rect))
     }
 
     fn flops(&self, p: Params) -> f64 {
@@ -379,7 +445,23 @@ pub fn build_ca(cfg: &StencilConfig, carry_data: bool) -> StencilBuild {
             }
         }))
     });
-    build_ca_inner(cfg, geo, store)
+    build_ca_inner(cfg, geo, store, false)
+}
+
+/// Build a CA program whose *declared* dataflow is deliberately wrong:
+/// deep South strips claim one ghost layer less than the wire actually
+/// carries (the graph, messages, and execution are untouched — only the
+/// [`runtime::TaskClass::delivered_region`] declaration shrinks). The
+/// `analyze` crate's halo-coverage proof must reject this program with an
+/// uncovered-read witness naming the missing row; it exists as the
+/// mutation fixture for that check (`stencil-lint --mutate-ca`). Requires
+/// `steps > 1`.
+pub fn build_ca_shrunk(cfg: &StencilConfig) -> StencilBuild {
+    assert!(
+        cfg.steps > 1,
+        "the shrunk-halo mutation needs a deep ghost (steps > 1)"
+    );
+    build_ca_inner(cfg, cfg.geometry(), None, true)
 }
 
 /// Build the CA-scheme program over an existing store (continuation; see
@@ -402,13 +484,14 @@ pub fn build_ca_on(cfg: &StencilConfig, store: Arc<TileStore>) -> StencilBuild {
             }
         }
     }
-    build_ca_inner(cfg, geo, Some(store))
+    build_ca_inner(cfg, geo, Some(store), false)
 }
 
 fn build_ca_inner(
     cfg: &StencilConfig,
     geo: StencilGeometry,
     store: Option<Arc<TileStore>>,
+    shrunk: bool,
 ) -> StencilBuild {
     let steps = cfg.steps;
     let mut model = StencilCostModel::for_profile(&cfg.profile);
@@ -423,6 +506,7 @@ fn build_ca_inner(
         iterations: cfg.iterations,
         steps,
         ratio: cfg.ratio,
+        shrunk,
     };
     let mut graph = TaskGraph::new();
     let id = graph.add_class(Arc::new(class));

@@ -11,10 +11,10 @@
 //! accounting) the same makespans.
 
 use crate::config::StencilConfig;
-use crate::flows::{KIND_BOUNDARY, KIND_INIT, KIND_INTERIOR};
+use crate::flows::{cross_rects, OutFlow, KIND_BOUNDARY, KIND_INIT, KIND_INTERIOR};
 use crate::geometry::Side;
 use machine::StencilCostModel;
-use runtime::{DtdBuilder, Program};
+use runtime::{DtdBuilder, DtdRegions, Program, ReadRegion, WriteRegion};
 
 /// Build the base-scheme program by sequential task insertion.
 /// Performance-only: DTD tasks carry sized flows, not tile data.
@@ -26,15 +26,23 @@ pub fn build_base_dtd(cfg: &StencilConfig) -> Program {
     let mut prev: Vec<usize> = Vec::with_capacity(geo.num_tiles());
     let at = |tx: usize, ty: usize| ty * geo.tiles_x + tx;
 
-    // iterate-0 emission tasks (the roots)
+    // iterate-0 emission tasks (the roots); their write declaration
+    // certifies the initial fill of exactly the tile rectangle.
     for ty in 0..geo.tiles_y {
         for tx in 0..geo.tiles_x {
-            let id = b.insert_full(
+            let id = b.insert_with_regions(
                 geo.node_of_tile(tx, ty),
                 model.ghost_copy_time(4 * geo.tile),
                 KIND_INIT,
                 geo.tile * 8,
                 &[],
+                DtdRegions {
+                    write: Some(WriteRegion {
+                        space: geo.tile_space(tx, ty),
+                        rect: geo.tile_rect(tx, ty),
+                    }),
+                    ..DtdRegions::default()
+                },
             );
             prev.push(id);
         }
@@ -46,11 +54,24 @@ pub fn build_base_dtd(cfg: &StencilConfig) -> Program {
             for tx in 0..geo.tiles_x {
                 // dependencies: own previous task plus the four previous
                 // neighbour tasks — exactly the PTG version's self flow
-                // and strips
+                // and strips. `delivered_in` mirrors that ordering: the
+                // self flow carries no data; each neighbour dep delivers
+                // the depth-1 strip read off the producer's facing side.
+                let space = geo.tile_space(tx, ty);
                 let mut deps = vec![prev[at(tx, ty)]];
+                let mut delivered_in = vec![None];
                 for side in Side::ALL {
                     if let Some((nx, ny)) = geo.neighbor(tx, ty, side) {
                         deps.push(prev[at(nx, ny)]);
+                        let strip = OutFlow::Strip {
+                            side: side.opposite(),
+                            depth: 1,
+                        };
+                        delivered_in.push(
+                            strip
+                                .region(geo.tile_origin(nx, ny), geo.tile)
+                                .map(|r| ReadRegion::single(space, r)),
+                        );
                     }
                 }
                 let kind = if geo.is_node_boundary(tx, ty) {
@@ -58,12 +79,29 @@ pub fn build_base_dtd(cfg: &StencilConfig) -> Program {
                 } else {
                     KIND_INTERIOR
                 };
-                current[at(tx, ty)] = b.insert_full(
+                let tile_rect = geo.tile_rect(tx, ty);
+                let pinned = geo.dirichlet_rects(tx, ty, 1);
+                current[at(tx, ty)] = b.insert_with_regions(
                     geo.node_of_tile(tx, ty),
                     model.task_time(geo.tile, geo.tile, cfg.ratio),
                     kind,
                     geo.tile * 8,
                     &deps,
+                    DtdRegions {
+                        write: Some(WriteRegion {
+                            space,
+                            rect: tile_rect,
+                        }),
+                        read: Some(ReadRegion {
+                            space,
+                            rects: cross_rects(tile_rect).to_vec(),
+                        }),
+                        pinned: (!pinned.is_empty()).then_some(ReadRegion {
+                            space,
+                            rects: pinned,
+                        }),
+                        delivered_in,
+                    },
                 );
             }
         }

@@ -9,6 +9,7 @@
 //! | 5–8  | corner blocks from the NW/NE/SW/SE diagonal neighbours (CA only) |
 
 use crate::geometry::{Corner, Side};
+use runtime::Rect;
 
 /// Input slot of the self-flow.
 pub const SLOT_SELF: usize = 0;
@@ -78,6 +79,51 @@ impl OutFlow {
             OutFlow::Block { depth, .. } => depth * depth * 8,
         }
     }
+
+    /// The global-coordinate rectangle of cells this flow extracts from
+    /// the producer tile whose top-left point is `origin` — which is the
+    /// same set of cells the payload makes valid in the consumer's ghost
+    /// region, so it doubles as the flow's *delivered region* for the
+    /// `analyze` crate's dataflow pass. `None` for the self-flow (it
+    /// carries no data).
+    pub fn region(&self, origin: (i64, i64), tile: usize) -> Option<Rect> {
+        let (row, col) = origin;
+        let t = tile as i64;
+        match *self {
+            OutFlow::SelfFlow => None,
+            OutFlow::Strip { side, depth } => {
+                let d = depth as u32;
+                Some(match side {
+                    Side::North => Rect::new(row, col, d, tile as u32),
+                    Side::South => Rect::new(row + t - depth as i64, col, d, tile as u32),
+                    Side::West => Rect::new(row, col, tile as u32, d),
+                    Side::East => Rect::new(row, col + t - depth as i64, tile as u32, d),
+                })
+            }
+            OutFlow::Block { corner, depth } => {
+                let d = depth as u32;
+                let far = t - depth as i64;
+                Some(match corner {
+                    Corner::Nw => Rect::new(row, col, d, d),
+                    Corner::Ne => Rect::new(row, col + far, d, d),
+                    Corner::Sw => Rect::new(row + far, col, d, d),
+                    Corner::Se => Rect::new(row + far, col + far, d, d),
+                })
+            }
+        }
+    }
+}
+
+/// The read footprint of one 5-point stencil sweep over the updated
+/// rectangle `u`: a vertical expansion (one row beyond `u` on each side)
+/// plus a horizontal expansion (one column beyond on each side). Their
+/// union is exactly the cells touched — no diagonal corners, which is
+/// what makes the CA corner blocks' far cells dead on the wire.
+pub fn cross_rects(u: Rect) -> [Rect; 2] {
+    [
+        Rect::new(u.row - 1, u.col, u.rows + 2, u.cols),
+        Rect::new(u.row, u.col - 1, u.rows, u.cols + 2),
+    ]
 }
 
 #[cfg(test)]

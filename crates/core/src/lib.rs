@@ -62,7 +62,7 @@ pub mod store;
 pub mod tile;
 
 pub use base::{build_base, build_base_on};
-pub use ca::{build_ca, build_ca_on};
+pub use ca::{build_ca, build_ca_on, build_ca_shrunk};
 pub use config::{StencilBuild, StencilConfig};
 pub use dtd_front::build_base_dtd;
 pub use flows::{kind_names, KIND_BOUNDARY, KIND_INIT, KIND_INTERIOR};

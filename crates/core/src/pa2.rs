@@ -26,13 +26,16 @@
 
 use crate::config::{StencilBuild, StencilConfig};
 use crate::flows::{
-    slot_of_corner, slot_of_side, OutFlow, KIND_BOUNDARY, KIND_INIT, KIND_INTERIOR, NUM_SLOTS_CA,
-    SLOT_SELF,
+    cross_rects, slot_of_corner, slot_of_side, OutFlow, KIND_BOUNDARY, KIND_INIT, KIND_INTERIOR,
+    NUM_SLOTS_CA, SLOT_SELF,
 };
 use crate::geometry::{Corner, Side, StencilGeometry};
 use machine::StencilCostModel;
 use netsim::NodeId;
-use runtime::{FlowData, OutputDep, Params, Program, TaskClass, TaskGraph, TaskKey, WriteRegion};
+use runtime::{
+    FlowData, OutputDep, Params, Program, ReadRegion, Rect, TaskClass, TaskGraph, TaskKey,
+    WriteRegion,
+};
 use std::sync::Arc;
 
 const CLASS: u16 = 0;
@@ -126,6 +129,45 @@ impl Pa2Stencil {
                     .is_some_and(|(nx, ny)| self.is_remote(tx, ty, nx, ny))
             })
             .count()
+    }
+
+    /// The rectangle task `(tx, ty, t)` actually updates, `t ≥ 1`:
+    /// interior tiles and non-boundary phases update the tile; a boundary
+    /// tile's quiet phase `k` updates the tile *shrunk* by `k` along each
+    /// remote side (the deferred band), and its exchange phase catches up
+    /// through the remote surfaces — modeled as the tile *extended* by
+    /// `s − 1` along remote sides, the deepest layer the catch-up
+    /// consults. Drives the read/write region declarations.
+    fn updated_rect(&self, tx: usize, ty: usize, t: u32) -> Rect {
+        let rect = self.geo.tile_rect(tx, ty);
+        if !self.is_boundary(tx, ty) {
+            return rect;
+        }
+        let k = self.phase(t);
+        let remote = |side| {
+            if self
+                .geo
+                .neighbor(tx, ty, side)
+                .is_some_and(|(nx, ny)| self.is_remote(tx, ty, nx, ny))
+            {
+                1i64
+            } else {
+                0
+            }
+        };
+        let (n, s) = (remote(Side::North), remote(Side::South));
+        let (w, e) = (remote(Side::West), remote(Side::East));
+        let grow = if k == 0 {
+            self.steps as i64 - 1
+        } else {
+            -(k as i64)
+        };
+        Rect::new(
+            rect.row - n * grow,
+            rect.col - w * grow,
+            (rect.rows as i64 + (n + s) * grow) as u32,
+            (rect.cols as i64 + (w + e) * grow) as u32,
+        )
     }
 
     fn enumerate_out(&self, p: Params) -> Vec<(OutFlow, TaskKey, usize)> {
@@ -294,10 +336,53 @@ impl TaskClass for Pa2Stencil {
     fn write_region(&self, p: Params) -> Option<WriteRegion> {
         let (tx, ty, t) = Self::decode(p);
         // PA2 defers instead of recomputing: writes never leave the tile.
-        (t > 0).then(|| WriteRegion {
+        // Quiet phases honestly declare only the band they update (the
+        // tile minus the deferred bands); exchange phases write the full
+        // tile (current iterate plus the caught-up bands). The iterate-0
+        // emission certifies the initial fill of the tile rectangle.
+        let rect = if t == 0 || self.phase(t) == 0 {
+            self.geo.tile_rect(tx, ty)
+        } else {
+            self.updated_rect(tx, ty, t)
+        };
+        Some(WriteRegion {
             space: self.geo.tile_space(tx, ty),
-            rect: self.geo.tile_rect(tx, ty),
+            rect,
         })
+    }
+
+    fn read_region(&self, p: Params) -> Option<ReadRegion> {
+        let (tx, ty, t) = Self::decode(p);
+        // t = 0 reads only the initial state it certifies itself: exempt.
+        (t > 0).then(|| ReadRegion {
+            space: self.geo.tile_space(tx, ty),
+            rects: cross_rects(self.updated_rect(tx, ty, t)).to_vec(),
+        })
+    }
+
+    fn pinned_region(&self, p: Params) -> Option<ReadRegion> {
+        let (tx, ty, _) = Self::decode(p);
+        // Boundary tiles' exchange reads reach `s − 1` cells past the
+        // tile along remote sides, so where such a side meets the domain
+        // edge the Dirichlet frame must be declared that wide too.
+        let depth = if self.is_boundary(tx, ty) {
+            self.steps
+        } else {
+            1
+        };
+        let rects = self.geo.dirichlet_rects(tx, ty, depth);
+        (!rects.is_empty()).then(|| ReadRegion {
+            space: self.geo.tile_space(tx, ty),
+            rects,
+        })
+    }
+
+    fn delivered_region(&self, p: Params, flow: usize) -> Option<ReadRegion> {
+        let (tx, ty, _) = Self::decode(p);
+        let (of, consumer, _) = self.enumerate_out(p).into_iter().nth(flow)?;
+        let rect = of.region(self.geo.tile_origin(tx, ty), self.geo.tile)?;
+        let (cx, cy) = (consumer.params[0] as usize, consumer.params[1] as usize);
+        Some(ReadRegion::single(self.geo.tile_space(cx, cy), rect))
     }
 
     fn flops(&self, p: Params) -> f64 {

@@ -6,12 +6,37 @@
 //! DAG by construction. `build()` produces a [`Program`] runnable on either
 //! executor.
 
-use crate::task::{FlowData, OutputDep, Params, Program, TaskClass, TaskGraph, TaskKey};
+use crate::task::{
+    FlowData, OutputDep, Params, Program, ReadRegion, TaskClass, TaskGraph, TaskKey, WriteRegion,
+};
 use netsim::NodeId;
 use std::sync::Arc;
 
 /// Identifier returned by [`DtdBuilder::insert`].
 pub type DtdTaskId = usize;
+
+/// Memory-footprint declarations of one DTD task, for the static
+/// region-dataflow passes. DTD tasks have no parameter structure the
+/// analyzer could derive regions from, so the front-end states them at
+/// insertion time ([`DtdBuilder::insert_with_regions`]); every field
+/// defaults to "undeclared", which exempts the task (or edge) from the
+/// corresponding check exactly like the [`TaskClass`] method defaults.
+#[derive(Debug, Clone, Default)]
+pub struct DtdRegions {
+    /// What the task writes ([`TaskClass::write_region`]).
+    pub write: Option<WriteRegion>,
+    /// What the task reads before writing ([`TaskClass::read_region`]).
+    pub read: Option<ReadRegion>,
+    /// Time-invariant cells of the task's space
+    /// ([`TaskClass::pinned_region`]).
+    pub pinned: Option<ReadRegion>,
+    /// Per-dependency delivered regions, parallel to the `deps` slice of
+    /// the insertion call: `delivered_in[slot]` is the region of **this**
+    /// task's space that the flow arriving from `deps[slot]` makes valid
+    /// ([`TaskClass::delivered_region`] is answered by looking this up on
+    /// the consumer side). Shorter vectors are padded with `None`.
+    pub delivered_in: Vec<Option<ReadRegion>>,
+}
 
 #[derive(Debug, Clone)]
 struct DtdTask {
@@ -20,6 +45,7 @@ struct DtdTask {
     kind: u32,
     output_bytes: usize,
     deps: Vec<DtdTaskId>,
+    regions: DtdRegions,
     /// (successor, slot-in-successor), filled as successors are inserted.
     successors: Vec<(DtdTaskId, usize)>,
 }
@@ -53,6 +79,21 @@ impl DtdBuilder {
         output_bytes: usize,
         deps: &[DtdTaskId],
     ) -> DtdTaskId {
+        self.insert_with_regions(node, cost, kind, output_bytes, deps, DtdRegions::default())
+    }
+
+    /// Like [`insert_full`](Self::insert_full), additionally declaring the
+    /// task's memory footprint for the `analyze` crate's region-dataflow
+    /// passes. `regions.delivered_in` is indexed by position in `deps`.
+    pub fn insert_with_regions(
+        &mut self,
+        node: NodeId,
+        cost: f64,
+        kind: u32,
+        output_bytes: usize,
+        deps: &[DtdTaskId],
+        regions: DtdRegions,
+    ) -> DtdTaskId {
         let id = self.tasks.len();
         for (slot, &d) in deps.iter().enumerate() {
             assert!(
@@ -67,6 +108,7 @@ impl DtdBuilder {
             kind,
             output_bytes,
             deps: deps.to_vec(),
+            regions,
             successors: Vec::new(),
         });
         id
@@ -157,6 +199,21 @@ impl TaskClass for DtdClass {
     }
     fn kind(&self, p: Params) -> u32 {
         self.task(p).kind
+    }
+    fn write_region(&self, p: Params) -> Option<WriteRegion> {
+        self.task(p).regions.write
+    }
+    fn read_region(&self, p: Params) -> Option<ReadRegion> {
+        self.task(p).regions.read.clone()
+    }
+    fn pinned_region(&self, p: Params) -> Option<ReadRegion> {
+        self.task(p).regions.pinned.clone()
+    }
+    fn delivered_region(&self, p: Params, flow: usize) -> Option<ReadRegion> {
+        // Flow `flow` feeds successors[flow] at some slot; the consumer
+        // declared what that payload makes valid in its own space.
+        let (succ, slot) = *self.task(p).successors.get(flow)?;
+        self.tasks[succ].regions.delivered_in.get(slot)?.clone()
     }
 }
 

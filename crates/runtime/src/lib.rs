@@ -64,7 +64,7 @@ pub mod sim_exec;
 pub mod task;
 pub mod unfold;
 
-pub use dtd::{DtdBuilder, DtdTaskId};
+pub use dtd::{DtdBuilder, DtdRegions, DtdTaskId};
 pub use exec::{
     run, ExecMode, Executor, ModeExt, MultiProcessExecutor, RunConfig, RunReport,
     SharedMemoryExecutor, SimulatedExecutor,
@@ -78,6 +78,7 @@ pub use scheduler::{
 };
 pub use sim_exec::{SimConfig, KIND_COMM};
 pub use task::{
-    ClassId, FlowData, OutputDep, Params, Program, Rect, TaskClass, TaskGraph, TaskKey, WriteRegion,
+    ClassId, FlowData, OutputDep, Params, Program, ReadRegion, Rect, TaskClass, TaskGraph, TaskKey,
+    WriteRegion,
 };
 pub use unfold::{assert_consistent, EdgeRef, StructuralFault, UnfoldedDag};

@@ -181,6 +181,43 @@ pub struct WriteRegion {
     pub rect: Rect,
 }
 
+/// A set of cells a task *reads* (or a flow *delivers*), for static
+/// region-dataflow analysis: one or more rectangles within a named address
+/// space, the read-side counterpart of [`WriteRegion`]. A read footprint
+/// is usually not one rectangle — a 5-point stencil reads a cross-shaped
+/// neighbourhood — so this carries a list; the analyzer unions them.
+///
+/// Three [`TaskClass`] methods speak this vocabulary:
+/// [`TaskClass::read_region`] (what the body consumes before writing),
+/// [`TaskClass::delivered_region`] (which cells of the *consumer's* space
+/// an output flow's payload makes valid), and
+/// [`TaskClass::pinned_region`] (time-invariant cells such as a Dirichlet
+/// boundary ring that are valid at every iteration without being
+/// rewritten).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadRegion {
+    /// The address space (e.g. a tile-buffer id) the rectangles live in.
+    pub space: u64,
+    /// The covered rectangles; may overlap, the analyzer unions them.
+    pub rects: Vec<Rect>,
+}
+
+impl ReadRegion {
+    /// A region of one rectangle.
+    pub fn single(space: u64, rect: Rect) -> Self {
+        ReadRegion {
+            space,
+            rects: vec![rect],
+        }
+    }
+
+    /// Total cells covered, counting overlaps once is the analyzer's job;
+    /// this is the naive per-rect sum (an upper bound).
+    pub fn area_upper_bound(&self) -> u64 {
+        self.rects.iter().map(Rect::area).sum()
+    }
+}
+
 /// One consumer of one of a task's outputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OutputDep {
@@ -250,6 +287,38 @@ pub trait TaskClass: Send + Sync {
     /// (the default) means "writes nothing shared" and exempts the task
     /// from the race check.
     fn write_region(&self, p: Params) -> Option<WriteRegion> {
+        let _ = p;
+        None
+    }
+
+    /// The region task `p` *reads* before (or while) writing, for the
+    /// static halo-coverage proof; `None` (the default) exempts the task.
+    /// Declared reads must be covered — by a same-space predecessor's
+    /// [`TaskClass::write_region`], an in-edge's
+    /// [`TaskClass::delivered_region`], or the task's own
+    /// [`TaskClass::pinned_region`] — before the task can honestly run.
+    fn read_region(&self, p: Params) -> Option<ReadRegion> {
+        let _ = p;
+        None
+    }
+
+    /// The cells of the **consumer's** address space that the payload of
+    /// output flow `flow` of task `p` makes valid on arrival (e.g. the
+    /// ghost strip a halo message fills). `None` (the default) exempts the
+    /// edge from both the coverage contribution and the dead-transfer
+    /// check. The declared area should match
+    /// [`TaskClass::output_bytes`] — the analyzer pro-rates wasted bytes
+    /// over the declared cells.
+    fn delivered_region(&self, p: Params, flow: usize) -> Option<ReadRegion> {
+        let _ = (p, flow);
+        None
+    }
+
+    /// Cells of task `p`'s space that hold *time-invariant* values — a
+    /// Dirichlet boundary ring, immutable coefficients — and are therefore
+    /// valid for every read without ever being rewritten. `None` (the
+    /// default) declares no such cells.
+    fn pinned_region(&self, p: Params) -> Option<ReadRegion> {
         let _ = p;
         None
     }
@@ -414,6 +483,36 @@ mod tests {
     #[should_panic(expected = "no payload")]
     fn sized_flow_has_no_values() {
         FlowData::sized(100).expect_values();
+    }
+
+    #[test]
+    fn read_region_single_and_area() {
+        let r = ReadRegion::single(3, Rect::new(0, 0, 4, 5));
+        assert_eq!(r.space, 3);
+        assert_eq!(r.rects.len(), 1);
+        assert_eq!(r.area_upper_bound(), 20);
+        let two = ReadRegion {
+            space: 3,
+            rects: vec![Rect::new(0, 0, 4, 5), Rect::new(0, 0, 4, 5)],
+        };
+        // naive sum counts overlap twice: an upper bound by contract
+        assert_eq!(two.area_upper_bound(), 40);
+    }
+
+    #[test]
+    fn region_methods_default_to_none() {
+        use testutil::ExplicitDag;
+        let c = ExplicitDag {
+            name: "a".into(),
+            edges: Default::default(),
+            indeg: Default::default(),
+            node: Default::default(),
+            cost: 0.0,
+            bytes: 0,
+        };
+        assert!(c.read_region([0; 4]).is_none());
+        assert!(c.delivered_region([0; 4], 0).is_none());
+        assert!(c.pinned_region([0; 4]).is_none());
     }
 
     #[test]
