@@ -49,6 +49,16 @@ else
     echo "WARNING: BENCH_stencil.json not found; skipping stencil-doctor --check"
 fi
 
+# Dispatch-cost regression gate: the work-stealing executor's per-task
+# overhead on the chain/fan/steal-storm scenarios must stay within the
+# committed baseline's noise band. Warn-skip when no baseline has been
+# committed yet (bootstrap with `runtime-overhead --baseline`).
+if [ -f BENCH_runtime_overhead.json ]; then
+    step ./target/release/runtime-overhead --check
+else
+    echo "WARNING: BENCH_runtime_overhead.json not found; skipping runtime-overhead --check"
+fi
+
 # Scheduler portfolio gate: every portfolio scheduler must complete every
 # scheme (base/ca/pa2/dtd) deadlock-free and within the static bound on a
 # small sweep, and the committed baseline must be intact under the
@@ -79,6 +89,17 @@ step lint_mutation_gate
 # telemetry on; exits nonzero if the tracer overruns its 2 % self-overhead
 # budget, drops spans, or publishes no live samples.
 step ./target/release/stencil-top --once
+
+# Docs gate: every public item is documented (the workspace denies
+# missing_docs) and rustdoc itself must be warning-clean — broken
+# intra-doc links are errors, not noise. First-party crates only; the
+# vendored stubs are exempt.
+docs_clean() {
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
+        -p obs -p desim -p machine -p netsim -p runtime -p analyze \
+        -p insight -p ca-stencil -p spmv -p bench
+}
+step docs_clean
 
 if cargo fmt --version >/dev/null 2>&1; then
     step cargo fmt --all -- --check

@@ -1,0 +1,77 @@
+//! `runtime-overhead`: measure the work-stealing executor's per-task
+//! dispatch cost and manage its committed regression baseline.
+//!
+//! ```text
+//! cargo run --release -p bench --bin runtime-overhead               # measure and print
+//! cargo run --release -p bench --bin runtime-overhead -- --baseline # write BENCH_runtime_overhead.json
+//! cargo run --release -p bench --bin runtime-overhead -- --check    # diff against it; exit 1 on drift
+//! ```
+//!
+//! `--file <path>` overrides the baseline location. See
+//! `bench::exp_overhead` for the scenarios and the tolerance story.
+
+use bench::exp_overhead::{self, OverheadBaseline, BASELINE_FILE, TOLERANCE_FACTOR};
+
+enum Mode {
+    Measure,
+    WriteBaseline,
+    Check,
+}
+
+fn main() {
+    let mut mode = Mode::Measure;
+    let mut file = BASELINE_FILE.to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--baseline" => mode = Mode::WriteBaseline,
+            "--check" => mode = Mode::Check,
+            "--file" => file = it.next().expect("missing value after --file"),
+            other => {
+                eprintln!("unknown flag {other}; flags: --baseline --check --file <path>");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let measurements = exp_overhead::measure_all();
+    println!("runtime-overhead: {}", exp_overhead::describe());
+    for m in &measurements {
+        println!(
+            "  {:<12} {:>6} tasks · {} threads · {:>10.0} ns/task · {} steals",
+            m.name, m.tasks, m.threads, m.ns_per_task, m.steals
+        );
+    }
+    let current = OverheadBaseline::from_measurements(&measurements);
+
+    match mode {
+        Mode::Measure => {}
+        Mode::WriteBaseline => {
+            std::fs::write(&file, current.to_json()).expect("write baseline file");
+            println!(
+                "wrote baseline for {} scenarios to {file}",
+                current.scenarios.len()
+            );
+        }
+        Mode::Check => {
+            let text = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+                eprintln!("cannot read baseline {file}: {e} (run with --baseline first)");
+                std::process::exit(2);
+            });
+            let committed = OverheadBaseline::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse baseline {file}: {e}");
+                std::process::exit(2);
+            });
+            let violations = committed.compare(&current, TOLERANCE_FACTOR);
+            if violations.is_empty() {
+                println!("overhead check OK against {file} (band {TOLERANCE_FACTOR}x)");
+            } else {
+                eprintln!("overhead check FAILED against {file}:");
+                for v in &violations {
+                    eprintln!("  {v}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

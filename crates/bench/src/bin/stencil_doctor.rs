@@ -106,6 +106,37 @@ fn main() {
                 }
                 std::process::exit(1);
             }
+
+            // The work-stealing occupancy gate: a real shared-memory run
+            // (kernel bodies on) must keep its lanes busier than every
+            // committed *simulated* occupancy — the executor's dispatch
+            // loop is not allowed to idle lanes the simulator fills.
+            // Best of a few probes: wall-clock occupancy is load-noisy.
+            let worst = committed
+                .schemes
+                .values()
+                .map(|s| s.occupancy)
+                .fold(0.0f64, f64::max);
+            let real =
+                exp_doctor::probe_occupancy_above(worst, exp_doctor::OCCUPANCY_PROBE_ATTEMPTS);
+            println!(
+                "real shared-memory probe ({} workers): occupancy {:.4} · \
+                 {} steals · {} failed sweeps · {} overflow spills",
+                real.threads, real.occupancy, real.steals, real.steal_fails, real.overflow_pushes
+            );
+            println!("{}", real.starvation.render());
+            if real.occupancy > worst {
+                println!(
+                    "occupancy gate OK: real {:.4} > committed simulated max {:.4}",
+                    real.occupancy, worst
+                );
+            } else {
+                eprintln!(
+                    "occupancy gate FAILED: real {:.4} <= committed simulated max {:.4}",
+                    real.occupancy, worst
+                );
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -1,0 +1,303 @@
+//! `runtime_overhead`: per-task dispatch cost of the work-stealing
+//! shared-memory executor, with a committed regression baseline.
+//!
+//! Three zero-body scenarios isolate the runtime substrate — every
+//! nanosecond measured is queue handoff, activation bookkeeping, and
+//! thread coordination, not kernel work:
+//!
+//! * **chain** — a serial dependency chain on one worker: the pure
+//!   uncontended dispatch loop (local deque push → pop → batched
+//!   activation of the single successor);
+//! * **fan** — one root releasing a wide fan on four workers: the batch
+//!   activation spills past the local-deque capacity into the shared
+//!   injector, and every worker drains it concurrently;
+//! * **steal_storm** — layers of one task per worker where each task
+//!   depends on the whole previous layer: the last completer of a layer
+//!   receives *all* successors in its own deque, so other workers can
+//!   make progress only by stealing.
+//!
+//! The binary's `--baseline` writes `BENCH_runtime_overhead.json`;
+//! `--check` re-measures and fails when any scenario's ns/task drifts
+//! outside the [`TOLERANCE_FACTOR`]× band in either direction. The band
+//! is deliberately wide (wall-clock on a shared CI box is noisy; the
+//! committed scalars are an order-of-magnitude fence, not a benchmark),
+//! and each scenario takes the *minimum* of [`REPEATS`] runs, the
+//! standard low-noise estimator for a lower-bounded cost.
+
+use obs::names;
+use runtime::{run, DtdBuilder, Program, RunConfig};
+use serde::{Number, Value};
+use std::collections::BTreeMap;
+
+/// Default committed-baseline location (workspace root, next to
+/// `BENCH_stencil.json`).
+pub const BASELINE_FILE: &str = "BENCH_runtime_overhead.json";
+
+/// Allowed drift factor per scenario: the check fails when current
+/// ns/task exceeds `baseline × factor` or falls below
+/// `baseline ÷ factor`.
+pub const TOLERANCE_FACTOR: f64 = 8.0;
+
+/// Runs per scenario; the minimum wall-clock is kept.
+pub const REPEATS: usize = 3;
+
+fn chain_program(len: usize) -> Program {
+    let mut b = DtdBuilder::new();
+    let mut prev = b.insert(0, 0.0, &[]);
+    for _ in 1..len {
+        prev = b.insert(0, 0.0, &[prev]);
+    }
+    b.build()
+}
+
+fn fan_program(width: usize) -> Program {
+    let mut b = DtdBuilder::new();
+    let root = b.insert(0, 0.0, &[]);
+    for _ in 0..width {
+        let _ = b.insert(0, 0.0, &[root]);
+    }
+    b.build()
+}
+
+/// `layers` rounds of `width` tasks, each depending on the entire
+/// previous layer: the all-to-all edge pattern funnels every layer's
+/// release through one completing worker.
+fn steal_storm_program(layers: usize, width: usize) -> Program {
+    let mut b = DtdBuilder::new();
+    let mut prev: Vec<_> = (0..width).map(|_| b.insert(0, 0.0, &[])).collect();
+    for _ in 1..layers {
+        prev = (0..width).map(|_| b.insert(0, 0.0, &prev)).collect();
+    }
+    b.build()
+}
+
+/// One scenario's measured per-task runtime cost.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Scenario name (`chain` / `fan` / `steal_storm`).
+    pub name: String,
+    /// Tasks the scenario executes per run.
+    pub tasks: u64,
+    /// Worker threads it runs with.
+    pub threads: usize,
+    /// Best-of-[`REPEATS`] wall-clock nanoseconds per task.
+    pub ns_per_task: f64,
+    /// Steals observed on the best run (diagnostic; not baselined —
+    /// timing-dependent on a loaded box).
+    pub steals: u64,
+}
+
+/// Measure every scenario on the shared-memory executor.
+pub fn measure_all() -> Vec<Measurement> {
+    let scenarios: [(&str, Program, usize); 3] = [
+        ("chain", chain_program(10_000), 1),
+        ("fan", fan_program(10_000), 4),
+        ("steal_storm", steal_storm_program(256, 4), 4),
+    ];
+    scenarios
+        .into_iter()
+        .map(|(name, program, threads)| {
+            let mut best: Option<(f64, u64)> = None;
+            let tasks = program.total_tasks;
+            for _ in 0..REPEATS {
+                let report = run(&program, &RunConfig::shared_memory(threads));
+                let steals = report.counter(names::STEALS);
+                if best.is_none_or(|(b, _)| report.makespan < b) {
+                    best = Some((report.makespan, steals));
+                }
+            }
+            let (makespan, steals) = best.expect("REPEATS >= 1");
+            Measurement {
+                name: name.to_string(),
+                tasks,
+                threads,
+                ns_per_task: makespan * 1e9 / tasks as f64,
+                steals,
+            }
+        })
+        .collect()
+}
+
+/// The committed scalars: scenario name → ns/task.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OverheadBaseline {
+    /// Identity of the measurement setup, compared verbatim.
+    pub config: String,
+    /// Scenario name → best-of-repeats nanoseconds per task.
+    pub scenarios: BTreeMap<String, f64>,
+}
+
+/// The config-identity string recorded in (and required of) the file.
+pub fn describe() -> String {
+    format!("shared-memory work-stealing executor, best of {REPEATS} runs")
+}
+
+impl OverheadBaseline {
+    /// Assemble a baseline from fresh measurements.
+    pub fn from_measurements(ms: &[Measurement]) -> Self {
+        OverheadBaseline {
+            config: describe(),
+            scenarios: ms.iter().map(|m| (m.name.clone(), m.ns_per_task)).collect(),
+        }
+    }
+
+    /// Serialize to the committed pretty-printed JSON format.
+    pub fn to_json(&self) -> String {
+        let scenarios = self
+            .scenarios
+            .iter()
+            .map(|(name, ns)| (name.clone(), Value::Num(Number::F(*ns))))
+            .collect();
+        let v = Value::Object(vec![
+            ("config".into(), Value::Str(self.config.clone())),
+            (
+                "tolerance_factor".into(),
+                Value::Num(Number::F(TOLERANCE_FACTOR)),
+            ),
+            ("ns_per_task".into(), Value::Object(scenarios)),
+        ]);
+        let mut text = serde_json::to_string_pretty(&v).expect("baseline serialization");
+        text.push('\n');
+        text
+    }
+
+    /// Parse the committed JSON format back.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v: Value = serde_json::from_str(text).map_err(|e| format!("baseline JSON: {e}"))?;
+        let config = v
+            .field("config")
+            .as_str()
+            .ok_or("baseline missing config string")?
+            .to_string();
+        let Value::Object(pairs) = v.field("ns_per_task") else {
+            return Err("baseline missing ns_per_task object".into());
+        };
+        let mut scenarios = BTreeMap::new();
+        for (name, nv) in pairs {
+            let ns = nv
+                .as_f64()
+                .ok_or_else(|| format!("scenario {name}: not a number"))?;
+            scenarios.insert(name.clone(), ns);
+        }
+        Ok(OverheadBaseline { config, scenarios })
+    }
+
+    /// Diff `current` against this committed baseline with the
+    /// `factor`× band. Returns one line per violation; empty passes.
+    pub fn compare(&self, current: &OverheadBaseline, factor: f64) -> Vec<String> {
+        let mut bad = Vec::new();
+        if self.config != current.config {
+            bad.push(format!(
+                "config mismatch: baseline \"{}\" vs current \"{}\" (re-baseline after setup changes)",
+                self.config, current.config
+            ));
+            return bad;
+        }
+        for name in self.scenarios.keys() {
+            if !current.scenarios.contains_key(name) {
+                bad.push(format!("scenario {name} in baseline but not measured"));
+            }
+        }
+        for name in current.scenarios.keys() {
+            if !self.scenarios.contains_key(name) {
+                bad.push(format!(
+                    "scenario {name} measured but absent from baseline (re-baseline)"
+                ));
+            }
+        }
+        for (name, &base) in &self.scenarios {
+            let Some(&cur) = current.scenarios.get(name) else {
+                continue;
+            };
+            if cur > base * factor {
+                bad.push(format!(
+                    "{name}: {cur:.0} ns/task regressed past {factor}x the baseline {base:.0}"
+                ));
+            } else if cur < base / factor {
+                bad.push(format!(
+                    "{name}: {cur:.0} ns/task improved past {factor}x under the baseline {base:.0} \
+                     — re-baseline so the fence stays meaningful"
+                ));
+            }
+        }
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> OverheadBaseline {
+        OverheadBaseline {
+            config: describe(),
+            scenarios: [
+                ("chain".to_string(), 2_000.0),
+                ("fan".to_string(), 3_000.0),
+                ("steal_storm".to_string(), 12_000.0),
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let b = sample();
+        let text = b.to_json();
+        let parsed = OverheadBaseline::from_json(&text).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.to_json(), text);
+    }
+
+    #[test]
+    fn identical_measurements_pass() {
+        assert!(sample().compare(&sample(), TOLERANCE_FACTOR).is_empty());
+    }
+
+    #[test]
+    fn drift_beyond_the_band_fails_both_directions() {
+        let b = sample();
+        let mut slow = sample();
+        *slow.scenarios.get_mut("chain").unwrap() *= 10.0;
+        let bad = b.compare(&slow, TOLERANCE_FACTOR);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("chain"), "{bad:?}");
+
+        let mut fast = sample();
+        *fast.scenarios.get_mut("fan").unwrap() /= 10.0;
+        assert!(!b.compare(&fast, TOLERANCE_FACTOR).is_empty());
+    }
+
+    #[test]
+    fn scenario_set_and_config_mismatches_fail() {
+        let b = sample();
+        let mut cur = sample();
+        cur.scenarios.remove("steal_storm");
+        assert!(!b.compare(&cur, TOLERANCE_FACTOR).is_empty());
+
+        let mut extra = sample();
+        extra.scenarios.insert("novel".into(), 1.0);
+        assert!(!b.compare(&extra, TOLERANCE_FACTOR).is_empty());
+
+        let mut other = sample();
+        other.config = "different".into();
+        assert!(!b.compare(&other, TOLERANCE_FACTOR).is_empty());
+    }
+
+    /// The scenarios run to completion and measure a positive cost; the
+    /// steal-storm program actually funnels layer releases through one
+    /// deque (its structure, independent of timing).
+    #[test]
+    fn measurements_cover_all_scenarios() {
+        let ms = measure_all();
+        let names: Vec<&str> = ms.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["chain", "fan", "steal_storm"]);
+        for m in &ms {
+            assert!(m.ns_per_task > 0.0, "{m:?}");
+            assert!(m.tasks > 0, "{m:?}");
+        }
+        let b = OverheadBaseline::from_measurements(&ms);
+        assert!(b.compare(&b, TOLERANCE_FACTOR).is_empty());
+    }
+}

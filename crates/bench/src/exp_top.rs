@@ -30,8 +30,18 @@ pub fn render_frame(latest: &[LiveSample], overhead: Option<&TracerOverhead>) ->
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:>4} {:>7}  {:<BAR$} {:>6} {:>8} {:>9} {:>12} {:>7}",
-        "node", "occup", "lanes", "ready", "pending", "net msgs", "net bytes", "dropped"
+        "{:>4} {:>7}  {:<BAR$} {:>6} {:>8} {:>9} {:>12} {:>7} {:>7} {:>7} {:>7}",
+        "node",
+        "occup",
+        "lanes",
+        "ready",
+        "pending",
+        "net msgs",
+        "net bytes",
+        "steals",
+        "sfails",
+        "spills",
+        "dropped"
     );
     for s in latest {
         let occ = s.occupancy();
@@ -39,13 +49,16 @@ pub fn render_frame(latest: &[LiveSample], overhead: Option<&TracerOverhead>) ->
         let bar: String = "#".repeat(filled) + &".".repeat(BAR - filled);
         let _ = writeln!(
             out,
-            "{:>4} {:>6.1}%  {bar} {:>6} {:>8} {:>9} {:>12} {:>7}",
+            "{:>4} {:>6.1}%  {bar} {:>6} {:>8} {:>9} {:>12} {:>7} {:>7} {:>7} {:>7}",
             s.node,
             100.0 * occ,
             s.ready_depth,
             s.pending_tasks,
             s.inflight_msgs,
             s.inflight_bytes,
+            s.steals,
+            s.steal_fails,
+            s.overflow_pushes,
             s.dropped_events,
         );
     }
@@ -146,6 +159,9 @@ mod tests {
             inflight_msgs: 2,
             inflight_bytes: 4096,
             dropped_events: 0,
+            steals: 12,
+            steal_fails: 3,
+            overflow_pushes: 1,
         }
     }
 
@@ -163,9 +179,12 @@ mod tests {
         );
         let lines: Vec<&str> = frame.lines().collect();
         assert_eq!(lines.len(), 4, "{frame}");
+        assert!(lines[0].contains("steals"), "{frame}");
         assert!(lines[1].contains("100.0%"), "{frame}");
         assert!(lines[2].contains("50.0%"), "{frame}");
         assert!(lines[3].contains("budget 2 %"), "{frame}");
+        // The steal columns render the sample's counters in order.
+        assert!(lines[1].contains("12       3       1"), "{frame}");
 
         let empty = render_frame(&[], None);
         assert!(empty.contains("no samples yet"));

@@ -26,7 +26,11 @@
 //! * **Scheduler attribution** ([`attribution`]) — a per-policy score
 //!   (makespan vs static bound, realized-critical-path "daylight",
 //!   occupancy) judging the `stencil-tournament` scheme × scheduler
-//!   sweep.
+//!   sweep;
+//! * **Starvation split** ([`starvation`]) — live-sample counters from
+//!   the work-stealing executors divide starved lane-time into
+//!   no-work-anywhere (steal sweeps failed) vs dispatch lag (ready work
+//!   sat undelivered).
 
 #![deny(missing_docs)]
 
@@ -35,6 +39,7 @@ pub mod attribution;
 pub mod baseline;
 pub mod critpath;
 pub mod gaps;
+pub mod starvation;
 
 #[cfg(test)]
 mod tests;
@@ -44,6 +49,7 @@ pub use attribution::SchedulerScore;
 pub use baseline::{Baseline, SchemeBaseline, Tolerance};
 pub use critpath::RealizedPath;
 pub use gaps::{ClassifiedGap, GapCause, GapTotals};
+pub use starvation::{split_starvation, StarvationSplit};
 
 use obs::{DurationSummary, LogHistogram, Trace};
 use runtime::UnfoldedDag;

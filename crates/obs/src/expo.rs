@@ -4,7 +4,7 @@
 //! a [`MetricsSnapshot`], the latest [`LiveSample`]s, and the tracer's
 //! [`TracerOverhead`]. The bench harness dumps it next to each figure as
 //! `<fig>.prom`; with the `expo-serve` feature a trivial TCP responder
-//! ([`serve`]) serves the same text over HTTP for a real Prometheus
+//! (`serve`, behind the `expo-serve` feature) serves the same text over HTTP for a real Prometheus
 //! scraper — both sinks are views over the same render, so what a
 //! dashboard would see is exactly what lands on disk.
 
@@ -278,6 +278,9 @@ mod tests {
             inflight_msgs: 2,
             inflight_bytes: 8192,
             dropped_events: 0,
+            steals: 0,
+            steal_fails: 0,
+            overflow_pushes: 0,
         }
     }
 

@@ -159,6 +159,9 @@ mod tests {
         let m = Metrics::new();
         m.counter(names::MESSAGES_SENT).add(12);
         m.counter(names::BYTES_SENT).add(4096);
+        m.counter(names::STEALS).add(9);
+        m.counter(names::STEAL_FAILS).add(2);
+        m.counter(names::OVERFLOW_PUSHES).add(1);
         m.gauge(names::QUEUE_DEPTH).add(5);
         m.gauge(names::QUEUE_DEPTH).add(-2);
         let rec = Recorder::new();
@@ -174,6 +177,10 @@ mod tests {
         let (run, snap) = &parsed[0];
         assert_eq!(run, "base_4x4");
         assert_eq!(snap.counter(names::MESSAGES_SENT), 12);
+        // The work-stealing counters export like any other counter.
+        assert_eq!(snap.counter(names::STEALS), 9);
+        assert_eq!(snap.counter(names::STEAL_FAILS), 2);
+        assert_eq!(snap.counter(names::OVERFLOW_PUSHES), 1);
         assert_eq!(snap.gauge_max(names::QUEUE_DEPTH), 5);
         assert_eq!(snap.gauges[names::QUEUE_DEPTH].current, 3);
     }

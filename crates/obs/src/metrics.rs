@@ -20,6 +20,12 @@ pub mod names {
     /// Counter: tasks executed by a worker other than the one that
     /// activated them (work stealing / shared-queue migration).
     pub const STEALS: &str = "steals";
+    /// Counter: full steal sweeps (own deque + injector + every victim)
+    /// that found no work — the "no work anywhere" starvation signal.
+    pub const STEAL_FAILS: &str = "steal_fails";
+    /// Counter: local-deque pushes that found the ring full and spilled
+    /// the task to the shared injector queue.
+    pub const OVERFLOW_PUSHES: &str = "overflow_pushes";
     /// Counter: task activations delivered through the pending table.
     pub const ACTIVATIONS: &str = "activations";
     /// Gauge: ready-queue depth (its max is the high-water mark).

@@ -40,6 +40,18 @@ pub struct LiveSample {
     pub inflight_bytes: u64,
     /// Cumulative spans dropped by full telemetry rings so far.
     pub dropped_events: u64,
+    /// Cumulative tasks this node's workers obtained by stealing from a
+    /// peer's deque (work-stealing engines only; 0 in the simulator).
+    #[serde(default)]
+    pub steals: u64,
+    /// Cumulative full steal sweeps that found no work anywhere — the
+    /// "truly starved" signal `insight` splits starvation on.
+    #[serde(default)]
+    pub steal_fails: u64,
+    /// Cumulative local-deque overflows spilled to the shared injector
+    /// queue.
+    #[serde(default)]
+    pub overflow_pushes: u64,
 }
 
 impl LiveSample {
@@ -212,6 +224,9 @@ mod tests {
             inflight_msgs: 0,
             inflight_bytes: 0,
             dropped_events: 0,
+            steals: 0,
+            steal_fails: 0,
+            overflow_pushes: 0,
         }
     }
 

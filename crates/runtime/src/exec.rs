@@ -80,6 +80,11 @@ pub struct RunConfig {
     /// run. When sampling is on without a board, the engine creates a
     /// private one and the samples still land in the report.
     pub live: Option<Live>,
+    /// Seed for the real engines' work-stealing victim order (ignored by
+    /// the simulator). A fixed seed reproduces the same per-worker
+    /// victim sequence run over run — the "seed-stable" half of the
+    /// determinism contract in `docs/EXECUTOR.md`.
+    pub steal_seed: u64,
 }
 
 impl RunConfig {
@@ -97,6 +102,7 @@ impl RunConfig {
             kind_names: Vec::new(),
             sample_period_ns: None,
             live: None,
+            steal_seed: Self::DEFAULT_STEAL_SEED,
         }
     }
 
@@ -115,6 +121,7 @@ impl RunConfig {
             kind_names: Vec::new(),
             sample_period_ns: None,
             live: None,
+            steal_seed: Self::DEFAULT_STEAL_SEED,
         }
     }
 
@@ -133,7 +140,19 @@ impl RunConfig {
             kind_names: Vec::new(),
             sample_period_ns: None,
             live: None,
+            steal_seed: Self::DEFAULT_STEAL_SEED,
         }
+    }
+
+    /// Default work-stealing seed: an arbitrary constant, fixed so runs
+    /// are seed-stable out of the box.
+    pub const DEFAULT_STEAL_SEED: u64 = 0xCA5C_ADE5_7EA1;
+
+    /// Seed the real engines' steal-victim order (see
+    /// [`RunConfig::steal_seed`]).
+    pub fn with_steal_seed(mut self, seed: u64) -> Self {
+        self.steal_seed = seed;
+        self
     }
 
     /// Replace the machine profile.

@@ -9,7 +9,12 @@
 //!   consumers as pure functions ([`TaskClass`], [`TaskGraph`],
 //!   [`Program`]);
 //! * [`pending`] — dynamic DAG unfolding by activation counting
-//!   ([`PendingTable`]);
+//!   ([`PendingTable`]; the real engines use the lock-sharded
+//!   [`ShardedPending`] with batched per-shard delivery);
+//! * [`deque`] — the bounded Chase–Lev work-stealing deque
+//!   ([`StealDeque`]) each real-engine worker owns; the dispatch loop
+//!   built on it (local pop → injector → seeded steal sweep) is shared
+//!   by both real engines and documented in `docs/EXECUTOR.md`;
 //! * [`unfold`] — static enumeration of the whole DAG as data
 //!   ([`UnfoldedDag`]), the substrate of the `analyze` crate's passes and
 //!   the graph the `insight` crate joins dynamic spans against;
@@ -49,6 +54,8 @@
 
 #![deny(missing_docs)]
 
+pub mod deque;
+mod dispatch;
 pub mod dtd;
 pub mod exec;
 pub mod halo;
@@ -64,13 +71,14 @@ pub mod sim_exec;
 pub mod task;
 pub mod unfold;
 
+pub use deque::{Steal, StealDeque};
 pub use dtd::{DtdBuilder, DtdRegions, DtdTaskId};
 pub use exec::{
     run, ExecMode, Executor, ModeExt, MultiProcessExecutor, RunConfig, RunReport,
     SharedMemoryExecutor, SimulatedExecutor,
 };
 pub use halo::{build_halo_program, HaloSpec};
-pub use pending::{PendingTable, ReadyTask};
+pub use pending::{Delivery, PendingTable, ReadyTask, ShardedPending};
 pub use scheduler::{
     DlsScheduler, FifoSelector, HeftScheduler, LifoSelector, LookaheadScheduler, PeftScheduler,
     SchedContext, Scheduler, SchedulerHandle, SchedulerPolicy, SelectMode, StaticRanks,

@@ -10,8 +10,14 @@
 //!   matter how concurrent deliveries of its input flows interleave.
 //! * [`ReadyQueue`] conserves tasks: everything pushed is popped exactly
 //!   once, across selection disciplines.
+//! * [`StealDeque`] conserves tasks between the owner's bottom end and a
+//!   concurrent thief: every push is claimed exactly once, by exactly one
+//!   side.
+//! * [`ShardedPending::deliver_batch`] fires each multi-input task
+//!   exactly once when its activations race across concurrent batches.
 
-use crate::pending::{PendingTable, ReadyTask};
+use crate::deque::{Steal, StealDeque};
+use crate::pending::{Delivery, PendingTable, ReadyTask, ShardedPending};
 use crate::ready_queue::ReadyQueue;
 use crate::scheduler::{FifoSelector, LifoSelector, StaticRanks, TaskSelector};
 use crate::task::testutil::ExplicitDag;
@@ -114,5 +120,77 @@ fn ready_queue_conserves_tasks_under_concurrent_pushes() {
             expect.sort();
             assert_eq!(seen, expect, "every pushed task pops exactly once");
         }
+    });
+}
+
+#[test]
+fn deque_conserves_elements_between_owner_and_thief() {
+    // Kept deliberately tiny (2 elements, 1 thief) so the real loom can
+    // enumerate every interleaving of the push/pop/steal orderings —
+    // including the single-element race where the owner's `pop` and the
+    // thief's `steal` CAS-duel over `top`.
+    loom::model(|| {
+        let d = Arc::new(StealDeque::with_capacity(4));
+        for i in 0..2u64 {
+            d.push(Box::new(i)).unwrap();
+        }
+
+        let thief = {
+            let d = Arc::clone(&d);
+            thread::spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..2 {
+                    match d.steal() {
+                        Steal::Success(v) => got.push(*v),
+                        Steal::Retry | Steal::Empty => {}
+                    }
+                }
+                got
+            })
+        };
+
+        let mut owner_got = Vec::new();
+        while let Some(v) = d.pop() {
+            owner_got.push(*v);
+        }
+        let mut all = thief.join().unwrap();
+        all.extend(owner_got);
+        // Drain stragglers the thief's bounded attempts left behind.
+        while let Some(v) = d.pop() {
+            all.push(*v);
+        }
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1], "each element claimed exactly once");
+    });
+}
+
+#[test]
+fn sharded_pending_fires_each_task_exactly_once_across_batches() {
+    loom::model(|| {
+        let graph = std::sync::Arc::new(two_input_graph());
+        let pending = Arc::new(ShardedPending::new(2));
+        let consumer = TaskKey::new(0, [1, 0, 0, 0]);
+
+        // Two batches race: each carries one of the consumer's two input
+        // activations, so exactly one batch must return it ready.
+        let handles: Vec<_> = (0..2usize)
+            .map(|slot| {
+                let pending = Arc::clone(&pending);
+                let graph = std::sync::Arc::clone(&graph);
+                thread::spawn(move || {
+                    let batch = vec![Delivery {
+                        consumer,
+                        slot,
+                        data: FlowData::sized(8),
+                    }];
+                    pending.deliver_batch(&graph, batch).len()
+                })
+            })
+            .collect();
+
+        let fired: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(fired, 1, "exactly one batch must receive the task");
+        assert!(pending.is_empty(), "fired task must leave the table");
+        assert_eq!(pending.flows_delivered(), 2);
     });
 }

@@ -11,31 +11,32 @@
 //! races, not just under the simulator's deterministic schedule. It
 //! measures wall-clock time but applies no performance model.
 //!
+//! Within a node, dispatch uses the same work-stealing substrate as the
+//! shared-memory engine (`crate::dispatch`): per-worker Chase–Lev
+//! deques, the node's [`crate::ready_queue::ReadyQueue`] demoted to
+//! injector duty (roots, comm-thread deliveries, deque overflow), a
+//! seeded steal sweep before parking, and a lock-sharded
+//! [`ShardedPending`] activation table with batched per-shard delivery.
+//! Steal/steal-fail/overflow counts are kept per node and surfaced in
+//! the node's live samples and the run's metric snapshot.
+//!
 //! Task executions are recorded as spans (worker index = lane within the
 //! node); the comm thread records its delivery processing on the node's
 //! comm lane (lane = `threads_per_node`), mirroring the simulator's trace
 //! layout.
 
+use crate::dispatch::{NodeQueues, StealTotals, WorkerRng};
 use crate::exec::{assemble_report, ExecMode, ModeExt, RunConfig, RunReport};
-use crate::pending::{PendingTable, ReadyTask};
-use crate::ready_queue::ReadyQueue;
+use crate::pending::{Delivery, PendingTable, ReadyTask, ShardedPending};
 use crate::scheduler::{SchedContext, TaskSelector};
 use crate::task::{FlowData, Program, TaskKey};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use obs::{
     lane_busy_in_window, names, Live, LiveSample, LocalRecorder, Metrics, Recorder, WallClock,
 };
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-enum WorkItem {
-    /// One ready task sits in the node's [`ReadyQueue`]; the woken worker
-    /// pops whichever task the selector ranks highest right now.
-    Token,
-    Shutdown,
-}
 
 enum CommItem {
     Flow {
@@ -47,10 +48,8 @@ enum CommItem {
 }
 
 struct Node {
-    pending: Mutex<PendingTable>,
-    ready: Mutex<ReadyQueue>,
-    work_tx: Sender<WorkItem>,
-    work_rx: Receiver<WorkItem>,
+    pending: ShardedPending,
+    queues: NodeQueues,
     comm_tx: Sender<CommItem>,
     comm_rx: Receiver<CommItem>,
 }
@@ -60,8 +59,10 @@ struct Cluster<'p> {
     selector: Arc<dyn TaskSelector>,
     nodes: Vec<Node>,
     completed: AtomicU64,
+    done: AtomicBool,
     cross_flows: AtomicU64,
     workers_per_node: usize,
+    steal_seed: u64,
     metrics: Metrics,
     clock: WallClock,
 }
@@ -81,30 +82,21 @@ impl<'p> Cluster<'p> {
         n
     }
 
-    /// Queue a ready task on `node`, then wake one of its workers. The
-    /// push happens-before the token send, so a received token always
-    /// finds a task to pop.
-    fn enqueue(&self, node: usize, task: ReadyTask) {
-        self.nodes[node].ready.lock().push(task);
-        self.nodes[node]
-            .work_tx
-            .send(WorkItem::Token)
-            .expect("work channel closed");
-    }
-
-    /// Deliver a flow on its destination node; enqueue the task if ready.
-    fn deliver_local(&self, node: usize, consumer: TaskKey, slot: usize, data: FlowData) {
-        let ready =
-            self.nodes[node]
-                .pending
-                .lock()
-                .deliver(&self.program.graph, consumer, slot, data);
+    /// Deliver a flow arriving from outside the node's worker pool (comm
+    /// thread, roots): lands in the node's injector if it fires.
+    fn deliver_external(&self, node: usize, consumer: TaskKey, slot: usize, data: FlowData) {
+        let ready = self.nodes[node]
+            .pending
+            .deliver(&self.program.graph, consumer, slot, data);
         if let Some(t) = ready {
-            self.enqueue(node, t);
+            self.nodes[node].queues.push_external(t);
         }
     }
 
     /// Execute one task on `node`; returns true when it was the last.
+    /// Node-local output flows are delivered as one sharded batch and
+    /// the released tasks land in this worker's own deque; cross-node
+    /// flows are routed through the destination's comm thread.
     fn run_task(
         &self,
         node: usize,
@@ -124,6 +116,7 @@ impl<'p> Cluster<'p> {
             start_ns,
             self.clock.now_ns(),
         );
+        let mut batch = Vec::new();
         for dep in class.outputs(ready.key.params) {
             let data = outputs
                 .get(dep.flow)
@@ -131,7 +124,11 @@ impl<'p> Cluster<'p> {
                 .clone();
             let dst = self.node_of(dep.consumer);
             if dst == node {
-                self.deliver_local(node, dep.consumer, dep.slot, data);
+                batch.push(Delivery {
+                    consumer: dep.consumer,
+                    slot: dep.slot,
+                    data,
+                });
             } else {
                 // cross-node: route through the destination's comm thread
                 self.cross_flows.fetch_add(1, Ordering::Relaxed);
@@ -149,6 +146,12 @@ impl<'p> Cluster<'p> {
                     .expect("comm channel closed");
             }
         }
+        for t in self.nodes[node]
+            .pending
+            .deliver_batch(&self.program.graph, batch)
+        {
+            self.nodes[node].queues.push_local(lane as usize, t);
+        }
         self.metrics.counter(names::TASKS_EXECUTED).inc();
         let redundant = class.redundant_flops(ready.key.params);
         if redundant > 0 {
@@ -156,48 +159,55 @@ impl<'p> Cluster<'p> {
         }
         self.metrics
             .gauge(names::QUEUE_DEPTH)
-            .set(self.nodes[node].work_rx.len() as i64);
+            .set(self.nodes[node].queues.len() as i64);
         self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.program.total_tasks
     }
 
-    /// Broadcast shutdown to every worker and comm thread.
+    /// Flip the done flag and wake every worker and comm thread.
     fn shutdown_all(&self) {
+        self.done.store(true, Ordering::Release);
         for n in &self.nodes {
-            for _ in 0..self.workers_per_node {
-                let _ = n.work_tx.send(WorkItem::Shutdown);
-            }
+            n.queues.wake_all();
             let _ = n.comm_tx.send(CommItem::Shutdown);
         }
     }
 }
 
 fn worker(cluster: &Cluster<'_>, node: usize, lane: u32, local: &LocalRecorder) {
-    let rx = cluster.nodes[node].work_rx.clone();
+    // Decorrelate lanes across nodes: each (node, lane) pair gets its
+    // own deterministic victim sequence.
+    let mut rng = WorkerRng::new(
+        cluster.steal_seed ^ (node as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+        lane as u64,
+    );
+    let queues = &cluster.nodes[node].queues;
     let mut idle = 0u32;
+    let mut last_seen = cluster.completed.load(Ordering::Acquire);
     loop {
-        match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(WorkItem::Token) => {
-                idle = 0;
-                let t = cluster.nodes[node]
-                    .ready
-                    .lock()
-                    .pop()
-                    .expect("token implies a queued task");
-                if cluster.run_task(node, t, lane, local) {
-                    cluster.shutdown_all();
-                }
-            }
-            Ok(WorkItem::Shutdown) | Err(RecvTimeoutError::Disconnected) => return,
-            Err(RecvTimeoutError::Timeout) => {
-                idle += 1;
-                assert!(
-                    idle <= 200,
-                    "node {node} worker stalled at {}/{} tasks",
-                    cluster.completed.load(Ordering::Acquire),
-                    cluster.program.total_tasks
-                );
-            }
+        if cluster.done.load(Ordering::Acquire) {
+            return;
         }
+        if let Some(t) = queues.next_task(lane as usize, &mut rng) {
+            idle = 0;
+            if cluster.run_task(node, t, lane, local) {
+                cluster.shutdown_all();
+            }
+            continue;
+        }
+        queues.park(Duration::from_millis(50));
+        let now = cluster.completed.load(Ordering::Acquire);
+        if now == last_seen {
+            idle += 1;
+        } else {
+            idle = 0;
+            last_seen = now;
+        }
+        assert!(
+            idle <= 200,
+            "node {node} worker stalled at {}/{} tasks",
+            cluster.completed.load(Ordering::Acquire),
+            cluster.program.total_tasks
+        );
     }
 }
 
@@ -212,7 +222,7 @@ fn comm_thread(cluster: &Cluster<'_>, node: usize, local: &LocalRecorder) {
                 data,
             }) => {
                 let start_ns = cluster.clock.now_ns();
-                cluster.deliver_local(node, consumer, slot, data);
+                cluster.deliver_external(node, consumer, slot, data);
                 local.comm(node as u32, comm_lane, start_ns, cluster.clock.now_ns());
             }
             Ok(CommItem::Shutdown) | Err(RecvTimeoutError::Disconnected) => return,
@@ -227,9 +237,10 @@ fn comm_thread(cluster: &Cluster<'_>, node: usize, local: &LocalRecorder) {
 
 /// Periodic live sampler for the cluster: one [`LiveSample`] per node per
 /// tick. Per-node occupancy comes from the collected span store; queue
-/// depths are probed from the node's channels (its comm queue length
+/// depths are probed from the node's queues (its comm queue length
 /// doubles as "messages in flight" — a flow queued at the destination's
-/// comm thread is the wire here).
+/// comm thread is the wire here), and the node's cumulative
+/// steal/overflow counters ride along.
 fn sampler(cluster: &Cluster<'_>, recorder: &Recorder, live: &Live, period_ns: u64) {
     let period = Duration::from_nanos(period_ns.max(1));
     let slice = period.min(Duration::from_millis(5));
@@ -276,16 +287,24 @@ fn publish_samples(
     let dropped_events = recorder.dropped();
     recorder.with_collected(|spans| {
         for (n, node) in cluster.nodes.iter().enumerate() {
+            let StealTotals {
+                steals,
+                steal_fails,
+                overflow_pushes,
+            } = node.queues.totals();
             live.publish(LiveSample {
                 t_ns: w1,
                 window_ns: w1 - w0,
                 node: n as u32,
                 lane_busy: lane_busy_in_window(spans, n as u32, lanes, w0, w1),
-                ready_depth: node.ready.lock().len(),
-                pending_tasks: node.pending.lock().len(),
+                ready_depth: node.queues.len(),
+                pending_tasks: node.pending.len(),
                 inflight_msgs: node.comm_rx.len() as u64,
                 inflight_bytes: 0,
                 dropped_events,
+                steals,
+                steal_fails,
+                overflow_pushes,
             });
         }
     });
@@ -310,13 +329,10 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
     });
     let node_states: Vec<Node> = (0..nodes)
         .map(|_| {
-            let (work_tx, work_rx) = unbounded();
             let (comm_tx, comm_rx) = unbounded();
             Node {
-                pending: Mutex::new(PendingTable::new()),
-                ready: Mutex::new(ReadyQueue::new(Arc::clone(&selector))),
-                work_tx,
-                work_rx,
+                pending: ShardedPending::new(threads_per_node * 4),
+                queues: NodeQueues::new(Arc::clone(&selector), threads_per_node),
                 comm_tx,
                 comm_rx,
             }
@@ -327,15 +343,19 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
         selector,
         nodes: node_states,
         completed: AtomicU64::new(0),
+        done: AtomicBool::new(false),
         cross_flows: AtomicU64::new(0),
         workers_per_node: threads_per_node,
+        steal_seed: cfg.steal_seed,
         metrics: Metrics::new(),
         clock: WallClock::start(),
     };
 
     for &root in &program.roots {
         let node = cluster.node_of(root);
-        cluster.enqueue(node, PendingTable::root(&program.graph, root));
+        cluster.nodes[node]
+            .queues
+            .push_external(PendingTable::root(&program.graph, root));
     }
 
     let live = cfg.live_board();
@@ -370,9 +390,28 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
     let activations: u64 = cluster
         .nodes
         .iter()
-        .map(|n| n.pending.lock().flows_delivered())
+        .map(|n| n.pending.flows_delivered())
         .sum();
     cluster.metrics.counter(names::ACTIVATIONS).add(activations);
+    let totals =
+        cluster
+            .nodes
+            .iter()
+            .map(|n| n.queues.totals())
+            .fold(StealTotals::default(), |a, b| StealTotals {
+                steals: a.steals + b.steals,
+                steal_fails: a.steal_fails + b.steal_fails,
+                overflow_pushes: a.overflow_pushes + b.overflow_pushes,
+            });
+    cluster.metrics.counter(names::STEALS).add(totals.steals);
+    cluster
+        .metrics
+        .counter(names::STEAL_FAILS)
+        .add(totals.steal_fails);
+    cluster
+        .metrics
+        .counter(names::OVERFLOW_PUSHES)
+        .add(totals.overflow_pushes);
 
     assemble_report(
         cfg,
@@ -462,5 +501,23 @@ mod tests {
             .iter()
             .filter(|s| s.kind == obs::KIND_COMM)
             .all(|s| s.lane == 2));
+    }
+
+    #[test]
+    fn steal_counters_survive_to_the_snapshot() {
+        // Wide fan on one node with several workers: stealing is the
+        // only way idle lanes acquire work released by the root's lane,
+        // so the counters must be present (possibly zero steals if one
+        // lane drains everything, but the keys must exist).
+        let mut b = DtdBuilder::new();
+        let root = b.insert(0, 0.0, &[]);
+        let mids: Vec<_> = (0..64).map(|_| b.insert(0, 1e-5, &[root])).collect();
+        let _sink = b.insert(0, 0.0, &mids);
+        let p = b.build();
+        let r = run(&p, &RunConfig::multi_process(1, 4));
+        assert_eq!(r.tasks_executed, 66);
+        assert!(r.metrics.counters.contains_key(obs::names::STEALS));
+        assert!(r.metrics.counters.contains_key(obs::names::STEAL_FAILS));
+        assert!(r.metrics.counters.contains_key(obs::names::OVERFLOW_PUSHES));
     }
 }

@@ -5,11 +5,27 @@
 //! all of its inputs have arrived, at which point it becomes *ready* and
 //! leaves the table. This mirrors PaRSEC's activation counters: no global
 //! graph is ever built, memory is proportional to the wavefront.
+//!
+//! Two containers implement the bookkeeping:
+//!
+//! * [`PendingTable`] — the single-threaded table (the simulator's, and
+//!   the unit under every invariant test);
+//! * [`ShardedPending`] — the real executors' concurrent wrapper: the
+//!   key space is split across power-of-two lock shards by task-key
+//!   hash, and [`ShardedPending::deliver_batch`] delivers *all* of a
+//!   completing task's output flows with one lock acquisition per
+//!   touched shard instead of one per flow.
 
 use crate::task::{FlowData, TaskGraph, TaskKey};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// A task whose inputs are all present, ready for dispatch.
+///
+/// Invariant: `inputs.len()` equals the class's declared
+/// `num_input_slots`, and — when produced by [`PendingTable::deliver`] —
+/// every slot a producer references is `Some` (root tasks keep their
+/// declared slots all-`None`).
 pub struct ReadyTask {
     /// The task.
     pub key: TaskKey,
@@ -29,6 +45,31 @@ struct Pending {
 }
 
 /// The activation table.
+///
+/// # Example
+///
+/// A two-input task becomes ready exactly when its second flow lands:
+///
+/// ```
+/// use runtime::{DtdBuilder, FlowData, PendingTable, TaskKey};
+///
+/// let mut b = DtdBuilder::new();
+/// let a = b.insert(0, 0.0, &[]);
+/// let c = b.insert(0, 0.0, &[]);
+/// let _join = b.insert(0, 0.0, &[a, c]); // task 2, two input slots
+/// let program = b.build();
+///
+/// let mut table = PendingTable::new();
+/// let join = TaskKey::new(0, [2, 0, 0, 0]);
+/// assert!(table
+///     .deliver(&program.graph, join, 0, FlowData::sized(8))
+///     .is_none());
+/// let ready = table
+///     .deliver(&program.graph, join, 1, FlowData::sized(8))
+///     .expect("second flow completes the activation count");
+/// assert_eq!(ready.key, join);
+/// assert!(table.is_empty());
+/// ```
 #[derive(Default)]
 pub struct PendingTable {
     map: HashMap<TaskKey, Pending>,
@@ -121,6 +162,243 @@ impl PendingTable {
     /// Keys of tasks stuck waiting (diagnostics for deadlocked graphs).
     pub fn stuck_tasks(&self) -> Vec<TaskKey> {
         self.map.keys().copied().collect()
+    }
+}
+
+/// One flow bound for a consumer's input slot — the unit of
+/// [`ShardedPending::deliver_batch`].
+pub struct Delivery {
+    /// The consuming task.
+    pub consumer: TaskKey,
+    /// Its input slot (the producer's [`crate::task::OutputDep::slot`]).
+    pub slot: usize,
+    /// The flow payload.
+    pub data: FlowData,
+}
+
+/// The concurrent activation table of the real executors: a
+/// [`PendingTable`] per lock shard, shard chosen by task-key hash.
+///
+/// Invariants (each inherited per shard from [`PendingTable`], which the
+/// loom model in `loom_model.rs` exercises under concurrent delivery):
+///
+/// * a task's activations all land in the *same* shard — the shard is a
+///   pure function of the key — so the exactly-once "last flow fires the
+///   task" property is a single-shard property;
+/// * [`ShardedPending::deliver_batch`] locks each touched shard exactly
+///   once per batch, and returns the newly ready tasks **in batch
+///   order** (not shard order), so a completing task releases its
+///   successors in the same order the class declared its outputs — the
+///   order the FIFO dispatch contract keys on;
+/// * aggregate queries ([`ShardedPending::len`],
+///   [`ShardedPending::flows_delivered`], …) sum the shards; they are
+///   exact only at quiescence, which is when the executors consult them.
+pub struct ShardedPending {
+    shards: Box<[Mutex<PendingTable>]>,
+    mask: u64,
+}
+
+impl ShardedPending {
+    /// A table with `shards` lock shards (rounded up to a power of two,
+    /// minimum 1).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardedPending {
+            shards: (0..n).map(|_| Mutex::new(PendingTable::new())).collect(),
+            mask: n as u64 - 1,
+        }
+    }
+
+    /// Number of lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` maps to (pure: same key, same shard).
+    pub fn shard_of(&self, key: TaskKey) -> usize {
+        // Fibonacci scramble of the stable instance id: cheap,
+        // deterministic across runs, spreads consecutive task indices.
+        (key.instance_id().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32 & self.mask) as usize
+    }
+
+    /// Deliver one flow (the comm-thread path). Same contract and panics
+    /// as [`PendingTable::deliver`].
+    pub fn deliver(
+        &self,
+        graph: &TaskGraph,
+        consumer: TaskKey,
+        slot: usize,
+        data: FlowData,
+    ) -> Option<ReadyTask> {
+        self.shards[self.shard_of(consumer)]
+            .lock()
+            .deliver(graph, consumer, slot, data)
+    }
+
+    /// Deliver a completing task's whole output batch: one lock
+    /// acquisition per touched shard, ready tasks returned in batch
+    /// order (see the type-level invariants).
+    pub fn deliver_batch(&self, graph: &TaskGraph, batch: Vec<Delivery>) -> Vec<ReadyTask> {
+        let shards: Vec<usize> = batch.iter().map(|d| self.shard_of(d.consumer)).collect();
+        let mut slots: Vec<Option<Delivery>> = batch.into_iter().map(Some).collect();
+        let mut ready: Vec<Option<ReadyTask>> =
+            std::iter::repeat_with(|| None).take(slots.len()).collect();
+        let mut touched: Vec<usize> = shards.clone();
+        touched.sort_unstable();
+        touched.dedup();
+        for s in touched {
+            let mut guard = self.shards[s].lock();
+            for i in 0..slots.len() {
+                if shards[i] == s {
+                    let d = slots[i].take().expect("each delivery is consumed once");
+                    ready[i] = guard.deliver(graph, d.consumer, d.slot, d.data);
+                }
+            }
+        }
+        ready.into_iter().flatten().collect()
+    }
+
+    /// Tasks currently waiting for more inputs, summed over the shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when no task is waiting in any shard.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Total flows delivered through all shards.
+    pub fn flows_delivered(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().flows_delivered()).sum()
+    }
+
+    /// Keys of tasks stuck waiting, across all shards (deadlock
+    /// diagnostics).
+    pub fn stuck_tasks(&self) -> Vec<TaskKey> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.lock().stuck_tasks())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod sharded_tests {
+    use super::*;
+    use crate::task::testutil::ExplicitDag;
+    use std::collections::HashMap as Map;
+    use std::sync::Arc;
+
+    fn graph_with_indeg(indeg: &[(i32, usize)]) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        g.add_class(Arc::new(ExplicitDag {
+            name: "t".into(),
+            edges: Map::new(),
+            indeg: indeg.iter().copied().collect(),
+            node: Map::new(),
+            cost: 0.0,
+            bytes: 8,
+        }));
+        g
+    }
+
+    fn key(i: i32) -> TaskKey {
+        TaskKey::new(0, [i, 0, 0, 0])
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let t = ShardedPending::new(8);
+        assert_eq!(t.shard_count(), 8);
+        for i in 0..100 {
+            let s = t.shard_of(key(i));
+            assert!(s < 8);
+            assert_eq!(s, t.shard_of(key(i)));
+        }
+    }
+
+    #[test]
+    fn batch_delivery_fires_in_batch_order() {
+        // Three single-input consumers: all become ready, in the order
+        // the batch listed them, regardless of shard assignment.
+        let g = graph_with_indeg(&[(1, 1), (2, 1), (3, 1)]);
+        let t = ShardedPending::new(4);
+        let ready = t.deliver_batch(
+            &g,
+            vec![
+                Delivery {
+                    consumer: key(2),
+                    slot: 0,
+                    data: FlowData::sized(8),
+                },
+                Delivery {
+                    consumer: key(1),
+                    slot: 0,
+                    data: FlowData::sized(8),
+                },
+                Delivery {
+                    consumer: key(3),
+                    slot: 0,
+                    data: FlowData::sized(8),
+                },
+            ],
+        );
+        let order: Vec<i32> = ready.iter().map(|r| r.key.params[0]).collect();
+        assert_eq!(order, vec![2, 1, 3]);
+        assert!(t.is_empty());
+        assert_eq!(t.flows_delivered(), 3);
+    }
+
+    #[test]
+    fn partial_batches_leave_tasks_pending() {
+        let g = graph_with_indeg(&[(1, 2)]);
+        let t = ShardedPending::new(2);
+        let ready = t.deliver_batch(
+            &g,
+            vec![Delivery {
+                consumer: key(1),
+                slot: 0,
+                data: FlowData::sized(8),
+            }],
+        );
+        assert!(ready.is_empty());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.stuck_tasks(), vec![key(1)]);
+        let ready = t.deliver(&g, key(1), 1, FlowData::sized(8)).unwrap();
+        assert_eq!(ready.key, key(1));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn concurrent_deliveries_fire_each_task_exactly_once() {
+        // 64 two-input tasks, the two flows delivered from two racing
+        // threads: every task fires exactly once, on whichever thread
+        // completed it.
+        let g = Arc::new(graph_with_indeg(
+            &(0..64).map(|i| (i, 2)).collect::<Vec<_>>(),
+        ));
+        let t = Arc::new(ShardedPending::new(8));
+        let fire = |slot: usize, t: Arc<ShardedPending>, g: Arc<TaskGraph>| {
+            std::thread::spawn(move || {
+                let mut fired = 0u32;
+                for i in 0..64 {
+                    let batch = vec![Delivery {
+                        consumer: key(i),
+                        slot,
+                        data: FlowData::sized(8),
+                    }];
+                    fired += t.deliver_batch(&g, batch).len() as u32;
+                }
+                fired
+            })
+        };
+        let a = fire(0, Arc::clone(&t), Arc::clone(&g));
+        let b = fire(1, Arc::clone(&t), Arc::clone(&g));
+        let total = a.join().unwrap() + b.join().unwrap();
+        assert_eq!(total, 64);
+        assert!(t.is_empty());
+        assert_eq!(t.flows_delivered(), 128);
     }
 }
 

@@ -7,6 +7,22 @@
 //! policy-specific — class priorities, HEFT/PEFT upward ranks, lookahead
 //! — lives behind the [`TaskSelector`] the queue is built with; see
 //! [`crate::scheduler`].
+//!
+//! Since the work-stealing overhaul (see `docs/EXECUTOR.md`), the real
+//! executors no longer funnel every dispatch through one
+//! `Mutex<ReadyQueue>`. The queue survives in two narrower roles:
+//!
+//! * the shared **injector** — externally-released tasks (program
+//!   roots, arrivals from the comm thread) and local-deque overflow
+//!   spill land here, drained by any worker between deque polls;
+//! * the **per-lane rank queue** — rank-order selection needs a global
+//!   best-first view a lock-free deque cannot give, so `Rank`-mode
+//!   lanes each hold a small mutex-guarded `ReadyQueue` that thieves
+//!   lock to steal the victim's best-ranked task.
+//!
+//! The simulator still uses one central `ReadyQueue` per node, which is
+//! what keeps its dispatch order — and `BENCH_stencil.json` —
+//! bit-identical across the overhaul.
 
 use crate::pending::ReadyTask;
 use crate::scheduler::{SelectMode, TaskSelector};
@@ -43,6 +59,21 @@ impl Ord for Entry {
 /// A selector-aware ready queue. Ranks are computed once, at push time —
 /// the selector contract (pure, static) makes the value at pop time
 /// identical, and it keeps `pop` O(log n) regardless of the selector.
+///
+/// ```
+/// use runtime::ready_queue::ReadyQueue;
+/// use runtime::scheduler::FifoSelector;
+/// use runtime::{ReadyTask, TaskKey};
+/// use std::sync::Arc;
+///
+/// let mut q = ReadyQueue::new(Arc::new(FifoSelector));
+/// for i in 0..3 {
+///     q.push(ReadyTask { key: TaskKey::new(0, [i, 0, 0, 0]), inputs: Vec::new() });
+/// }
+/// // FIFO discipline: pops in push order.
+/// assert_eq!(q.pop().unwrap().key.params[0], 0);
+/// assert_eq!(q.len(), 2);
+/// ```
 pub struct ReadyQueue {
     mode: SelectMode,
     selector: Arc<dyn TaskSelector>,
@@ -63,7 +94,12 @@ impl ReadyQueue {
         }
     }
 
-    /// Enqueue a ready task.
+    /// Enqueue a ready task. In `Rank` mode the selector's rank is
+    /// computed here, once — the selector is pure and static, so the
+    /// rank cannot change between push and pop — and the push is
+    /// stamped with a monotone sequence number that breaks rank ties
+    /// FIFO. This pair is what makes rank-mode dispatch deterministic
+    /// for a fixed arrival order.
     pub fn push(&mut self, task: ReadyTask) {
         match self.mode {
             SelectMode::Fifo | SelectMode::Lifo => self.deque.push_back(task),
@@ -76,7 +112,9 @@ impl ReadyQueue {
         }
     }
 
-    /// Take the next task per the selector's discipline.
+    /// Take the next task per the selector's discipline: front for
+    /// FIFO, back for LIFO, highest rank (lowest seq within a rank
+    /// level) for rank mode.
     pub fn pop(&mut self) -> Option<ReadyTask> {
         match self.mode {
             SelectMode::Fifo => self.deque.pop_front(),

@@ -4,61 +4,54 @@
 //! This is the runtime the paper's single-node experiments exercise
 //! (Figure 6's tile-size tuning runs PaRSEC "on a single node (no network
 //! communication)"). All tasks execute in one address space; inter-task
-//! flows are `Arc` hand-offs through the activation table. Ready tasks
-//! land in a shared [`ReadyQueue`] ordered by the configured
-//! [`crate::Scheduler`]; workers block on an MPMC token channel and pop
-//! the queue on wake-up, so each dispatch picks the best-ranked task
-//! ready *at that moment* (dynamic list scheduling). Tasks here are
-//! coarse-grained (hundreds of microseconds and up), so the extra lock
-//! per dispatch is noise; under the default FIFO policy the behavior is
-//! exactly the old channel order.
+//! flows are `Arc` hand-offs through the activation table.
+//!
+//! The dispatch hot path is the work-stealing substrate in
+//! `crate::dispatch`: each worker owns a bounded Chase–Lev deque
+//! ([`crate::deque::StealDeque`]) it pushes its released successors into
+//! and pops without locking; the global [`crate::ready_queue::ReadyQueue`]
+//! survives only as the injector (root tasks, deque overflow), and a
+//! worker that runs dry steals from its peers in a seeded-deterministic
+//! victim order before parking. Activation counting goes through the
+//! lock-sharded [`ShardedPending`] table: one completing task delivers
+//! *all* its output flows with a single lock acquisition per touched
+//! shard. Under the default FIFO policy with one worker the dispatch
+//! order is exactly the old central-queue order; with several workers it
+//! is seed-stable (same victim sequence under a fixed
+//! [`RunConfig::steal_seed`]) but interleaving-dependent — see
+//! `docs/EXECUTOR.md` for the full determinism contract.
 //!
 //! Every task execution is recorded as a span (worker index = lane, node
-//! 0) through the `obs` recorder, and runtime events feed the metric
-//! registry, so a shared-memory run yields the same observability data a
-//! simulated run does.
+//! 0) through the `obs` recorder, and runtime events — including steal,
+//! steal-fail and overflow counts — feed the metric registry and the
+//! live samples, so a shared-memory run yields the same observability
+//! data a simulated run does.
 
+use crate::dispatch::{NodeQueues, StealTotals, WorkerRng};
 use crate::exec::{assemble_report, ExecMode, ModeExt, RunConfig, RunReport};
-use crate::pending::{PendingTable, ReadyTask};
-use crate::ready_queue::ReadyQueue;
+use crate::pending::{Delivery, PendingTable, ReadyTask, ShardedPending};
 use crate::scheduler::SchedContext;
 use crate::task::Program;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use obs::{
     lane_busy_in_window, names, Live, LiveSample, LocalRecorder, Metrics, Recorder, WallClock,
 };
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
-
-enum WorkItem {
-    /// One ready task sits in the shared [`ReadyQueue`]; the woken worker
-    /// pops whichever task the selector ranks highest right now.
-    Token,
-    Shutdown,
-}
 
 struct Shared<'p> {
     program: &'p Program,
-    pending: Mutex<PendingTable>,
-    ready: Mutex<ReadyQueue>,
-    tx: Sender<WorkItem>,
-    rx: Receiver<WorkItem>,
+    pending: ShardedPending,
+    queues: NodeQueues,
     completed: AtomicU64,
+    done: AtomicBool,
     metrics: Metrics,
     clock: WallClock,
 }
 
 impl<'p> Shared<'p> {
-    /// Queue a ready task, then wake one worker. The push happens-before
-    /// the token send, so a received token always finds a task to pop.
-    fn enqueue(&self, task: ReadyTask) {
-        self.ready.lock().push(task);
-        self.tx.send(WorkItem::Token).expect("channel closed");
-    }
-
-    /// Execute one ready task and deliver its outputs; returns true when
-    /// this was the final task.
+    /// Execute one ready task on `lane` and deliver its outputs in one
+    /// sharded batch; newly ready successors land in the lane's own
+    /// deque. Returns true when this was the final task.
     fn run_task(&self, mut ready: ReadyTask, lane: u32, local: &LocalRecorder) -> bool {
         let class = self.program.graph.class(ready.key.class);
         let kind = self.program.graph.kind_of(ready.key);
@@ -72,25 +65,30 @@ impl<'p> Shared<'p> {
             start_ns,
             self.clock.now_ns(),
         );
-        for dep in class.outputs(ready.key.params) {
-            let data = outputs
-                .get(dep.flow)
-                .unwrap_or_else(|| {
-                    panic!(
-                        "{:?}: execute produced {} flows but outputs reference flow {}",
-                        ready.key,
-                        outputs.len(),
-                        dep.flow
-                    )
-                })
-                .clone();
-            let now_ready =
-                self.pending
-                    .lock()
-                    .deliver(&self.program.graph, dep.consumer, dep.slot, data);
-            if let Some(t) = now_ready {
-                self.enqueue(t);
-            }
+        let batch: Vec<Delivery> = class
+            .outputs(ready.key.params)
+            .into_iter()
+            .map(|dep| {
+                let data = outputs
+                    .get(dep.flow)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "{:?}: execute produced {} flows but outputs reference flow {}",
+                            ready.key,
+                            outputs.len(),
+                            dep.flow
+                        )
+                    })
+                    .clone();
+                Delivery {
+                    consumer: dep.consumer,
+                    slot: dep.slot,
+                    data,
+                }
+            })
+            .collect();
+        for t in self.pending.deliver_batch(&self.program.graph, batch) {
+            self.queues.push_local(lane as usize, t);
         }
         self.metrics.counter(names::TASKS_EXECUTED).inc();
         let redundant = class.redundant_flops(ready.key.params);
@@ -99,59 +97,47 @@ impl<'p> Shared<'p> {
         }
         self.metrics
             .gauge(names::QUEUE_DEPTH)
-            .set(self.rx.len() as i64);
+            .set(self.queues.len() as i64);
         let done = self.completed.fetch_add(1, Ordering::AcqRel) + 1;
         done == self.program.total_tasks
     }
 }
 
-fn worker(
-    rx: &Receiver<WorkItem>,
-    shared: &Shared<'_>,
-    threads: usize,
-    lane: u32,
-    local: &LocalRecorder,
-) {
+fn worker(shared: &Shared<'_>, lane: u32, steal_seed: u64, local: &LocalRecorder) {
+    let mut rng = WorkerRng::new(steal_seed, lane as u64);
     // If the graph deadlocks (inconsistent declarations), fail loudly
     // instead of hanging: ~10 s without any global progress trips a panic.
     let mut idle_rounds = 0u32;
     let mut last_seen = shared.completed.load(Ordering::Acquire);
     loop {
-        match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(WorkItem::Token) => {
-                idle_rounds = 0;
-                let t = shared
-                    .ready
-                    .lock()
-                    .pop()
-                    .expect("token implies a queued task");
-                if shared.run_task(t, lane, local) {
-                    for _ in 0..threads {
-                        shared.tx.send(WorkItem::Shutdown).expect("channel closed");
-                    }
-                }
+        if shared.done.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(t) = shared.queues.next_task(lane as usize, &mut rng) {
+            idle_rounds = 0;
+            if shared.run_task(t, lane, local) {
+                shared.done.store(true, Ordering::Release);
+                shared.queues.wake_all();
             }
-            Ok(WorkItem::Shutdown) => return,
-            Err(RecvTimeoutError::Timeout) => {
-                let now = shared.completed.load(Ordering::Acquire);
-                if now == last_seen {
-                    idle_rounds += 1;
-                } else {
-                    idle_rounds = 0;
-                    last_seen = now;
-                }
-                if idle_rounds > 200 {
-                    let stuck = shared.pending.lock().stuck_tasks();
-                    panic!(
-                        "shared-memory run stalled: {}/{} tasks done, {} pending (first stuck: {:?})",
-                        now,
-                        shared.program.total_tasks,
-                        stuck.len(),
-                        stuck.first()
-                    );
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => return,
+            continue;
+        }
+        shared.queues.park(Duration::from_millis(50));
+        let now = shared.completed.load(Ordering::Acquire);
+        if now == last_seen {
+            idle_rounds += 1;
+        } else {
+            idle_rounds = 0;
+            last_seen = now;
+        }
+        if idle_rounds > 200 {
+            let stuck = shared.pending.stuck_tasks();
+            panic!(
+                "shared-memory run stalled: {}/{} tasks done, {} pending (first stuck: {:?})",
+                now,
+                shared.program.total_tasks,
+                stuck.len(),
+                stuck.first()
+            );
         }
     }
 }
@@ -206,16 +192,24 @@ fn publish_sample(
         return;
     }
     let lane_busy = recorder.with_collected(|spans| lane_busy_in_window(spans, 0, lanes, w0, w1));
+    let StealTotals {
+        steals,
+        steal_fails,
+        overflow_pushes,
+    } = shared.queues.totals();
     live.publish(LiveSample {
         t_ns: w1,
         window_ns: w1 - w0,
         node: 0,
         lane_busy,
-        ready_depth: shared.ready.lock().len(),
-        pending_tasks: shared.pending.lock().len(),
+        ready_depth: shared.queues.len(),
+        pending_tasks: shared.pending.len(),
         inflight_msgs: 0,
         inflight_bytes: 0,
         dropped_events: recorder.dropped(),
+        steals,
+        steal_fails,
+        overflow_pushes,
     });
 }
 
@@ -236,30 +230,30 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
         nodes: 1,
         lanes: threads as u32,
     });
-    let (tx, rx) = unbounded::<WorkItem>();
     let shared = Shared {
         program,
-        pending: Mutex::new(PendingTable::new()),
-        ready: Mutex::new(ReadyQueue::new(selector)),
-        tx,
-        rx: rx.clone(),
+        pending: ShardedPending::new(threads * 4),
+        queues: NodeQueues::new(selector, threads),
         completed: AtomicU64::new(0),
+        done: AtomicBool::new(false),
         metrics: Metrics::new(),
         clock: WallClock::start(),
     };
 
     for &root in &program.roots {
-        shared.enqueue(PendingTable::root(&program.graph, root));
+        shared
+            .queues
+            .push_external(PendingTable::root(&program.graph, root));
     }
 
     let live = cfg.live_board();
     let start = Instant::now();
     crossbeam::thread::scope(|s| {
         for lane in 0..threads {
-            let rx = rx.clone();
             let shared = &shared;
             let local = recorder.local();
-            s.spawn(move |_| worker(&rx, shared, threads, lane as u32, &local));
+            let seed = cfg.steal_seed;
+            s.spawn(move |_| worker(shared, lane as u32, seed, &local));
         }
         if let (Some(live), Some(period)) = (live.clone(), cfg.sample_period()) {
             let shared = &shared;
@@ -277,17 +271,27 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
         "run finished early: {completed}/{} tasks",
         program.total_tasks
     );
-    let pending = shared.pending.into_inner();
     assert!(
-        pending.is_empty(),
+        shared.pending.is_empty(),
         "run finished with {} tasks still pending",
-        pending.len()
+        shared.pending.len()
     );
-    let flows_delivered = pending.flows_delivered();
+    let flows_delivered = shared.pending.flows_delivered();
     shared
         .metrics
         .counter(names::ACTIVATIONS)
         .add(flows_delivered);
+    let StealTotals {
+        steals,
+        steal_fails,
+        overflow_pushes,
+    } = shared.queues.totals();
+    shared.metrics.counter(names::STEALS).add(steals);
+    shared.metrics.counter(names::STEAL_FAILS).add(steal_fails);
+    shared
+        .metrics
+        .counter(names::OVERFLOW_PUSHES)
+        .add(overflow_pushes);
 
     assemble_report(
         cfg,
@@ -405,6 +409,31 @@ mod tests {
             .spans
             .windows(2)
             .all(|w| w[0].start_ns <= w[1].start_ns));
+    }
+
+    #[test]
+    fn steal_counters_reach_metrics_and_deque_spill_is_counted() {
+        // A single worker with a fan wider than the local deque: the
+        // overflow pushes must be visible in the metric snapshot, and
+        // the run still executes every task exactly once.
+        let width = (crate::dispatch::LOCAL_QUEUE_CAP + 50) as i32;
+        let p = fan_program(width);
+        let r = run(&p, &RunConfig::shared_memory(1));
+        assert_eq!(r.tasks_executed, (width + 2) as u64);
+        assert!(
+            r.counter(obs::names::OVERFLOW_PUSHES) >= 50,
+            "overflow pushes: {}",
+            r.counter(obs::names::OVERFLOW_PUSHES)
+        );
+        // One worker has nobody to steal from.
+        assert_eq!(r.counter(obs::names::STEALS), 0);
+    }
+
+    #[test]
+    fn steal_seed_is_accepted_and_run_completes() {
+        let p = fan_program(32);
+        let r = run(&p, &RunConfig::shared_memory(4).with_steal_seed(0xDEC0DE));
+        assert_eq!(r.tasks_executed, 34);
     }
 
     #[test]

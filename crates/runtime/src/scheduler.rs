@@ -46,6 +46,27 @@
 //! and PEFT's OCT collapse to the same recurrence offset by the task's
 //! own cost, so the two orderings differ precisely in whether a task's
 //! own service time counts toward its urgency.
+//!
+//! # Schedulers and the work-stealing executors
+//!
+//! The real executors dispatch through per-worker lock-free deques (see
+//! `docs/EXECUTOR.md`), which changes *where* each [`SelectMode`] is
+//! enforced but not *what* it promises:
+//!
+//! * `Fifo` / `Lifo` lanes use the deque directly — FIFO owners pop from
+//!   the steal end so local order matches the central-queue order, LIFO
+//!   owners pop from the bottom;
+//! * `Rank` lanes keep a small mutex-guarded
+//!   [`ReadyQueue`](crate::ready_queue::ReadyQueue) per lane, because
+//!   best-first selection needs a global view a deque cannot give;
+//!   thieves lock it to steal the victim's best-ranked task.
+//!
+//! Determinism splits accordingly: the simulator remains **bit-identical**
+//! under a fixed config, while the real engines are **seed-stable** — the
+//! steal victim order is a pure function of
+//! [`crate::RunConfig::with_steal_seed`], but OS thread timing still
+//! decides which worker wins a race, so only per-lane order (not the
+//! global interleaving) is reproducible.
 
 use crate::task::{Program, TaskGraph, TaskKey};
 use crate::unfold::UnfoldedDag;
@@ -134,6 +155,14 @@ pub trait Scheduler: Send + Sync {
 
 /// A cheaply clonable handle to a [`Scheduler`] trait object — the type
 /// [`crate::RunConfig`] actually stores, so configs stay `Clone + Debug`.
+///
+/// ```
+/// use runtime::SchedulerHandle;
+///
+/// let heft = SchedulerHandle::by_name("heft").expect("built-in");
+/// assert_eq!(heft.name(), "heft");
+/// assert_eq!(SchedulerHandle::default().name(), "fifo");
+/// ```
 #[derive(Clone)]
 pub struct SchedulerHandle(Arc<dyn Scheduler>);
 
@@ -266,6 +295,17 @@ impl TaskSelector for ClassPrioritySelector {
 /// back-end of every static list scheduler, and a convenient building
 /// block for custom [`Scheduler`] implementations (fill the map from any
 /// analysis you like). Tasks absent from the table rank 0.
+///
+/// ```
+/// use runtime::scheduler::{StaticRanks, TaskSelector};
+/// use runtime::TaskKey;
+/// use std::collections::HashMap;
+///
+/// let urgent = TaskKey::new(0, [7, 0, 0, 0]);
+/// let sel = StaticRanks::new(HashMap::from([(urgent, 100)]));
+/// assert_eq!(sel.rank(urgent), 100);
+/// assert_eq!(sel.rank(TaskKey::new(0, [8, 0, 0, 0])), 0); // unranked
+/// ```
 pub struct StaticRanks {
     ranks: HashMap<TaskKey, i64>,
 }

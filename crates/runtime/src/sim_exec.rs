@@ -461,6 +461,11 @@ impl Sim {
                     inflight_msgs,
                     inflight_bytes,
                     dropped_events,
+                    // The simulator's central per-node queue never
+                    // steals or spills.
+                    steals: 0,
+                    steal_fails: 0,
+                    overflow_pushes: 0,
                 });
             }
         });

@@ -31,7 +31,8 @@ pub mod sync {
     /// `loom::sync::atomic` — checked atomics.
     pub mod atomic {
         pub use std::sync::atomic::{
-            fence, AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+            fence, AtomicBool, AtomicI64, AtomicIsize, AtomicPtr, AtomicU32, AtomicU64,
+            AtomicUsize, Ordering,
         };
     }
 }

@@ -6,11 +6,23 @@
 //! on: structs with named fields, tuple structs, unit structs, and enums
 //! of unit variants — all non-generic. Anything else is a compile error
 //! naming the unsupported construct.
+//!
+//! One field attribute is honored: `#[serde(default)]` on a named field
+//! makes `Deserialize` substitute `Default::default()` when the field is
+//! missing (reads as `Null`) — enough for the workspace's
+//! schema-evolution needs (new telemetry fields reading old JSONL
+//! exports). All other `#[serde(...)]` contents are ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// A named struct field, plus whether `#[serde(default)]` marks it.
+struct NamedField {
+    name: String,
+    default: bool,
+}
+
 enum Shape {
-    Named(Vec<String>),
+    Named(Vec<NamedField>),
     Tuple(usize),
     Unit,
     UnitEnum(Vec<String>),
@@ -72,14 +84,39 @@ fn parse(input: TokenStream) -> (String, Shape) {
     (name, shape)
 }
 
+/// True when the attribute group (the `[...]` after `#`) is
+/// `serde(default)`.
+fn is_serde_default(group: &TokenTree) -> bool {
+    let TokenTree::Group(g) = group else {
+        return false;
+    };
+    let mut inner = g.stream().into_iter();
+    match (inner.next(), inner.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
 /// Field names of a named-field struct body.
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+fn parse_named_fields(body: TokenStream) -> Vec<NamedField> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0usize;
+    let mut next_default = false;
     while i < tokens.len() {
         match &tokens[i] {
-            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // field attribute
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // field attribute: remember a `#[serde(default)]` marker
+                // for the field that follows
+                if tokens.get(i + 1).is_some_and(is_serde_default) {
+                    next_default = true;
+                }
+                i += 2;
+            }
             TokenTree::Ident(id) if id.to_string() == "pub" => {
                 i += 1;
                 if let Some(TokenTree::Group(g)) = tokens.get(i) {
@@ -89,7 +126,10 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
                 }
             }
             TokenTree::Ident(id) => {
-                fields.push(id.to_string());
+                fields.push(NamedField {
+                    name: id.to_string(),
+                    default: std::mem::take(&mut next_default),
+                });
                 i += 1;
                 match tokens.get(i) {
                     Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
@@ -184,7 +224,7 @@ fn parse_unit_variants(name: &str, body: TokenStream) -> Vec<String> {
     variants
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let (name, shape) = parse(input);
     let body = match &shape {
@@ -192,6 +232,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let pairs: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
                          ::serde::Serialize::serialize(&self.{f})),"
@@ -230,14 +271,30 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("generated Serialize impl parses")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let (name, shape) = parse(input);
     let body = match &shape {
         Shape::Named(fields) => {
             let inits: String = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::Deserialize::deserialize(v.field(\"{f}\"))?,"))
+                .map(|f| {
+                    let (name, default) = (&f.name, f.default);
+                    if default {
+                        // Missing fields read as Null: substitute the
+                        // type's Default instead of failing.
+                        format!(
+                            "{name}: if ::std::matches!(v.field(\"{name}\"), \
+                                 ::serde::Value::Null) {{ \
+                                 ::std::default::Default::default() \
+                             }} else {{ \
+                                 ::serde::Deserialize::deserialize(v.field(\"{name}\"))? \
+                             }},"
+                        )
+                    } else {
+                        format!("{name}: ::serde::Deserialize::deserialize(v.field(\"{name}\"))?,")
+                    }
+                })
                 .collect();
             format!("::std::result::Result::Ok({name} {{ {inits} }})")
         }
