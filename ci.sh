@@ -59,6 +59,27 @@ else
     echo "WARNING: BENCH_runtime_overhead.json not found; skipping runtime-overhead --check"
 fi
 
+# Causal-profiler gate: the what-if replay's predictions for the
+# validated scenarios (scaled kernel cost, scaled network, slowed
+# injection) must agree with actual simulator re-runs within the
+# committed agreement band, and the deterministic scalars must match the
+# baseline. Warn-skip when no baseline has been committed yet (bootstrap
+# with `stencil-whatif --baseline`).
+if [ -f BENCH_whatif.json ]; then
+    step ./target/release/stencil-whatif --check
+else
+    echo "WARNING: BENCH_whatif.json not found; skipping stencil-whatif --check"
+fi
+
+# Communication-observatory gate: the per-peer comm matrix built from
+# traced message spans must carry exactly the per-edge message and byte
+# counts `analyze` derives statically, for every scheme (base/ca/pa2/dtd).
+comm_matrix_identity_gate() {
+    cargo test --release -q -p integration --test observability \
+        comm_matrix_matches_static_edge_accounting
+}
+step comm_matrix_identity_gate
+
 # Scheduler portfolio gate: every portfolio scheduler must complete every
 # scheme (base/ca/pa2/dtd) deadlock-free and within the static bound on a
 # small sweep, and the committed baseline must be intact under the

@@ -47,7 +47,7 @@ mod race;
 mod ranks;
 pub mod rectset;
 
-pub use comm::{CommStats, FlopStats};
+pub use comm::{peer_matrix, verify_comm_matrix, CommStats, FlopStats, PeerComm};
 pub use dataflow::{DataflowMode, DataflowReport};
 pub use diag::Diagnostic;
 pub use path::PathStats;

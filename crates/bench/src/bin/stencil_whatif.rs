@@ -1,0 +1,120 @@
+//! `stencil-whatif`: rank "what to optimize next" by causal replay, and
+//! manage the committed prediction-vs-re-run agreement baseline.
+//!
+//! Traces the base scheme on the deterministic simulated executor, builds
+//! an [`insight::WhatIf`] replay of the realized DAG, and predicts the
+//! end-to-end makespan under a portfolio of perturbations (faster
+//! kernels, 2× bandwidth, half latency, half injection rate). Scenarios
+//! with a real-world equivalent are validated by actually re-running the
+//! simulator with the change applied; the table prints each prediction's
+//! error against its re-run.
+//!
+//! ```text
+//! cargo run --release -p bench --bin stencil-whatif               # rank only
+//! cargo run --release -p bench --bin stencil-whatif -- --baseline # write BENCH_whatif.json
+//! cargo run --release -p bench --bin stencil-whatif -- --check    # diff against it; exit 1 on drift
+//! ```
+//!
+//! `--check` fails when any scalar drifts more than 2 % from the
+//! committed file (the runs are deterministic) or when any validated
+//! prediction misses its re-run by more than the committed agreement
+//! band. `--file <path>` overrides the baseline location; the run
+//! parameters (`--n --tile --iters --grid --ratio`) are recorded in the
+//! file and compared verbatim.
+
+use bench::exp_whatif::{self, WhatIfBaseline, WhatIfConfig};
+
+enum Mode {
+    Rank,
+    WriteBaseline,
+    Check,
+}
+
+struct Args {
+    wc: WhatIfConfig,
+    mode: Mode,
+    file: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        wc: WhatIfConfig::default(),
+        mode: Mode::Rank,
+        file: "BENCH_whatif.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value after {flag}"))
+        };
+        match flag.as_str() {
+            "--n" => args.wc.n = value().parse().expect("--n takes an integer"),
+            "--tile" => args.wc.tile = value().parse().expect("--tile takes an integer"),
+            "--iters" => args.wc.iters = value().parse().expect("--iters takes an integer"),
+            "--grid" => args.wc.grid = value().parse().expect("--grid takes an integer"),
+            "--ratio" => args.wc.ratio = value().parse().expect("--ratio takes a float"),
+            "--file" => args.file = value(),
+            "--baseline" => args.mode = Mode::WriteBaseline,
+            "--check" => args.mode = Mode::Check,
+            other => {
+                eprintln!(
+                    "unknown flag {other}; flags: --n --tile --iters --grid --ratio \
+                     --baseline --check --file <path>"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Relative drift band for the deterministic scalars in the file.
+const REL_BAND: f64 = 0.02;
+
+fn main() {
+    let args = parse_args();
+    let run = exp_whatif::run(&args.wc);
+    exp_whatif::print(&run);
+    let current = run.baseline();
+
+    match args.mode {
+        Mode::Rank => {}
+        Mode::WriteBaseline => {
+            std::fs::write(&args.file, current.to_json()).expect("write baseline file");
+            println!(
+                "\nwrote {} scenarios ({} validated) to {}",
+                current.scenarios.len(),
+                current
+                    .scenarios
+                    .values()
+                    .filter(|s| s.actual_s.is_some())
+                    .count(),
+                args.file
+            );
+        }
+        Mode::Check => {
+            let text = std::fs::read_to_string(&args.file).unwrap_or_else(|e| {
+                eprintln!(
+                    "cannot read baseline {}: {e} (run with --baseline first)",
+                    args.file
+                );
+                std::process::exit(2);
+            });
+            let committed = WhatIfBaseline::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse baseline {}: {e}", args.file);
+                std::process::exit(2);
+            });
+            let violations = committed.compare(&current, REL_BAND);
+            if violations.is_empty() {
+                println!("\nwhat-if check OK against {}", args.file);
+            } else {
+                eprintln!("\nwhat-if check FAILED against {}:", args.file);
+                for v in &violations {
+                    eprintln!("  {v}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

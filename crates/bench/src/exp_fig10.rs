@@ -130,13 +130,16 @@ pub fn run(node: u32) -> Fig10Run {
         for s in &report.samples {
             latest.insert(s.node, s.clone());
         }
-        proms.push(obs::expo::render(
+        let trace = report.trace.expect("trace requested");
+        // The exposition carries the per-peer communication matrix from
+        // the traced message spans next to the counters and live gauges.
+        proms.push(obs::expo::render_full(
             &format!("fig10/{version}"),
             &report.metrics,
             &latest.into_values().collect::<Vec<_>>(),
             Some(report.overhead),
+            Some(&trace.comm_matrix()),
         ));
-        let trace = report.trace.expect("trace requested");
         let diag = insight::diagnose(&trace, &dag, lanes);
         let horizon = trace.horizon_ns();
         let prof = profiling::profile_node(&trace, node, lanes, horizon);
@@ -249,6 +252,9 @@ mod tests {
             assert_eq!(side.dropped, 0, "{}", side.version);
             assert!(prom.contains("stencil_occupancy_window"), "{prom}");
             assert!(prom.contains("stencil_tracer_overhead_fraction"), "{prom}");
+            // The traced message spans surface as per-peer comm families.
+            assert!(prom.contains("stencil_comm_bytes_total"), "{prom}");
+            assert!(prom.contains("stencil_comm_dropped_msgs_total"), "{prom}");
         }
         let fig = r.fig;
         assert_eq!(fig.scheduler, "fifo", "default policy is FIFO");

@@ -51,6 +51,7 @@ pub mod exp_roofline;
 pub mod exp_table1;
 pub mod exp_top;
 pub mod exp_tournament;
+pub mod exp_whatif;
 pub mod lint;
 pub mod report;
 pub mod statics;

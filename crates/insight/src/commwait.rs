@@ -1,0 +1,162 @@
+//! Per-peer comm-wait attribution: *which link* stalled *which lane*.
+//!
+//! [`crate::gaps`] classifies worker-lane idle time and, for comm waits,
+//! names the remote node the lane was waiting on
+//! ([`crate::ClassifiedGap::waiting_on`]). This module aggregates those
+//! gaps into a directed `(src, dst)` stall matrix — the demand-side
+//! complement of the supply-side [`obs::CommMatrix`] built from traced
+//! [`obs::MsgSpan`]s — and renders both side by side so a stalled link
+//! can be read against the traffic that crossed it.
+
+use crate::{ClassifiedGap, GapCause};
+use obs::CommMatrix;
+use std::collections::BTreeMap;
+
+/// Stall time one directed link inflicted on the destination's workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerStall {
+    /// Comm-wait gaps attributed to this link.
+    pub gaps: u64,
+    /// Worker-lane nanoseconds those gaps cover.
+    pub stall_ns: u64,
+}
+
+/// Comm-wait time aggregated per directed node pair.
+#[derive(Debug, Clone, Default)]
+pub struct CommWaitMap {
+    /// `(src, dst)` → stall inflicted by messages from `src` on `dst`'s
+    /// worker lanes. Ordered for stable rendering.
+    pub peers: BTreeMap<(u32, u32), PeerStall>,
+    /// Comm-wait nanoseconds whose remote producer could not be
+    /// identified (unjoined spans, comm-overlap fallback): real network
+    /// wait, unknown link.
+    pub unattributed_ns: u64,
+}
+
+impl CommWaitMap {
+    /// Aggregate the comm-wait gaps of a diagnosis (`RunDiagnosis::gaps`).
+    pub fn from_gaps(gaps: &[ClassifiedGap]) -> Self {
+        let mut map = CommWaitMap::default();
+        for g in gaps {
+            if g.cause != GapCause::CommWait {
+                continue;
+            }
+            match g.waiting_on {
+                Some(src) => {
+                    let p = map.peers.entry((src, g.node)).or_default();
+                    p.gaps += 1;
+                    p.stall_ns += g.duration_ns();
+                }
+                None => map.unattributed_ns += g.duration_ns(),
+            }
+        }
+        map
+    }
+
+    /// Total attributed stall time, nanoseconds.
+    pub fn total_stall_ns(&self) -> u64 {
+        self.peers.values().map(|p| p.stall_ns).sum()
+    }
+
+    /// The link inflicting the most stall, if any comm wait was seen.
+    pub fn worst_link(&self) -> Option<((u32, u32), PeerStall)> {
+        self.peers
+            .iter()
+            .max_by_key(|(_, p)| p.stall_ns)
+            .map(|(&k, &p)| (k, p))
+    }
+
+    /// Terminal table: per-link stall, joined (when a traced matrix is
+    /// given) with the traffic that crossed the link, so "this link
+    /// stalled us 40 ms" reads next to "it carried 3 MB at p99 2 ms".
+    pub fn render(&self, matrix: Option<&CommMatrix>) -> String {
+        let mut out = String::new();
+        if self.peers.is_empty() && self.unattributed_ns == 0 {
+            out.push_str("comm-wait attribution: no comm-wait gaps\n");
+            return out;
+        }
+        out.push_str("comm-wait attribution (per directed link):\n");
+        out.push_str("  src -> dst      gaps     stall ms     msgs        bytes   p99 lat ms\n");
+        let mut rows: Vec<_> = self.peers.iter().collect();
+        rows.sort_by_key(|(_, p)| std::cmp::Reverse(p.stall_ns));
+        for (&(src, dst), p) in rows {
+            let (msgs, bytes, p99) = matrix
+                .and_then(|m| m.peers.get(&(src, dst)))
+                .map(|f| (f.messages, f.bytes, f.latency_summary().p99_ns))
+                .unwrap_or((0, 0, 0));
+            out.push_str(&format!(
+                "  {:>3} -> {:<3} {:>9} {:>12.3} {:>8} {:>12} {:>12.3}\n",
+                src,
+                dst,
+                p.gaps,
+                p.stall_ns as f64 / 1e6,
+                msgs,
+                bytes,
+                p99 as f64 / 1e6,
+            ));
+        }
+        if self.unattributed_ns > 0 {
+            out.push_str(&format!(
+                "  (unknown link) {:>17.3} ms\n",
+                self.unattributed_ns as f64 / 1e6
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gap(node: u32, dur: u64, cause: GapCause, waiting_on: Option<u32>) -> ClassifiedGap {
+        ClassifiedGap {
+            node,
+            lane: 0,
+            start_ns: 0,
+            end_ns: dur,
+            cause,
+            waiting_on,
+        }
+    }
+
+    #[test]
+    fn aggregates_by_link_and_separates_unknown() {
+        let gaps = [
+            gap(1, 100, GapCause::CommWait, Some(0)),
+            gap(1, 50, GapCause::CommWait, Some(0)),
+            gap(0, 30, GapCause::CommWait, Some(1)),
+            gap(0, 7, GapCause::CommWait, None),
+            gap(0, 999, GapCause::Starvation, None),
+        ];
+        let map = CommWaitMap::from_gaps(&gaps);
+        assert_eq!(map.peers.len(), 2);
+        assert_eq!(
+            map.peers[&(0, 1)],
+            PeerStall {
+                gaps: 2,
+                stall_ns: 150
+            }
+        );
+        assert_eq!(
+            map.peers[&(1, 0)],
+            PeerStall {
+                gaps: 1,
+                stall_ns: 30
+            }
+        );
+        assert_eq!(map.unattributed_ns, 7);
+        assert_eq!(map.total_stall_ns(), 180);
+        assert_eq!(map.worst_link().unwrap().0, (0, 1));
+        let text = map.render(None);
+        assert!(text.contains("0 -> 1"), "{text}");
+        assert!(text.contains("unknown link"), "{text}");
+    }
+
+    #[test]
+    fn empty_map_renders_cleanly() {
+        let map = CommWaitMap::from_gaps(&[]);
+        assert!(map.worst_link().is_none());
+        assert!(map.render(None).contains("no comm-wait gaps"));
+    }
+}

@@ -30,16 +30,26 @@
 //! * **Starvation split** ([`starvation`]) — live-sample counters from
 //!   the work-stealing executors divide starved lane-time into
 //!   no-work-anywhere (steal sweeps failed) vs dispatch lag (ready work
-//!   sat undelivered).
+//!   sat undelivered);
+//! * **Comm-wait link attribution** ([`commwait`]) — comm-wait gaps
+//!   aggregated per directed `(src, dst)` link and rendered against the
+//!   traffic the traced [`obs::CommMatrix`] saw cross it;
+//! * **Causal what-if** ([`whatif`]) — a discrete-event replay of the
+//!   realized DAG under perturbed costs (Coz-style virtual speedup),
+//!   predicting the makespan effect of faster kernels, a faster fabric,
+//!   or a slower injection rate; validated against actual simulator
+//!   re-runs by the `stencil-whatif` bench binary.
 
 #![deny(missing_docs)]
 
 pub mod advisor;
 pub mod attribution;
 pub mod baseline;
+pub mod commwait;
 pub mod critpath;
 pub mod gaps;
 pub mod starvation;
+pub mod whatif;
 
 #[cfg(test)]
 mod tests;
@@ -47,9 +57,11 @@ mod tests;
 pub use advisor::{advise_step, StepAdvice};
 pub use attribution::SchedulerScore;
 pub use baseline::{Baseline, SchemeBaseline, Tolerance};
+pub use commwait::{CommWaitMap, PeerStall};
 pub use critpath::RealizedPath;
 pub use gaps::{ClassifiedGap, GapCause, GapTotals};
 pub use starvation::{split_starvation, StarvationSplit};
+pub use whatif::{Perturbation, Prediction, RankedScenario, WhatIf};
 
 use obs::{DurationSummary, LogHistogram, Trace};
 use runtime::UnfoldedDag;

@@ -98,10 +98,24 @@ pub fn split_starvation(history: &[LiveSample]) -> StarvationSplit {
     let mut last_fails: BTreeMap<u32, u64> = BTreeMap::new();
     for s in history {
         split.windows += 1;
-        let idle: f64 = s.lane_busy.iter().map(|b| (1.0 - b).max(0.0)).sum();
-        let idle_ns = (idle * s.window_ns as f64).round() as u64;
+        // Track the cumulative steal-fail baseline even across degenerate
+        // windows, so a later well-formed window differences correctly.
         let prev = last_fails.insert(s.node, s.steal_fails).unwrap_or(0);
         let failed_sweeps = s.steal_fails.saturating_sub(prev);
+        // A zero-length window covers no lane-time: nothing to attribute.
+        if s.window_ns == 0 {
+            continue;
+        }
+        // A sample with no per-lane data cannot be split by busy fraction.
+        // Count one lane's worth of the window explicitly unattributed
+        // rather than silently treating the node as fully busy, which
+        // would skew the no-work/dispatch-lag fractions upward.
+        if s.lane_busy.is_empty() {
+            split.unattributed_ns += s.window_ns;
+            continue;
+        }
+        let idle: f64 = s.lane_busy.iter().map(|b| (1.0 - b).clamp(0.0, 1.0)).sum();
+        let idle_ns = (idle * s.window_ns as f64).round() as u64;
         if idle_ns == 0 {
             continue;
         }
@@ -179,6 +193,44 @@ mod tests {
         let s = split_starvation(&h);
         assert_eq!(s.no_work_ns, 1_000); // only node 1's window
         assert_eq!(s.unattributed_ns, 2_000);
+    }
+
+    #[test]
+    fn zero_length_windows_attribute_nothing_but_keep_the_baseline() {
+        // A zero-ns window with queued work must not book idle time, and
+        // its cumulative steal_fails still advances the node's baseline:
+        // the following window's delta is 0, not 5.
+        let mut w0 = sample(0, 1_000, vec![0.0], 4, 5);
+        w0.window_ns = 0;
+        let h = [w0, sample(0, 2_000, vec![0.0], 0, 5)];
+        let s = split_starvation(&h);
+        assert_eq!(s.windows, 2);
+        assert_eq!(s.dispatch_lag_ns, 0, "zero window books no lag");
+        assert_eq!(s.no_work_ns, 0, "baseline consumed the 5 fails");
+        assert_eq!(s.unattributed_ns, 1_000);
+    }
+
+    #[test]
+    fn lane_less_samples_land_in_unattributed() {
+        // A sample with no per-lane data can't be split by busy fraction;
+        // it must surface as unattributed instead of reading as 100% busy
+        // (which would skew the no-work/dispatch-lag fractions).
+        let h = [
+            sample(0, 1_000, vec![], 3, 0),
+            sample(0, 2_000, vec![0.0], 2, 0),
+        ];
+        let s = split_starvation(&h);
+        assert_eq!(s.unattributed_ns, 1_000);
+        assert_eq!(s.dispatch_lag_ns, 1_000);
+        assert!((s.dispatch_lag_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_busy_fractions_clamp() {
+        // busy > 1 clamps to fully busy; busy < 0 clamps to fully idle.
+        let s = split_starvation(&[sample(0, 1_000, vec![1.7, -0.3], 1, 0)]);
+        assert_eq!(s.idle_ns(), 1_000);
+        assert_eq!(s.dispatch_lag_ns, 1_000);
     }
 
     #[test]

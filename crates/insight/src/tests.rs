@@ -316,3 +316,202 @@ fn kind_digests_split_by_node_and_use_registered_names() {
     assert_eq!(n0.summary.count, 1);
     assert_eq!(n0.summary.max_ns, 1000);
 }
+
+#[test]
+fn comm_wait_gaps_name_the_stalling_link() {
+    let dag = pair_dag(1);
+    // a on node 0 ends at 1000; b on node 1 starts at 3000: node 1's
+    // lane waited on node 0 — the (0, 1) link stalled it.
+    let trace = Trace {
+        spans: vec![
+            span(0, 0, key(0).instance_id(), 0, 1000),
+            span(1, 0, key(1).instance_id(), 3000, 4000),
+        ],
+        ..Trace::default()
+    };
+    let d = diagnose(&trace, &dag, 1);
+    let g = d
+        .gaps
+        .iter()
+        .find(|g| g.node == 1 && g.cause == GapCause::CommWait)
+        .expect("comm-wait gap");
+    assert_eq!(g.waiting_on, Some(0));
+    let map = crate::CommWaitMap::from_gaps(&d.gaps);
+    assert_eq!(map.peers[&(0, 1)].stall_ns, 3000);
+    assert_eq!(map.unattributed_ns, 0);
+    assert_eq!(map.worst_link().unwrap().0, (0, 1));
+    // Joined rendering against a traced matrix names the same link.
+    let matrix = obs::CommMatrix::from_msgs(
+        &[obs::MsgSpan {
+            src: 0,
+            dst: 1,
+            kind: 0,
+            bytes: 8,
+            enqueue_ns: 1000,
+            inject_ns: 1000,
+            deliver_ns: 3000,
+        }],
+        0,
+    );
+    let text = map.render(Some(&matrix));
+    assert!(text.contains("0 -> 1"), "{text}");
+    assert!(text.contains('8'), "bytes column present: {text}");
+}
+
+mod whatif_replay {
+    use super::*;
+    use crate::{Perturbation, WhatIf};
+    use machine::MachineProfile;
+
+    /// Hand-built trace for the local pair: a then b, 1000 ns each.
+    fn local_pair() -> (UnfoldedDag, Trace) {
+        let dag = pair_dag(0);
+        let trace = Trace {
+            spans: vec![
+                span(0, 0, key(0).instance_id(), 0, 1000),
+                span(0, 0, key(1).instance_id(), 1000, 2000),
+            ],
+            ..Trace::default()
+        };
+        (dag, trace)
+    }
+
+    #[test]
+    fn local_chain_replays_to_the_sum_of_durations() {
+        let (dag, trace) = local_pair();
+        let w = WhatIf::new(&trace, &dag, &MachineProfile::nacl(), 1);
+        let base = w.baseline();
+        assert!(
+            (base.makespan_s - 2e-6).abs() < 1e-12,
+            "{}",
+            base.makespan_s
+        );
+        // A unity perturbation is exactly the identity.
+        assert_eq!(
+            w.replay(&[Perturbation::TaskKind {
+                kind: 0,
+                factor: 1.0
+            }]),
+            base
+        );
+        // Halving every kind-0 duration halves the chain.
+        let fast = w.replay(&[Perturbation::TaskKind {
+            kind: 0,
+            factor: 0.5,
+        }]);
+        assert!(
+            (fast.makespan_s - 1e-6).abs() < 1e-12,
+            "{}",
+            fast.makespan_s
+        );
+    }
+
+    #[test]
+    fn cross_node_replay_charges_the_comm_pipeline() {
+        let dag = pair_dag(1);
+        let trace = Trace {
+            spans: vec![
+                span(0, 0, key(0).instance_id(), 0, 1000),
+                span(1, 0, key(1).instance_id(), 90_000, 91_000),
+            ],
+            ..Trace::default()
+        };
+        let p = MachineProfile::nacl();
+        let w = WhatIf::new(&trace, &dag, &p, 2);
+        let base = w.baseline();
+        // a (1 µs) + send processing + wire + recv processing + b (1 µs):
+        // both msg_cost charges dominate on NaCL (40 µs each).
+        let net = netsim::NetworkModel::from_profile(&p);
+        let expected = 1e-6 + p.runtime_msg_cost + net.transfer_time(8) + p.runtime_msg_cost + 1e-6;
+        assert!(
+            (base.makespan_s - expected).abs() < 2e-9,
+            "replay {} vs pipeline {}",
+            base.makespan_s,
+            expected
+        );
+        // Slowing node 0's injection rate stretches the makespan by the
+        // extra processing time; node 1's rate change also lands (recv).
+        let slow = w.replay(&[Perturbation::Injection {
+            node: 0,
+            factor: 0.5,
+        }]);
+        assert!(
+            (slow.makespan_s - (expected + p.runtime_msg_cost)).abs() < 2e-9,
+            "{}",
+            slow.makespan_s
+        );
+        // Scaling up bandwidth cannot hurt; scaling latency up must hurt.
+        let fat = w.replay(&[Perturbation::Link {
+            bandwidth: 10.0,
+            latency: 1.0,
+        }]);
+        assert!(fat.makespan_s <= base.makespan_s + 1e-12);
+        let laggy = w.replay(&[Perturbation::Link {
+            bandwidth: 1.0,
+            latency: 10.0,
+        }]);
+        assert!(laggy.makespan_s > base.makespan_s);
+    }
+
+    #[test]
+    fn rank_orders_scenarios_by_predicted_speedup() {
+        let (dag, trace) = local_pair();
+        let w = WhatIf::new(&trace, &dag, &MachineProfile::nacl(), 1);
+        let ranked = w.rank(&[
+            ("nothing".into(), vec![]),
+            (
+                "fast kernels".into(),
+                vec![Perturbation::TaskKind {
+                    kind: 0,
+                    factor: 0.5,
+                }],
+            ),
+            (
+                "fat network".into(),
+                vec![Perturbation::Link {
+                    bandwidth: 2.0,
+                    latency: 1.0,
+                }],
+            ),
+        ]);
+        // The chain is compute-bound and node-local: kernels win, the
+        // network is off the critical path entirely.
+        assert_eq!(ranked[0].label, "fast kernels");
+        assert!(
+            (ranked[0].speedup - 2.0).abs() < 1e-9,
+            "{}",
+            ranked[0].speedup
+        );
+        assert!((ranked[1].speedup - 1.0).abs() < 1e-12);
+        assert!((ranked[2].speedup - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_replay_tracks_a_real_simulated_run() {
+        // A 4-node ring of dependent stages, actually run on the
+        // simulator; the replay of its drained trace must land within a
+        // few percent of the reported makespan.
+        use runtime::dtd::DtdBuilder;
+        let mut b = DtdBuilder::new();
+        let mut prev = b.insert(0, 5e-5, &[]);
+        for i in 1..24 {
+            prev = b.insert(i % 4, 5e-5, &[prev]);
+        }
+        let program = b.build();
+        let profile = MachineProfile::nacl();
+        let cfg = runtime::RunConfig::simulated(profile.clone(), 4).with_trace();
+        let r = runtime::run(&program, &cfg);
+        let trace = r.trace.expect("traced run");
+        let dag = UnfoldedDag::enumerate(&program);
+        let w = WhatIf::new(&trace, &dag, &profile, 4);
+        let base = w.baseline();
+        let rel = (base.makespan_s - r.makespan).abs() / r.makespan;
+        assert!(
+            rel < 0.02,
+            "replay {} vs simulated {} ({:.1} % off)",
+            base.makespan_s,
+            r.makespan,
+            rel * 100.0
+        );
+    }
+}

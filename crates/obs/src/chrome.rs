@@ -6,26 +6,110 @@
 //! `tid` the lane, `ts`/`dur` are microseconds as the format requires,
 //! and the exact nanosecond interval rides along in `args` so parsing
 //! back is lossless.
+//!
+//! Each traced cross-node message ([`crate::MsgSpan`]) becomes a flow
+//! arrow — a `"ph":"s"` event on the sender's comm lane at injection
+//! time paired with a `"ph":"f"` event on the receiver's comm lane at
+//! delivery time — so Perfetto draws the transfer as an arrow between
+//! the two nodes' comm tracks. The exact spans also ride along in a
+//! top-level `msgSpans` array so the round trip stays lossless (flow
+//! events quantize to microseconds).
 
-use crate::{SpanRecord, Trace};
+use crate::{MsgSpan, SpanRecord, Trace};
 use serde::{Number, Value};
 use std::collections::BTreeMap;
 
 /// Render the trace as a Chrome trace JSON object.
 pub fn to_chrome_json(trace: &Trace) -> String {
-    let events: Vec<Value> = trace.spans.iter().map(|s| event(trace, s)).collect();
+    let mut events: Vec<Value> = trace.spans.iter().map(|s| event(trace, s)).collect();
+    // Bind each flow arrow to the node's comm lane when the trace shows
+    // one (arrows attach to slices on the same pid/tid), lane 0 otherwise.
+    let mut comm_lane: BTreeMap<u32, u64> = BTreeMap::new();
+    for s in &trace.spans {
+        if s.kind == crate::KIND_COMM {
+            comm_lane.entry(s.node).or_insert(s.lane as u64);
+        }
+    }
+    for (i, m) in trace.msgs.iter().enumerate() {
+        let lane_of = |node: u32| comm_lane.get(&node).copied().unwrap_or(0);
+        events.push(flow_event(
+            trace,
+            m,
+            i as u64,
+            "s",
+            m.inject_ns,
+            m.src,
+            lane_of(m.src),
+        ));
+        events.push(flow_event(
+            trace,
+            m,
+            i as u64,
+            "f",
+            m.deliver_ns,
+            m.dst,
+            lane_of(m.dst),
+        ));
+    }
     let kinds: Vec<(String, Value)> = trace
         .kinds
         .iter()
         .map(|(k, name)| (k.to_string(), Value::Str(name.clone())))
         .collect();
+    let msgs: Vec<Value> = trace.msgs.iter().map(msg_value).collect();
     let doc = Value::Object(vec![
         ("traceEvents".into(), Value::Array(events)),
         ("displayTimeUnit".into(), Value::Str("ns".into())),
         ("kinds".into(), Value::Object(kinds)),
         ("droppedSpans".into(), Value::Num(Number::U(trace.dropped))),
+        ("msgSpans".into(), Value::Array(msgs)),
+        (
+            "droppedMsgs".into(),
+            Value::Num(Number::U(trace.dropped_msgs)),
+        ),
     ]);
     serde_json::to_string(&doc).expect("chrome trace serialization")
+}
+
+fn msg_value(m: &MsgSpan) -> Value {
+    Value::Object(vec![
+        ("src".into(), Value::Num(Number::U(m.src as u64))),
+        ("dst".into(), Value::Num(Number::U(m.dst as u64))),
+        ("kind".into(), Value::Num(Number::U(m.kind as u64))),
+        ("bytes".into(), Value::Num(Number::U(m.bytes))),
+        ("enqueue_ns".into(), Value::Num(Number::U(m.enqueue_ns))),
+        ("inject_ns".into(), Value::Num(Number::U(m.inject_ns))),
+        ("deliver_ns".into(), Value::Num(Number::U(m.deliver_ns))),
+    ])
+}
+
+fn flow_event(
+    trace: &Trace,
+    m: &MsgSpan,
+    id: u64,
+    ph: &str,
+    ts_ns: u64,
+    node: u32,
+    tid: u64,
+) -> Value {
+    let mut fields = vec![
+        (
+            "name".into(),
+            Value::Str(format!("msg:{}", kind_name(trace, m.kind))),
+        ),
+        ("cat".into(), Value::Str("msg".into())),
+        ("ph".into(), Value::Str(ph.into())),
+        ("id".into(), Value::Num(Number::U(id))),
+        ("ts".into(), Value::Num(Number::F(ts_ns as f64 / 1e3))),
+        ("pid".into(), Value::Num(Number::U(node as u64))),
+        ("tid".into(), Value::Num(Number::U(tid))),
+    ];
+    if ph == "f" {
+        // Bind the arrow head to the enclosing slice rather than the
+        // next one, the conventional choice for delivery-time arrows.
+        fields.push(("bp".into(), Value::Str("e".into())));
+    }
+    Value::Object(fields)
 }
 
 /// Display name for a span's kind: the registered name when there is
@@ -85,8 +169,8 @@ impl std::error::Error for ParseError {}
 /// bare `[...]` event-array form) back into a [`Trace`].
 pub fn from_chrome_json(text: &str) -> Result<Trace, ParseError> {
     let doc: Value = serde_json::from_str(text).map_err(|e| ParseError(e.to_string()))?;
-    let (events, kinds, dropped) = match &doc {
-        Value::Array(events) => (events.as_slice(), BTreeMap::new(), 0),
+    let (events, kinds, dropped, msgs, dropped_msgs) = match &doc {
+        Value::Array(events) => (events.as_slice(), BTreeMap::new(), 0, Vec::new(), 0),
         Value::Object(_) => {
             let events = doc
                 .field("traceEvents")
@@ -105,7 +189,14 @@ pub fn from_chrome_json(text: &str) -> Result<Trace, ParseError> {
                 }
             }
             let dropped = doc.field("droppedSpans").as_u64().unwrap_or(0);
-            (events, kinds, dropped)
+            let mut msgs = Vec::new();
+            if let Some(entries) = doc.field("msgSpans").as_array() {
+                for m in entries {
+                    msgs.push(parse_msg(m)?);
+                }
+            }
+            let dropped_msgs = doc.field("droppedMsgs").as_u64().unwrap_or(0);
+            (events, kinds, dropped, msgs, dropped_msgs)
         }
         _ => return Err(ParseError("expected object or array at top level".into())),
     };
@@ -129,10 +220,31 @@ pub fn from_chrome_json(text: &str) -> Result<Trace, ParseError> {
         spans.push(span);
     }
     spans.sort_by_key(|s| (s.start_ns, s.node, s.lane, s.end_ns));
+    let mut msgs = msgs;
+    msgs.sort_by_key(|m| (m.enqueue_ns, m.src, m.dst, m.inject_ns, m.deliver_ns));
     Ok(Trace {
         spans,
+        msgs,
         kinds,
         dropped,
+        dropped_msgs,
+    })
+}
+
+fn parse_msg(m: &Value) -> Result<MsgSpan, ParseError> {
+    let uint = |what: &str| {
+        m.field(what)
+            .as_u64()
+            .ok_or_else(|| ParseError(format!("msgSpan {what} is not an unsigned integer")))
+    };
+    Ok(MsgSpan {
+        src: uint("src")? as u32,
+        dst: uint("dst")? as u32,
+        kind: uint("kind")? as u32,
+        bytes: uint("bytes")?,
+        enqueue_ns: uint("enqueue_ns")?,
+        inject_ns: uint("inject_ns")?,
+        deliver_ns: uint("deliver_ns")?,
     })
 }
 
@@ -271,6 +383,39 @@ mod tests {
         let ids: Vec<Option<u64>> = back.spans.iter().map(|s| s.task_instance()).collect();
         assert!(ids.contains(&Some(0xdead_beef)));
         assert!(ids.contains(&None));
+    }
+
+    #[test]
+    fn msg_spans_round_trip_with_flow_arrows() {
+        let rec = Recorder::new();
+        rec.register_kind(0, "interior");
+        let l = rec.local();
+        l.task(0, 0, 0, 0, 100);
+        l.comm(0, 2, 100, 150); // comm lane 2 on node 0
+        l.comm(1, 2, 160, 200);
+        let m = rec.msg_local();
+        m.record(crate::MsgSpan {
+            src: 0,
+            dst: 1,
+            kind: 0,
+            bytes: 64,
+            enqueue_ns: 100,
+            inject_ns: 110,
+            deliver_ns: 190,
+        });
+        let t = rec.drain();
+        let text = to_chrome_json(&t);
+
+        // One "s"/"f" pair per message, bound to the comm lanes.
+        assert!(text.contains("\"ph\":\"s\""), "{text}");
+        assert!(text.contains("\"ph\":\"f\""), "{text}");
+        assert!(text.contains("\"cat\":\"msg\""), "{text}");
+        assert!(text.contains("msg:interior"), "{text}");
+
+        let back = from_chrome_json(&text).unwrap();
+        assert_eq!(back.msgs, t.msgs, "msg spans survive the round trip");
+        assert_eq!(back.dropped_msgs, t.dropped_msgs);
+        assert_eq!(back.spans, t.spans, "flow events do not pollute spans");
     }
 
     #[test]

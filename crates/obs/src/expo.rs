@@ -8,7 +8,7 @@
 //! scraper — both sinks are views over the same render, so what a
 //! dashboard would see is exactly what lands on disk.
 
-use crate::{LiveSample, MetricsSnapshot, TracerOverhead};
+use crate::{CommMatrix, LiveSample, MetricsSnapshot, TracerOverhead};
 use std::fmt::Write as _;
 
 /// Metric-name prefix for everything this workspace exports.
@@ -31,6 +31,16 @@ fn family(out: &mut String, name: &str, kind: &str, help: &str) {
     let _ = writeln!(out, "# TYPE {PREFIX}{name} {kind}");
 }
 
+/// Emit the family header only if no earlier section already declared it
+/// (e.g. `steals_total` exists both as a run-total counter in the metric
+/// registry and as per-node lines from the live samples; the exposition
+/// format allows one HELP/TYPE per family).
+fn family_once(out: &mut String, name: &str, kind: &str, help: &str) {
+    if !out.contains(&format!("# TYPE {PREFIX}{name} ")) {
+        family(out, name, kind, help);
+    }
+}
+
 fn line(out: &mut String, name: &str, labels: &str, value: f64) {
     // Prometheus floats: render integers without a fraction.
     if value.fract() == 0.0 && value.abs() < 9e15 {
@@ -48,6 +58,19 @@ pub fn render(
     snapshot: &MetricsSnapshot,
     live: &[LiveSample],
     overhead: Option<TracerOverhead>,
+) -> String {
+    render_full(run, snapshot, live, overhead, None)
+}
+
+/// [`render`] plus the per-peer communication matrix when one was traced:
+/// `stencil_comm_*` families labelled `src`/`dst`, exactly the per-peer
+/// totals the static analyzer's edge accounting predicts.
+pub fn render_full(
+    run: &str,
+    snapshot: &MetricsSnapshot,
+    live: &[LiveSample],
+    overhead: Option<TracerOverhead>,
+    comm: Option<&CommMatrix>,
 ) -> String {
     let mut out = String::new();
     let run_label = format!("run=\"{}\"", run.replace('"', "_"));
@@ -136,6 +159,94 @@ pub fn render(
                 s.dropped_events as f64,
             );
         }
+        // Work-stealing counters, per node. `family_once`: a run-total
+        // `steals_total` may already exist from the metric registry (the
+        // mp executor folds totals in); per-node lines join the same
+        // family rather than redeclaring it.
+        type NodeCounter = (&'static str, &'static str, fn(&LiveSample) -> f64);
+        let steal_counters: &[NodeCounter] = &[
+            (
+                "steals_total",
+                "Successful task steals by this node's workers.",
+                |s| s.steals as f64,
+            ),
+            (
+                "steal_fails_total",
+                "Full steal sweeps that found no task.",
+                |s| s.steal_fails as f64,
+            ),
+            (
+                "overflow_pushes_total",
+                "Deque-full pushes spilled to the overflow injector.",
+                |s| s.overflow_pushes as f64,
+            ),
+        ];
+        for (name, help, get) in steal_counters {
+            family_once(&mut out, name, "counter", help);
+            for s in live {
+                let labels = format!("{run_label},node=\"{}\"", s.node);
+                line(&mut out, name, &labels, get(s));
+            }
+        }
+    }
+
+    if let Some(matrix) = comm.filter(|m| !m.is_empty()) {
+        type PeerStat = (&'static str, &'static str, &'static str);
+        let fams: &[PeerStat] = &[
+            (
+                "comm_messages_total",
+                "counter",
+                "Traced messages sent src to dst.",
+            ),
+            (
+                "comm_bytes_total",
+                "counter",
+                "Traced payload bytes sent src to dst.",
+            ),
+            (
+                "comm_latency_mean_ns",
+                "gauge",
+                "Mean in-flight latency (deliver minus inject), src to dst.",
+            ),
+            (
+                "comm_latency_p99_ns",
+                "gauge",
+                "p99 in-flight latency, src to dst.",
+            ),
+            (
+                "comm_queue_mean_ns",
+                "gauge",
+                "Mean queueing delay (inject minus enqueue), src to dst.",
+            ),
+        ];
+        for (name, kind, help) in fams {
+            family(&mut out, name, kind, help);
+            for (&(src, dst), flow) in &matrix.peers {
+                let labels = format!("{run_label},src=\"{src}\",dst=\"{dst}\"");
+                let lat = flow.latency_summary();
+                let q = flow.queue_summary();
+                let value = match *name {
+                    "comm_messages_total" => flow.messages as f64,
+                    "comm_bytes_total" => flow.bytes as f64,
+                    "comm_latency_mean_ns" => lat.mean_ns,
+                    "comm_latency_p99_ns" => lat.p99_ns as f64,
+                    _ => q.mean_ns,
+                };
+                line(&mut out, name, &labels, value);
+            }
+        }
+        family(
+            &mut out,
+            "comm_dropped_msgs_total",
+            "counter",
+            "Message spans dropped by full msg rings (matrix is a lower bound when nonzero).",
+        );
+        line(
+            &mut out,
+            "comm_dropped_msgs_total",
+            &run_label,
+            matrix.dropped as f64,
+        );
     }
 
     if let Some(oh) = overhead {
@@ -278,9 +389,9 @@ mod tests {
             inflight_msgs: 2,
             inflight_bytes: 8192,
             dropped_events: 0,
-            steals: 0,
-            steal_fails: 0,
-            overflow_pushes: 0,
+            steals: 11,
+            steal_fails: 4,
+            overflow_pushes: 1,
         }
     }
 
@@ -303,6 +414,10 @@ mod tests {
         assert!(text.contains("stencil_ready_depth{run=\"base\",node=\"1\"} 3"));
         assert!(text.contains("stencil_inflight_bytes{run=\"base\",node=\"0\"} 8192"));
         assert!(text.contains("stencil_tracer_overhead_fraction{run=\"base\"} 0.0025"));
+        // Work-stealing counters reach the exposition per node.
+        assert!(text.contains("stencil_steals_total{run=\"base\",node=\"1\"} 11"));
+        assert!(text.contains("stencil_steal_fails_total{run=\"base\",node=\"0\"} 4"));
+        assert!(text.contains("stencil_overflow_pushes_total{run=\"base\",node=\"0\"} 1"));
 
         // Every non-comment line is `name{labels} value` with a numeric
         // value, and every family has HELP + TYPE.
@@ -323,6 +438,59 @@ mod tests {
                 "family {fam} typed"
             );
         }
+    }
+
+    #[test]
+    fn steal_family_not_redeclared_when_registry_exports_it() {
+        let m = Metrics::new();
+        m.counter(names::STEALS).add(100);
+        let text = render("x", &m.snapshot(), &[sample(0)], None);
+        let declarations = text.matches("# TYPE stencil_steals_total ").count();
+        assert_eq!(declarations, 1, "one TYPE line per family:\n{text}");
+        // Both the run total and the per-node line are present.
+        assert!(text.contains("stencil_steals_total{run=\"x\"} 100"));
+        assert!(text.contains("stencil_steals_total{run=\"x\",node=\"0\"} 11"));
+    }
+
+    #[test]
+    fn comm_matrix_families_export_per_peer() {
+        use crate::MsgSpan;
+        let m = Metrics::new();
+        let msgs = [
+            MsgSpan {
+                src: 0,
+                dst: 1,
+                kind: 0,
+                bytes: 512,
+                enqueue_ns: 0,
+                inject_ns: 10,
+                deliver_ns: 100,
+            },
+            MsgSpan {
+                src: 1,
+                dst: 0,
+                kind: 0,
+                bytes: 256,
+                enqueue_ns: 5,
+                inject_ns: 5,
+                deliver_ns: 60,
+            },
+        ];
+        let matrix = crate::CommMatrix::from_msgs(&msgs, 0);
+        let text = render_full("ca", &m.snapshot(), &[], None, Some(&matrix));
+        assert!(text.contains("stencil_comm_messages_total{run=\"ca\",src=\"0\",dst=\"1\"} 1"));
+        assert!(text.contains("stencil_comm_bytes_total{run=\"ca\",src=\"1\",dst=\"0\"} 256"));
+        assert!(text.contains("stencil_comm_latency_p99_ns{run=\"ca\",src=\"0\",dst=\"1\"}"));
+        assert!(text.contains("stencil_comm_dropped_msgs_total{run=\"ca\"} 0"));
+        // Well-formed: every line still parses.
+        for l in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = l.rsplit_once(' ').expect("metric line");
+            assert!(value.parse::<f64>().is_ok(), "{l}");
+        }
+        // An empty matrix emits no comm families at all.
+        let empty = crate::CommMatrix::default();
+        let text = render_full("ca", &m.snapshot(), &[], None, Some(&empty));
+        assert!(!text.contains("comm_"), "{text}");
     }
 
     #[test]

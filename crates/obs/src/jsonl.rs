@@ -34,8 +34,50 @@ pub fn render_with_scheduler(
         header.push(("spans".into(), Value::Num(Number::U(t.len() as u64))));
         header.push(("horizon_ns".into(), Value::Num(Number::U(t.horizon_ns()))));
         header.push(("dropped_spans".into(), Value::Num(Number::U(t.dropped))));
+        header.push((
+            "msg_spans".into(),
+            Value::Num(Number::U(t.msgs.len() as u64)),
+        ));
+        header.push(("dropped_msgs".into(), Value::Num(Number::U(t.dropped_msgs))));
     }
     push_line(&mut out, Value::Object(header));
+
+    // One `comm` record per directed peer pair that exchanged messages:
+    // the communication matrix in line-oriented form, ready to pivot into
+    // a heatmap with standard tools.
+    if let Some(t) = trace {
+        let matrix = t.comm_matrix();
+        for (&(src, dst), flow) in &matrix.peers {
+            let lat = flow.latency_summary();
+            let q = flow.queue_summary();
+            push_line(
+                &mut out,
+                Value::Object(vec![
+                    ("record".into(), Value::Str("comm".into())),
+                    ("run".into(), Value::Str(run.into())),
+                    ("src".into(), Value::Num(Number::U(src as u64))),
+                    ("dst".into(), Value::Num(Number::U(dst as u64))),
+                    ("messages".into(), Value::Num(Number::U(flow.messages))),
+                    ("bytes".into(), Value::Num(Number::U(flow.bytes))),
+                    ("latency_mean_ns".into(), Value::Num(Number::F(lat.mean_ns))),
+                    ("latency_p99_ns".into(), Value::Num(Number::U(lat.p99_ns))),
+                    ("queue_mean_ns".into(), Value::Num(Number::F(q.mean_ns))),
+                    ("queue_p99_ns".into(), Value::Num(Number::U(q.p99_ns))),
+                ]),
+            );
+        }
+        if t.dropped_msgs > 0 {
+            push_line(
+                &mut out,
+                Value::Object(vec![
+                    ("record".into(), Value::Str("counter".into())),
+                    ("run".into(), Value::Str(run.into())),
+                    ("name".into(), Value::Str("dropped_msgs".into())),
+                    ("value".into(), Value::Num(Number::U(t.dropped_msgs))),
+                ]),
+            );
+        }
+    }
 
     // Dropped spans get an explicit counter line (not just the header
     // field) whenever a ring overflowed, so truncation is visible to the
@@ -132,6 +174,11 @@ pub fn parse(text: &str) -> Result<Vec<(String, MetricsSnapshot)>, String> {
                     .insert(name.to_string(), crate::GaugeValue { current, max });
             }
             Some("run") => {}
+            // Comm-matrix lines carry per-peer flow statistics, not
+            // metric counters; readers that want them parse the lines
+            // directly. Skipped here so old snapshot-oriented callers
+            // keep working on new files.
+            Some("comm") => {}
             other => {
                 return Err(format!(
                     "line {}: unknown record type {other:?}",
@@ -220,6 +267,34 @@ mod tests {
         rec.local().task(0, 0, 0, 0, 1);
         let text = render("r", &m.snapshot(), Some(&rec.drain()));
         assert!(!text.contains("\"dropped_events\""));
+    }
+
+    #[test]
+    fn comm_matrix_lines_export_and_parse_tolerantly() {
+        let m = Metrics::new();
+        m.counter("x").add(1);
+        let rec = Recorder::new();
+        rec.local().task(0, 0, 0, 0, 10);
+        let ml = rec.msg_local();
+        ml.record(crate::MsgSpan {
+            src: 0,
+            dst: 1,
+            kind: 0,
+            bytes: 256,
+            enqueue_ns: 0,
+            inject_ns: 10,
+            deliver_ns: 100,
+        });
+        let trace = rec.drain();
+        let text = render("r", &m.snapshot(), Some(&trace));
+        assert!(text.contains("\"record\":\"comm\""), "{text}");
+        assert!(text.contains("\"bytes\":256"), "{text}");
+        assert!(text.contains("\"msg_spans\":1"), "{text}");
+        // Snapshot-oriented parsing skips comm lines instead of erroring.
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed[0].1.counter("x"), 1);
+        // No drops → no dropped_msgs counter line.
+        assert!(!text.contains("dropped_msgs\",\"value\""));
     }
 
     #[test]

@@ -35,6 +35,7 @@ mod metrics;
 mod recorder;
 
 pub mod chrome;
+pub mod comm;
 pub mod expo;
 pub mod fig10;
 pub mod hist;
@@ -44,10 +45,12 @@ mod loom_model;
 pub mod ring;
 pub mod sample;
 
+pub use comm::{CommMatrix, MsgSpan, PeerFlow};
 pub use hist::{DurationSummary, LogHistogram};
 pub use metrics::{names, Counter, ExpectedCounters, Gauge, GaugeValue, Metrics, MetricsSnapshot};
 pub use recorder::{
-    per_event_cost_ns, LocalRecorder, Recorder, SpanRecord, Trace, TracerOverhead, WallClock,
+    per_event_cost_ns, LocalRecorder, MsgRecorder, Recorder, SpanRecord, Trace, TracerOverhead,
+    WallClock,
 };
 pub use sample::{lane_busy_in_window, Live, LiveSample};
 

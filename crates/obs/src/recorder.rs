@@ -27,6 +27,7 @@
 //! (possibly incomplete) views during a run.
 
 use crate::ring::{self, RingConsumer, RingProducer};
+use crate::MsgSpan;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -164,10 +165,15 @@ pub fn per_event_cost_ns() -> f64 {
 
 struct Shared {
     /// Consumer halves of every registered lane, taken by collection.
-    lanes: Mutex<Vec<RingConsumer>>,
+    lanes: Mutex<Vec<RingConsumer<SpanRecord>>>,
     /// Spans already moved out of the rings. Grows monotonically; `drain`
     /// is a sorted view over it, so draining twice yields the same spans.
     store: Mutex<Vec<SpanRecord>>,
+    /// Consumer halves of the per-thread message-span lanes.
+    msg_lanes: Mutex<Vec<RingConsumer<MsgSpan>>>,
+    /// Message spans already moved out of the rings (monotonic, like
+    /// `store`).
+    msg_store: Mutex<Vec<MsgSpan>>,
     kinds: Mutex<BTreeMap<u32, String>>,
     /// Drops by producers whose lane has already been deregistered (none
     /// today, kept for forward-compat) plus a scratch counter for the
@@ -210,6 +216,8 @@ impl Recorder {
             shared: Arc::new(Shared {
                 lanes: Mutex::new(Vec::new()),
                 store: Mutex::new(Vec::new()),
+                msg_lanes: Mutex::new(Vec::new()),
+                msg_store: Mutex::new(Vec::new()),
                 kinds: Mutex::new(BTreeMap::new()),
                 dropped_extra: AtomicU64::new(0),
                 capacity: capacity.max(1),
@@ -225,6 +233,8 @@ impl Recorder {
             shared: Arc::new(Shared {
                 lanes: Mutex::new(Vec::new()),
                 store: Mutex::new(Vec::new()),
+                msg_lanes: Mutex::new(Vec::new()),
+                msg_store: Mutex::new(Vec::new()),
                 kinds: Mutex::new(BTreeMap::new()),
                 dropped_extra: AtomicU64::new(0),
                 capacity: 1,
@@ -254,6 +264,24 @@ impl Recorder {
         }
     }
 
+    /// Obtain a per-thread message-recording handle (one msg-span lane on
+    /// its own SPSC ring, same capacity and drop-newest policy as the
+    /// span lanes).
+    pub fn msg_local(&self) -> MsgRecorder {
+        if !self.shared.enabled {
+            return MsgRecorder { producer: None };
+        }
+        let (producer, consumer) = ring::spsc(self.shared.capacity);
+        self.shared
+            .msg_lanes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(consumer);
+        MsgRecorder {
+            producer: Some(producer),
+        }
+    }
+
     /// Associate a human-readable name with a kind tag (idempotent).
     pub fn register_kind(&self, kind: u32, name: &str) {
         self.shared
@@ -274,6 +302,20 @@ impl Recorder {
         for lane in lanes.iter_mut() {
             lane.drain_into(&mut store);
         }
+        drop((lanes, store));
+        let mut msg_lanes = self
+            .shared
+            .msg_lanes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let mut msg_store = self
+            .shared
+            .msg_store
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        for lane in msg_lanes.iter_mut() {
+            lane.drain_into(&mut msg_store);
+        }
     }
 
     /// Collect, then run `f` over the store — the live view the samplers
@@ -292,10 +334,45 @@ impl Recorder {
             + self.shared.dropped_extra.load(Ordering::Relaxed)
     }
 
-    /// Record attempts so far across all lanes (dropped events included).
+    /// Message spans dropped so far because a msg-lane ring was full.
+    pub fn dropped_msgs(&self) -> u64 {
+        let lanes = self
+            .shared
+            .msg_lanes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        lanes.iter().map(|l| l.dropped()).sum()
+    }
+
+    /// Per-lane drop counts — span lanes first, then msg lanes, in
+    /// registration order. The overflow-accounting tests reconcile the
+    /// trace against these.
+    pub fn dropped_per_lane(&self) -> Vec<u64> {
+        let lanes = self.shared.lanes.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<u64> = lanes.iter().map(|l| l.dropped()).collect();
+        drop(lanes);
+        let msg_lanes = self
+            .shared
+            .msg_lanes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        out.extend(msg_lanes.iter().map(|l| l.dropped()));
+        out
+    }
+
+    /// Record attempts so far across all lanes (dropped events included,
+    /// message spans included — their push cost is paid like any other
+    /// event, so the overhead model must count them).
     pub fn events_recorded(&self) -> u64 {
         let lanes = self.shared.lanes.lock().unwrap_or_else(|e| e.into_inner());
-        lanes.iter().map(|l| l.attempts()).sum()
+        let spans: u64 = lanes.iter().map(|l| l.attempts()).sum();
+        drop(lanes);
+        let msg_lanes = self
+            .shared
+            .msg_lanes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        spans + msg_lanes.iter().map(|l| l.attempts()).sum::<u64>()
     }
 
     /// The tracer's measured self-overhead against `lane_time_ns` of
@@ -332,6 +409,18 @@ impl Recorder {
                      the quiesce contract requires all workers joined before drain"
                 );
             }
+            drop(lanes);
+            let msg_lanes = self
+                .shared
+                .msg_lanes
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            for (i, lane) in msg_lanes.iter().enumerate() {
+                debug_assert!(
+                    !lane.producer_recording(),
+                    "Recorder::drain while msg lane {i}'s producer is mid-record"
+                );
+            }
         }
         let mut spans = self
             .shared
@@ -340,8 +429,16 @@ impl Recorder {
             .unwrap_or_else(|e| e.into_inner())
             .clone();
         spans.sort_by_key(|s| (s.start_ns, s.node, s.lane, s.end_ns));
+        let mut msgs = self
+            .shared
+            .msg_store
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        msgs.sort_by_key(|m| (m.enqueue_ns, m.src, m.dst, m.inject_ns, m.deliver_ns));
         Trace {
             spans,
+            msgs,
             kinds: self
                 .shared
                 .kinds
@@ -349,6 +446,7 @@ impl Recorder {
                 .unwrap_or_else(|e| e.into_inner())
                 .clone(),
             dropped: self.dropped(),
+            dropped_msgs: self.dropped_msgs(),
         }
     }
 }
@@ -361,7 +459,7 @@ impl Default for Recorder {
 
 /// Per-thread handle writing spans into a private lock-free ring.
 pub struct LocalRecorder {
-    producer: Option<RingProducer>,
+    producer: Option<RingProducer<SpanRecord>>,
 }
 
 impl LocalRecorder {
@@ -414,16 +512,44 @@ impl LocalRecorder {
     }
 }
 
+/// Per-thread handle writing message spans into a private lock-free
+/// ring, symmetric to [`LocalRecorder`] for spans.
+pub struct MsgRecorder {
+    producer: Option<RingProducer<MsgSpan>>,
+}
+
+impl MsgRecorder {
+    /// Record one cross-node message. No-op on a disabled recorder; on a
+    /// full ring the span is dropped and counted (never blocks).
+    pub fn record(&self, msg: MsgSpan) {
+        debug_assert!(
+            msg.deliver_ns >= msg.inject_ns && msg.inject_ns >= msg.enqueue_ns,
+            "msg timestamps out of order: enqueue {} inject {} deliver {}",
+            msg.enqueue_ns,
+            msg.inject_ns,
+            msg.deliver_ns
+        );
+        if let Some(producer) = &self.producer {
+            producer.push(msg);
+        }
+    }
+}
+
 /// A drained, immutable trace: every span of a run plus the kind-name
 /// table, ready for export or analysis.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// All spans, sorted by start time.
     pub spans: Vec<SpanRecord>,
+    /// All cross-node message spans, sorted by enqueue time. Empty for
+    /// single-node runs.
+    pub msgs: Vec<MsgSpan>,
     /// Kind tag → human-readable name, for exporters.
     pub kinds: BTreeMap<u32, String>,
     /// Spans dropped by full lane rings (0 means the trace is complete).
     pub dropped: u64,
+    /// Message spans dropped by full msg-lane rings.
+    pub dropped_msgs: u64,
 }
 
 impl Trace {
@@ -505,15 +631,24 @@ impl Trace {
         gaps
     }
 
+    /// The per-peer communication matrix of this trace's message spans.
+    pub fn comm_matrix(&self) -> crate::CommMatrix {
+        crate::CommMatrix::from_trace(self)
+    }
+
     /// Merge another trace's spans and kind names into this one.
     pub fn absorb(&mut self, other: Trace) {
         self.spans.extend(other.spans);
         self.spans
             .sort_by_key(|s| (s.start_ns, s.node, s.lane, s.end_ns));
+        self.msgs.extend(other.msgs);
+        self.msgs
+            .sort_by_key(|m| (m.enqueue_ns, m.src, m.dst, m.inject_ns, m.deliver_ns));
         for (k, v) in other.kinds {
             self.kinds.entry(k).or_insert(v);
         }
         self.dropped += other.dropped;
+        self.dropped_msgs += other.dropped_msgs;
     }
 }
 
@@ -705,6 +840,92 @@ mod tests {
         assert_eq!(t.count_by_kind().get(&crate::KIND_COMM), Some(&1));
         assert_eq!(t.task_spans().count(), 1);
         assert_eq!(t.nodes(), vec![0]);
+    }
+
+    #[test]
+    fn msg_lanes_drain_into_trace() {
+        let rec = Recorder::new();
+        let m = rec.msg_local();
+        m.record(MsgSpan {
+            src: 1,
+            dst: 0,
+            kind: 3,
+            bytes: 64,
+            enqueue_ns: 20,
+            inject_ns: 25,
+            deliver_ns: 90,
+        });
+        m.record(MsgSpan {
+            src: 0,
+            dst: 1,
+            kind: 3,
+            bytes: 128,
+            enqueue_ns: 0,
+            inject_ns: 5,
+            deliver_ns: 50,
+        });
+        let t = rec.drain();
+        assert_eq!(t.msgs.len(), 2);
+        assert_eq!(t.msgs[0].enqueue_ns, 0, "sorted by enqueue time");
+        assert_eq!(t.dropped_msgs, 0);
+        // Msg pushes count toward the overhead model's event total.
+        assert_eq!(rec.events_recorded(), 2);
+        let matrix = t.comm_matrix();
+        assert_eq!(matrix.total_messages(), 2);
+        assert_eq!(matrix.total_bytes(), 192);
+    }
+
+    #[test]
+    fn msg_ring_overflow_reconciles_per_lane() {
+        let rec = Recorder::with_capacity(4);
+        let l = rec.local();
+        let m = rec.msg_local();
+        for i in 0..10u64 {
+            l.task(0, 0, 0, i, i + 1);
+            m.record(MsgSpan {
+                src: 0,
+                dst: 1,
+                kind: 0,
+                bytes: 8,
+                enqueue_ns: i,
+                inject_ns: i,
+                deliver_ns: i + 1,
+            });
+        }
+        let t = rec.drain();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.msgs.len(), 4);
+        assert_eq!(t.dropped, 6);
+        assert_eq!(t.dropped_msgs, 6);
+        let per_lane = rec.dropped_per_lane();
+        assert_eq!(per_lane, vec![6, 6]);
+        assert_eq!(
+            per_lane.iter().sum::<u64>(),
+            t.dropped + t.dropped_msgs,
+            "per-lane drops reconcile with trace totals"
+        );
+        assert_eq!(rec.events_recorded(), 20);
+        // The matrix over the surviving spans is an exact account of what
+        // was kept, flagged as a lower bound by the drop counter.
+        let matrix = t.comm_matrix();
+        assert_eq!(matrix.total_messages() + matrix.dropped, 10);
+    }
+
+    #[test]
+    fn disabled_recorder_discards_msgs() {
+        let rec = Recorder::disabled();
+        let m = rec.msg_local();
+        m.record(MsgSpan {
+            src: 0,
+            dst: 1,
+            kind: 0,
+            bytes: 8,
+            enqueue_ns: 0,
+            inject_ns: 0,
+            deliver_ns: 1,
+        });
+        assert!(rec.drain().msgs.is_empty());
+        assert_eq!(rec.events_recorded(), 0);
     }
 
     #[test]

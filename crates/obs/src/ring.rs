@@ -1,12 +1,16 @@
-//! Bounded lock-free SPSC span ring: the producer lane of the streaming
+//! Bounded lock-free SPSC record ring: the producer lane of the streaming
 //! telemetry pipeline.
 //!
 //! Each recording thread owns exactly one [`RingProducer`]; the collector
 //! owns the matching [`RingConsumer`]. Pushing never blocks and never
-//! takes a lock: when the ring is full the span is **dropped** and a
+//! takes a lock: when the ring is full the record is **dropped** and a
 //! per-lane counter is bumped, so the hot path's worst case is one failed
 //! compare of two atomics. This replaces the old `Mutex<VecDeque>` lane
 //! buffers, whose lock the drain path could contend with live workers.
+//!
+//! The ring is generic over any `Copy` record type — the same protocol
+//! carries task/comm [`crate::SpanRecord`]s and per-message
+//! [`crate::MsgSpan`]s on separate lanes.
 //!
 //! The ring is a classic single-producer/single-consumer circular buffer:
 //! `tail` is written only by the producer, `head` only by the consumer,
@@ -14,24 +18,23 @@
 //! slot contents published with `Release`. Capacity is rounded up to a
 //! power of two so indices wrap with a mask and never need a modulo.
 
-use crate::SpanRecord;
 use std::cell::{Cell, UnsafeCell};
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-struct Slot(UnsafeCell<MaybeUninit<SpanRecord>>);
+struct Slot<T>(UnsafeCell<MaybeUninit<T>>);
 
-struct RingInner {
-    slots: Box<[Slot]>,
+struct RingInner<T> {
+    slots: Box<[Slot<T>]>,
     mask: usize,
     /// Next index the consumer will pop. Written only by the consumer.
     head: AtomicUsize,
     /// Next index the producer will push. Written only by the producer.
     tail: AtomicUsize,
-    /// Spans dropped because the ring was full when pushed.
+    /// Records dropped because the ring was full when pushed.
     dropped: AtomicU64,
-    /// Spans the producer attempted to record (dropped ones included) —
+    /// Records the producer attempted to push (dropped ones included) —
     /// the event count the tracer-overhead model multiplies by the
     /// calibrated per-event cost.
     attempts: AtomicU64,
@@ -47,26 +50,26 @@ struct RingInner {
 // `head = i + 1`, after which the producer may reuse it. With a unique
 // producer and a unique consumer (enforced by the unclonable handle
 // types below) no slot is ever aliased mutably.
-unsafe impl Sync for RingInner {}
+unsafe impl<T: Send> Sync for RingInner<T> {}
 
-/// Producer half of a span ring: single-threaded, non-blocking writes.
-pub struct RingProducer {
-    inner: Arc<RingInner>,
+/// Producer half of a record ring: single-threaded, non-blocking writes.
+pub struct RingProducer<T> {
+    inner: Arc<RingInner<T>>,
     /// Producer-local cache of the consumer's head, refreshed only when
     /// the ring looks full, so the common-case push reads one atomic.
     cached_head: Cell<usize>,
 }
 
-/// Consumer half of a span ring: single-threaded batch drains.
-pub struct RingConsumer {
-    inner: Arc<RingInner>,
+/// Consumer half of a record ring: single-threaded batch drains.
+pub struct RingConsumer<T> {
+    inner: Arc<RingInner<T>>,
 }
 
-/// Create a ring holding at most `capacity` spans (rounded up to a power
-/// of two, minimum 2).
-pub fn spsc(capacity: usize) -> (RingProducer, RingConsumer) {
+/// Create a ring holding at most `capacity` records (rounded up to a
+/// power of two, minimum 2).
+pub fn spsc<T: Copy>(capacity: usize) -> (RingProducer<T>, RingConsumer<T>) {
     let cap = capacity.max(2).next_power_of_two();
-    let slots: Box<[Slot]> = (0..cap)
+    let slots: Box<[Slot<T>]> = (0..cap)
         .map(|_| Slot(UnsafeCell::new(MaybeUninit::uninit())))
         .collect();
     let inner = Arc::new(RingInner {
@@ -87,10 +90,10 @@ pub fn spsc(capacity: usize) -> (RingProducer, RingConsumer) {
     )
 }
 
-impl RingProducer {
-    /// Push a span; returns `false` (and counts a drop) when the ring is
-    /// full. Never blocks.
-    pub fn push(&self, span: SpanRecord) -> bool {
+impl<T: Copy> RingProducer<T> {
+    /// Push a record; returns `false` (and counts a drop) when the ring
+    /// is full. Never blocks.
+    pub fn push(&self, record: T) -> bool {
         let inner = &*self.inner;
         inner.recording.store(true, Ordering::Release);
         inner.attempts.fetch_add(1, Ordering::Relaxed);
@@ -109,21 +112,21 @@ impl RingProducer {
         // SAFETY: `tail - head < capacity`, so slot `tail & mask` is not
         // readable by the consumer until we publish the new tail below;
         // the producer is unique, so no one else writes it.
-        unsafe { (*inner.slots[tail & inner.mask].0.get()).write(span) };
+        unsafe { (*inner.slots[tail & inner.mask].0.get()).write(record) };
         inner.tail.store(tail.wrapping_add(1), Ordering::Release);
         inner.recording.store(false, Ordering::Release);
         true
     }
 
-    /// Spans dropped on this lane so far.
+    /// Records dropped on this lane so far.
     pub fn dropped(&self) -> u64 {
         self.inner.dropped.load(Ordering::Relaxed)
     }
 }
 
-impl RingConsumer {
-    /// Pop the oldest span, if any.
-    pub fn pop(&mut self) -> Option<SpanRecord> {
+impl<T: Copy> RingConsumer<T> {
+    /// Pop the oldest record, if any.
+    pub fn pop(&mut self) -> Option<T> {
         let inner = &*self.inner;
         let head = inner.head.load(Ordering::Relaxed);
         if head == inner.tail.load(Ordering::Acquire) {
@@ -132,27 +135,27 @@ impl RingConsumer {
         // SAFETY: `head < tail`, so the producer published this slot with
         // the Release store of `tail` and will not reuse it until we
         // publish the new head below; the consumer is unique.
-        let span = unsafe { (*inner.slots[head & inner.mask].0.get()).assume_init_read() };
+        let record = unsafe { (*inner.slots[head & inner.mask].0.get()).assume_init_read() };
         inner.head.store(head.wrapping_add(1), Ordering::Release);
-        Some(span)
+        Some(record)
     }
 
     /// Drain everything currently visible into `out`; returns the count.
-    pub fn drain_into(&mut self, out: &mut Vec<SpanRecord>) -> usize {
+    pub fn drain_into(&mut self, out: &mut Vec<T>) -> usize {
         let mut n = 0;
-        while let Some(span) = self.pop() {
-            out.push(span);
+        while let Some(record) = self.pop() {
+            out.push(record);
             n += 1;
         }
         n
     }
 
-    /// Spans dropped on this lane so far.
+    /// Records dropped on this lane so far.
     pub fn dropped(&self) -> u64 {
         self.inner.dropped.load(Ordering::Relaxed)
     }
 
-    /// Spans the producer attempted to record (dropped ones included).
+    /// Records the producer attempted to push (dropped ones included).
     pub fn attempts(&self) -> u64 {
         self.inner.attempts.load(Ordering::Relaxed)
     }
@@ -167,6 +170,7 @@ impl RingConsumer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SpanRecord;
 
     fn span(i: u64) -> SpanRecord {
         SpanRecord {
@@ -233,8 +237,30 @@ mod tests {
     }
 
     #[test]
+    fn generic_ring_carries_msg_spans() {
+        let (p, mut c) = spsc::<crate::MsgSpan>(4);
+        for i in 0..6u64 {
+            p.push(crate::MsgSpan {
+                src: 0,
+                dst: 1,
+                kind: 0,
+                bytes: 8,
+                enqueue_ns: i,
+                inject_ns: i + 1,
+                deliver_ns: i + 2,
+            });
+        }
+        let mut out = Vec::new();
+        c.drain_into(&mut out);
+        assert_eq!(out.len(), 4, "drop-newest applies to msg lanes too");
+        assert_eq!(c.dropped(), 2);
+        assert_eq!(c.attempts(), 6);
+        assert_eq!(out[0].enqueue_ns, 0);
+    }
+
+    #[test]
     fn concurrent_producer_consumer_conserves_spans() {
-        let (p, mut c) = spsc(64);
+        let (p, mut c) = spsc::<SpanRecord>(64);
         let total = 100_000u64;
         let consumer = std::thread::spawn(move || {
             let mut seen = Vec::new();

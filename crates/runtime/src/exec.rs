@@ -85,6 +85,11 @@ pub struct RunConfig {
     /// victim sequence run over run — the "seed-stable" half of the
     /// determinism contract in `docs/EXECUTOR.md`.
     pub steal_seed: u64,
+    /// Per-lane tracer ring capacity in records; `None` uses the
+    /// recorder's default. Small capacities force ring overflow, which
+    /// the observability tests use to prove dropped-event accounting
+    /// reconciles (see [`RunConfig::with_ring_capacity`]).
+    pub ring_capacity: Option<usize>,
 }
 
 impl RunConfig {
@@ -103,6 +108,7 @@ impl RunConfig {
             sample_period_ns: None,
             live: None,
             steal_seed: Self::DEFAULT_STEAL_SEED,
+            ring_capacity: None,
         }
     }
 
@@ -122,6 +128,7 @@ impl RunConfig {
             sample_period_ns: None,
             live: None,
             steal_seed: Self::DEFAULT_STEAL_SEED,
+            ring_capacity: None,
         }
     }
 
@@ -141,6 +148,7 @@ impl RunConfig {
             sample_period_ns: None,
             live: None,
             steal_seed: Self::DEFAULT_STEAL_SEED,
+            ring_capacity: None,
         }
     }
 
@@ -211,6 +219,15 @@ impl RunConfig {
     /// explicit period: 10 ms on the engine's clock.
     pub const DEFAULT_SAMPLE_PERIOD_NS: u64 = 10_000_000;
 
+    /// Bound every tracer lane (span and message rings alike) to
+    /// `capacity` records. Overflowing lanes drop the newest records and
+    /// count them, so a deliberately tiny capacity lets tests prove the
+    /// dropped-event reconciliation instead of assuming rings never fill.
+    pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = Some(capacity);
+        self
+    }
+
     /// Enable live sampling at `period_ns` on the engine's clock
     /// (wall-clock nanoseconds for the real engines, virtual nanoseconds
     /// for the simulator). Samples land in [`RunReport::samples`].
@@ -247,7 +264,10 @@ impl RunConfig {
 
     /// Build the run's recorder with the configured kind names registered.
     pub(crate) fn recorder(&self) -> Recorder {
-        let rec = Recorder::new();
+        let rec = match self.ring_capacity {
+            Some(cap) => Recorder::with_capacity(cap),
+            None => Recorder::new(),
+        };
         rec.register_kind(obs::KIND_COMM, "comm");
         for (kind, name) in &self.kind_names {
             rec.register_kind(*kind, name);

@@ -43,6 +43,14 @@ enum CommItem {
         consumer: TaskKey,
         slot: usize,
         data: FlowData,
+        /// Sending node, for the message span's `src`.
+        src: u32,
+        /// Kind tag of the producing task, stamped into the message span.
+        kind: u32,
+        /// Wall-clock instant the producer handed the flow to the channel
+        /// — the message span's enqueue timestamp; the gap to the comm
+        /// thread's dequeue is real channel queueing.
+        enqueue_ns: u64,
     },
     Shutdown,
 }
@@ -142,6 +150,9 @@ impl<'p> Cluster<'p> {
                         consumer: dep.consumer,
                         slot: dep.slot,
                         data,
+                        src: node as u32,
+                        kind,
+                        enqueue_ns: self.clock.now_ns(),
                     })
                     .expect("comm channel closed");
             }
@@ -211,7 +222,12 @@ fn worker(cluster: &Cluster<'_>, node: usize, lane: u32, local: &LocalRecorder) 
     }
 }
 
-fn comm_thread(cluster: &Cluster<'_>, node: usize, local: &LocalRecorder) {
+fn comm_thread(
+    cluster: &Cluster<'_>,
+    node: usize,
+    local: &LocalRecorder,
+    msg_local: &obs::MsgRecorder,
+) {
     let rx = cluster.nodes[node].comm_rx.clone();
     let comm_lane = cluster.workers_per_node as u32;
     loop {
@@ -220,10 +236,28 @@ fn comm_thread(cluster: &Cluster<'_>, node: usize, local: &LocalRecorder) {
                 consumer,
                 slot,
                 data,
+                src,
+                kind,
+                enqueue_ns,
             }) => {
+                // Dequeue is the injection instant; delivery completes
+                // once the flow has landed in the destination's pending
+                // table. All three stamps share the cluster's wall clock,
+                // so enqueue ≤ inject ≤ deliver holds by monotonicity.
                 let start_ns = cluster.clock.now_ns();
+                let bytes = data.bytes as u64;
                 cluster.deliver_external(node, consumer, slot, data);
-                local.comm(node as u32, comm_lane, start_ns, cluster.clock.now_ns());
+                let end_ns = cluster.clock.now_ns();
+                local.comm(node as u32, comm_lane, start_ns, end_ns);
+                msg_local.record(obs::MsgSpan {
+                    src,
+                    dst: node as u32,
+                    kind,
+                    bytes,
+                    enqueue_ns,
+                    inject_ns: start_ns.max(enqueue_ns),
+                    deliver_ns: end_ns.max(enqueue_ns),
+                });
             }
             Ok(CommItem::Shutdown) | Err(RecvTimeoutError::Disconnected) => return,
             Err(RecvTimeoutError::Timeout) => {
@@ -369,7 +403,8 @@ pub(crate) fn execute(program: &Program, cfg: &RunConfig) -> RunReport {
             }
             let cluster = &cluster;
             let local = recorder.local();
-            s.spawn(move |_| comm_thread(cluster, node, &local));
+            let msg_local = recorder.msg_local();
+            s.spawn(move |_| comm_thread(cluster, node, &local, &msg_local));
         }
         if let (Some(live), Some(period)) = (live.clone(), cfg.sample_period()) {
             let cluster = &cluster;
@@ -501,6 +536,33 @@ mod tests {
             .iter()
             .filter(|s| s.kind == obs::KIND_COMM)
             .all(|s| s.lane == 2));
+    }
+
+    #[test]
+    fn cross_node_flows_trace_msg_spans_with_ordered_stamps() {
+        let mut b = DtdBuilder::new();
+        let root = b.insert(0, 0.0, &[]);
+        let mids: Vec<_> = (0..8).map(|i| b.insert(i % 2, 0.0, &[root])).collect();
+        let _sink = b.insert(0, 0.0, &mids);
+        let p = b.build();
+        let r = run(&p, &RunConfig::multi_process(2, 2).with_trace());
+        let cross = cross_flows(&r);
+        let bytes_sent = r.counter(obs::names::BYTES_SENT);
+        let trace = r.trace.unwrap();
+        // Every cross-node flow became exactly one message span.
+        assert_eq!(trace.msgs.len() as u64, cross);
+        assert!(!trace.msgs.is_empty(), "diamond over 2 nodes crosses");
+        for m in &trace.msgs {
+            assert_ne!(m.src, m.dst, "only cross-node flows are messages");
+            assert!(m.dst < 2);
+            assert!(m.inject_ns >= m.enqueue_ns);
+            assert!(m.deliver_ns >= m.inject_ns);
+            assert!(m.bytes > 0);
+        }
+        // The matrix totals agree with the engine's byte counter.
+        let matrix = trace.comm_matrix();
+        assert_eq!(matrix.total_messages(), cross);
+        assert_eq!(matrix.total_bytes(), bytes_sent);
     }
 
     #[test]

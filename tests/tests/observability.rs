@@ -105,3 +105,94 @@ fn all_executors_agree_on_base_stencil_spans() {
         sim.counter(obs::names::MESSAGES_SENT)
     );
 }
+
+/// The tentpole identity: for every scheme, the per-peer communication
+/// matrix built from traced `MsgSpan`s carries *exactly* the message and
+/// byte counts `analyze` derives statically from the unfolded DAG — no
+/// transfer is missed, invented, or double-counted by the tracer.
+#[test]
+fn comm_matrix_matches_static_edge_accounting_for_every_scheme() {
+    use ca_stencil::{build_base_dtd, build_ca, build_pa2};
+    let scfg = cfg().with_steps(2);
+    let lanes = MachineProfile::nacl().compute_threads();
+    for (name, program) in [
+        ("base", build_base(&scfg, false).program),
+        ("ca", build_ca(&scfg, false).program),
+        ("pa2", build_pa2(&scfg, false).program),
+        ("dtd", build_base_dtd(&scfg)),
+    ] {
+        let dag = analyze::unfold(
+            &program,
+            &analyze::AnalyzeConfig::new()
+                .with_lanes(lanes)
+                .without_races(),
+        );
+        let expected = analyze::peer_matrix(&dag);
+        let report = run(&program, &sim_config());
+        let trace = report.trace.as_ref().expect("trace requested");
+        assert_eq!(trace.dropped_msgs, 0, "{name}: lossy msg trace");
+        let observed = trace.comm_matrix();
+        analyze::verify_comm_matrix(&expected, &observed).unwrap_or_else(|e| panic!("{name}: {e}"));
+        // and both agree with the simulator's own network accounting
+        let bytes: u64 = observed.peers.values().map(|p| p.bytes).sum();
+        let msgs: u64 = observed.peers.values().map(|p| p.messages).sum();
+        assert_eq!(bytes, report.remote_bytes(), "{name}");
+        assert_eq!(msgs, report.remote_messages(), "{name}");
+    }
+}
+
+/// Overflow accounting: a deliberately tiny tracer ring must *count*
+/// everything it cannot keep. Against a complete reference run of the
+/// same deterministic program, recorded + dropped reconciles exactly for
+/// both span lanes and message lanes, occupancy under-reports (never
+/// over-reports), and the exact-identity comm check refuses the lossy
+/// trace instead of passing it by luck.
+#[test]
+fn tiny_ring_drops_are_counted_and_reconcile_exactly() {
+    let program = build_base(&cfg(), false).program;
+    let complete = run(&program, &sim_config());
+    let lossy = run(&program, &sim_config().with_ring_capacity(4));
+    let complete_bytes = complete.remote_bytes();
+    let full = complete.trace.expect("trace requested");
+    let thin = lossy.trace.expect("trace requested");
+    assert_eq!(full.dropped, 0);
+    assert!(thin.dropped > 0, "capacity 4 must overflow span lanes");
+    assert!(thin.dropped_msgs > 0, "capacity 4 must overflow msg lanes");
+
+    // Attempts are identical (deterministic run), so kept + dropped on
+    // the lossy side must equal the complete side's record counts.
+    assert_eq!(
+        thin.spans.len() as u64 + thin.dropped,
+        full.spans.len() as u64
+    );
+    assert_eq!(
+        thin.msgs.len() as u64 + thin.dropped_msgs,
+        full.msgs.len() as u64
+    );
+    // The comm matrix surfaces its own incompleteness.
+    assert_eq!(thin.comm_matrix().dropped, thin.dropped_msgs);
+    let thin_bytes: u64 = thin.comm_matrix().peers.values().map(|p| p.bytes).sum();
+    assert!(thin_bytes < complete_bytes);
+
+    // Fig-10 style totals only lose time, never invent it.
+    let lanes = MachineProfile::nacl().compute_threads();
+    let horizon = full.horizon_ns();
+    for node in full.nodes() {
+        assert!(
+            thin.occupancy(node, lanes, horizon) <= full.occupancy(node, lanes, horizon) + 1e-12,
+            "node {node} over-reports occupancy from a lossy trace"
+        );
+    }
+
+    // And the exact-identity gate refuses a lower-bound matrix.
+    let dag = analyze::unfold(
+        &program,
+        &analyze::AnalyzeConfig::new()
+            .with_lanes(lanes)
+            .without_races(),
+    );
+    let expected = analyze::peer_matrix(&dag);
+    let err = analyze::verify_comm_matrix(&expected, &thin.comm_matrix())
+        .expect_err("a lossy matrix must not pass the exact-byte identity");
+    assert!(err.contains("dropped"), "{err}");
+}
